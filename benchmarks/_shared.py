@@ -1,0 +1,79 @@
+"""Shared machinery for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(§5).  The full-mode corpus evaluation is expensive and consumed by several
+benches (Table 1, Fig. 9, Fig. 10), so it is computed once per pytest
+session and memoized here.
+
+Environment knobs:
+
+- ``REPRO_BENCH_BUGS``: comma-separated bug ids to restrict the corpus
+  (useful while iterating); default = all 11.
+- ``REPRO_BENCH_RESULTS``: directory for the rendered tables (default
+  ``benchmarks/results``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.corpus import all_bug_ids, get_bug
+from repro.corpus.evaluation import BugEvaluation, evaluate_bug
+
+_FULL_EVALS: Optional[Dict[str, BugEvaluation]] = None
+_MODE_EVALS: Dict[str, Dict[str, BugEvaluation]] = {}
+
+
+def bench_bug_ids() -> List[str]:
+    override = os.environ.get("REPRO_BENCH_BUGS", "").strip()
+    if override:
+        return [b.strip() for b in override.split(",") if b.strip()]
+    return all_bug_ids()
+
+
+def results_dir() -> Path:
+    path = Path(os.environ.get("REPRO_BENCH_RESULTS",
+                               Path(__file__).parent / "results"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def full_evaluations() -> Dict[str, BugEvaluation]:
+    """Full-mode evaluation of every corpus bug (memoized)."""
+    global _FULL_EVALS
+    if _FULL_EVALS is None:
+        _FULL_EVALS = {
+            bug_id: evaluate_bug(get_bug(bug_id), mode="full",
+                                 max_iterations=6)
+            for bug_id in bench_bug_ids()
+        }
+    return _FULL_EVALS
+
+
+def mode_evaluations(mode: str) -> Dict[str, BugEvaluation]:
+    """Ablation-mode evaluations (memoized per mode)."""
+    if mode == "full":
+        return full_evaluations()
+    if mode not in _MODE_EVALS:
+        _MODE_EVALS[mode] = {
+            bug_id: evaluate_bug(get_bug(bug_id), mode=mode,
+                                 max_iterations=6)
+            for bug_id in bench_bug_ids()
+        }
+    return _MODE_EVALS[mode]
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under the results dir."""
+    print()
+    print(text)
+    out = results_dir() / f"{name}.txt"
+    out.write_text(text + "\n")
+
+
+def bar(value: float, scale: float = 1.0, width: int = 40) -> str:
+    """A crude ASCII bar for figure-style output."""
+    n = int(round(min(value * scale, width)))
+    return "#" * max(n, 0)

@@ -1,0 +1,75 @@
+"""Fig. 10: contribution of each technique to overall sketch accuracy.
+
+The paper measures accuracy with static slicing alone, then with
+control-flow tracking added, then with data-flow tracking added, and finds
+(a) every technique contributes for some program, (b) no single technique
+suffices everywhere (e.g. SQLite *needs* the watchpoint inter-thread order).
+
+Shape targets: full ≥ cf ≥ static on average; data-flow tracking visibly
+lifts ordering accuracy for the concurrency bugs.
+"""
+
+import pytest
+
+from repro.corpus import get_bug
+
+from _shared import bench_bug_ids, emit, mode_evaluations
+
+
+def _accuracy(ev) -> float:
+    return ev.overall_accuracy
+
+
+def _render(static, cf, full) -> str:
+    lines = ["Fig. 10: contribution of techniques to overall accuracy (%)",
+             "=" * 74,
+             f"{'Bug':<18} {'static':>8} {'+ctrl-flow':>11} "
+             f"{'+data-flow':>11}"]
+    for bug_id in bench_bug_ids():
+        lines.append(f"{bug_id:<18} {_accuracy(static[bug_id]):>8.1f} "
+                     f"{_accuracy(cf[bug_id]):>11.1f} "
+                     f"{_accuracy(full[bug_id]):>11.1f}")
+    n = len(full)
+    lines.append("-" * 74)
+    lines.append(
+        f"{'AVERAGE':<18} "
+        f"{sum(map(_accuracy, static.values())) / n:>8.1f} "
+        f"{sum(map(_accuracy, cf.values())) / n:>11.1f} "
+        f"{sum(map(_accuracy, full.values())) / n:>11.1f}")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_technique_contributions(benchmark):
+    def compute():
+        return (mode_evaluations("static"), mode_evaluations("cf"),
+                mode_evaluations("full"))
+
+    static, cf, full = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("fig10_contributions", _render(static, cf, full))
+
+    n = len(full)
+    avg_static = sum(map(_accuracy, static.values())) / n
+    avg_cf = sum(map(_accuracy, cf.values())) / n
+    avg_full = sum(map(_accuracy, full.values())) / n
+
+    # Each added technique helps on average.
+    assert avg_cf >= avg_static - 1e-9
+    assert avg_full >= avg_cf - 1e-9
+    assert avg_full > avg_static, \
+        "runtime refinement must beat static slicing alone"
+
+    # Data-flow tracking is what recovers inter-thread ordering: for the
+    # concurrency bugs, full mode must dominate cf mode on ordering.
+    concurrency = [b for b in bench_bug_ids()
+                   if get_bug(b).kind == "concurrency"]
+    if concurrency:
+        cf_order = sum(cf[b].ordering for b in concurrency) / len(concurrency)
+        full_order = sum(full[b].ordering
+                         for b in concurrency) / len(concurrency)
+        assert full_order >= cf_order
+
+    # "Neither of these techniques would achieve high accuracy for all
+    # programs on its own": static alone must fall short somewhere.
+    assert any(_accuracy(static[b]) < _accuracy(full[b]) - 5
+               for b in bench_bug_ids())

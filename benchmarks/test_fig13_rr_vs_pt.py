@@ -1,0 +1,75 @@
+"""Fig. 13 + §6: full-tracing overheads — record/replay vs Intel PT,
+plus the software-PT ablation.
+
+The paper: full Intel PT tracing averages 11% overhead; Mozilla rr averages
+984% (~10×); their ratio spans from parity (Cppcheck) to orders of
+magnitude (Transmission/SQLite, shown as ∞ when PT's overhead is too small
+to measure).  §6 adds that a software implementation of PT-style tracing
+costs 3×–5000×.
+
+Shape targets: rr ≫ hardware PT on average (ratio > 10×); software PT ≫
+hardware PT; per-program ratios vary widely.
+"""
+
+import pytest
+
+from repro.corpus import get_bug
+from repro.corpus.evaluation import full_tracing_overheads
+
+from _shared import bench_bug_ids, bar, emit
+
+
+def _compute():
+    return {bug_id: full_tracing_overheads(get_bug(bug_id), runs=4)
+            for bug_id in bench_bug_ids()}
+
+
+def _render(table) -> str:
+    lines = ["Fig. 13: full-tracing overhead, record/replay vs Intel PT (%)",
+             "=" * 78,
+             f"{'Bug':<18} {'IntelPT':>9} {'rr':>10} {'rr/PT':>8} "
+             f"{'softPT':>10}"]
+    for bug_id, row in table.items():
+        ratio = row.rr_over_pt
+        ratio_text = "inf" if ratio == float("inf") else f"{ratio:.1f}x"
+        lines.append(f"{bug_id:<18} {row.intel_pt_percent:>8.2f}% "
+                     f"{row.rr_percent:>9.1f}% {ratio_text:>8} "
+                     f"{row.software_pt_percent:>9.1f}%")
+    n = len(table)
+    avg_pt = sum(r.intel_pt_percent for r in table.values()) / n
+    avg_rr = sum(r.rr_percent for r in table.values()) / n
+    avg_sw = sum(r.software_pt_percent for r in table.values()) / n
+    lines.append("-" * 78)
+    lines.append(f"{'AVERAGE':<18} {avg_pt:>8.2f}% {avg_rr:>9.1f}% "
+                 f"{avg_rr / max(avg_pt, 1e-9):>7.1f}x {avg_sw:>9.1f}%")
+    lines.append("")
+    lines.append(f"  Intel PT {avg_pt:>9.1f}%  |{bar(avg_pt, 0.08)}")
+    lines.append(f"  Mozilla rr {avg_rr:>7.1f}%  |{bar(avg_rr, 0.08)}")
+    lines.append("")
+    lines.append(f"(paper: PT avg 11%, rr avg 984%; software tracing "
+                 f"3x-5000x)")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_record_replay_vs_intel_pt(benchmark):
+    table = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    emit("fig13_rr_vs_pt", _render(table))
+
+    n = len(table)
+    avg_pt = sum(r.intel_pt_percent for r in table.values()) / n
+    avg_rr = sum(r.rr_percent for r in table.values()) / n
+    avg_sw = sum(r.software_pt_percent for r in table.values()) / n
+
+    # Hardware PT is cheap in absolute terms (paper: 11%).
+    assert avg_pt < 40.0
+    # Record/replay is around 10x the base run (paper: 984%).
+    assert avg_rr > 300.0
+    # The central Fig. 13 claim: rr costs orders of magnitude more than PT.
+    assert avg_rr / max(avg_pt, 1e-9) > 10.0
+    for bug_id, row in table.items():
+        assert row.rr_percent > row.intel_pt_percent, bug_id
+
+    # §6: software control-flow tracing is far costlier than hardware PT.
+    assert avg_sw > avg_pt * 5
+    assert avg_sw > 100.0

@@ -1,0 +1,20 @@
+"""repro: a reproduction of Failure Sketching (Gist, SOSP 2015).
+
+Top-level convenience re-exports; the subpackages are the real API surface:
+
+- :mod:`repro.lang` — MiniC frontend + GIR
+- :mod:`repro.analysis` — slicing and friends
+- :mod:`repro.runtime` — the execution substrate
+- :mod:`repro.pt` / :mod:`repro.hw` — the hardware simulators
+- :mod:`repro.instrument` — patch planning/application
+- :mod:`repro.core` — Gist itself
+- :mod:`repro.replay` — the record/replay baseline
+- :mod:`repro.corpus` — the 11-bug evaluation corpus
+"""
+
+from .core import Gist, Workload
+from .lang import compile_source
+
+__version__ = "1.0.0"
+
+__all__ = ["Gist", "Workload", "compile_source", "__version__"]

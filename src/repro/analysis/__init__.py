@@ -1,0 +1,39 @@
+"""Static analyses: CFGs, dominators, call graph, ICFG/TICFG, slicing.
+
+This is Gist's server-side static machinery (paper §3.1): everything needed
+to compute backward slices and to plan where control/data-flow tracking
+starts and stops.
+"""
+
+from .callgraph import CallGraph, CallSite, build_callgraph
+from .cfg import FunctionCFG, build_all_cfgs, build_cfg
+from .dataflow import (
+    ReachingDefs,
+    compute_liveness,
+    compute_reaching_defs,
+)
+from .domtree import DomTree, VIRTUAL_EXIT, build_domtree, build_postdomtree
+from .icfg import ICFG, build_icfg, build_ticfg
+from .slicing import BackwardSlicer, StaticSlice, compute_slice
+
+__all__ = [
+    "BackwardSlicer",
+    "CallGraph",
+    "CallSite",
+    "DomTree",
+    "FunctionCFG",
+    "ICFG",
+    "ReachingDefs",
+    "StaticSlice",
+    "VIRTUAL_EXIT",
+    "build_all_cfgs",
+    "build_callgraph",
+    "build_cfg",
+    "build_domtree",
+    "build_icfg",
+    "build_postdomtree",
+    "build_ticfg",
+    "compute_liveness",
+    "compute_reaching_defs",
+    "compute_slice",
+]

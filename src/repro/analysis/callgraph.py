@@ -1,0 +1,76 @@
+"""Call graph construction, including thread-creation edges.
+
+MiniC has no function pointers, so all call edges are direct; the one form
+of "dynamically computed call target" is a thread start routine passed to
+``thread_create``.  Those edges are tracked separately because the TICFG
+(§3.1) represents them as implicit control flow, "akin to a callsite with
+the thread start routine as the target function".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..lang.ir import FuncRef, Instr, Module, Opcode
+
+
+@dataclass
+class CallSite:
+    """One call or spawn instruction and its resolved callee."""
+    caller: str
+    instr: Instr
+    callee: str
+    is_spawn: bool = False
+
+
+@dataclass
+class CallGraph:
+    """Direct-call and spawn edges between user functions."""
+
+    module: Module
+    callees: Dict[str, Set[str]] = field(default_factory=dict)
+    callers: Dict[str, Set[str]] = field(default_factory=dict)
+    call_sites: List[CallSite] = field(default_factory=list)
+
+    def call_sites_of(self, callee: str) -> List[CallSite]:
+        return [cs for cs in self.call_sites if cs.callee == callee]
+
+    def spawn_sites(self) -> List[CallSite]:
+        return [cs for cs in self.call_sites if cs.is_spawn]
+
+    def reachable_from(self, root: str) -> Set[str]:
+        seen = {root}
+        stack = [root]
+        while stack:
+            func = stack.pop()
+            for nxt in self.callees.get(func, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+
+def build_callgraph(module: Module) -> CallGraph:
+    """Collect direct-call and thread-spawn edges for a module."""
+    graph = CallGraph(module=module)
+    for name in module.functions:
+        graph.callees.setdefault(name, set())
+        graph.callers.setdefault(name, set())
+    for func in module.functions.values():
+        for ins in func.instructions():
+            if ins.opcode != Opcode.CALL:
+                continue
+            if ins.callee in module.functions:
+                graph.callees[func.name].add(ins.callee)
+                graph.callers[ins.callee].add(func.name)
+                graph.call_sites.append(
+                    CallSite(func.name, ins, ins.callee))
+            elif ins.callee == "thread_create" and ins.operands and \
+                    isinstance(ins.operands[0], FuncRef):
+                routine = ins.operands[0].name
+                graph.callees[func.name].add(routine)
+                graph.callers[routine].add(func.name)
+                graph.call_sites.append(
+                    CallSite(func.name, ins, routine, is_spawn=True))
+    return graph

@@ -1,0 +1,118 @@
+"""Per-function control flow graphs.
+
+Block-level predecessor/successor structure plus instruction-level edges
+within a function.  The block-level view feeds the dominator/postdominator
+analyses that Gist's control-flow-tracking planner needs (§3.2.2); the
+instruction-level view feeds slicing and the ICFG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..lang.ir import BasicBlock, Function, Instr, Opcode
+
+
+@dataclass
+class FunctionCFG:
+    """The CFG of one function, at block granularity."""
+
+    function: Function
+    preds: Dict[str, List[str]] = field(default_factory=dict)
+    succs: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def entry(self) -> str:
+        return self.function.entry
+
+    def exit_blocks(self) -> List[str]:
+        """Blocks ending in RET (function exit points)."""
+        out = []
+        for bb in self.function:
+            term = bb.terminator
+            if term is not None and term.opcode == Opcode.RET:
+                out.append(bb.label)
+        return out
+
+    def block(self, label: str) -> BasicBlock:
+        return self.function.blocks[label]
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        return iter(self.function)
+
+    def reverse_postorder(self) -> List[str]:
+        """Labels in reverse postorder from the entry (unreachable blocks
+        appended at the end, in declaration order)."""
+        seen: Set[str] = set()
+        order: List[str] = []
+
+        def dfs(label: str) -> None:
+            # Iterative DFS: corpus functions are small but recursion depth
+            # bites with long straight-line block chains.
+            stack: List[Tuple[str, int]] = [(label, 0)]
+            seen.add(label)
+            while stack:
+                node, idx = stack[-1]
+                succs = self.succs.get(node, [])
+                if idx < len(succs):
+                    stack[-1] = (node, idx + 1)
+                    nxt = succs[idx]
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, 0))
+                else:
+                    order.append(node)
+                    stack.pop()
+
+        dfs(self.entry)
+        postorder_reversed = list(reversed(order))
+        for bb in self.function:
+            if bb.label not in seen:
+                postorder_reversed.append(bb.label)
+        return postorder_reversed
+
+    # -- instruction-level edges (intra-function) ----------------------------
+
+    def instr_successors(self, ins: Instr) -> List[Instr]:
+        """Intra-function successors; calls fall through (interprocedural
+        edges are the ICFG's job)."""
+        bb = self.function.blocks[ins.block_label]
+        if not ins.is_terminator():
+            return [bb.instrs[ins.index_in_block + 1]]
+        if ins.opcode == Opcode.RET:
+            return []
+        return [self.function.blocks[label].instrs[0]
+                for label in ins.labels]
+
+    def instr_predecessors(self, ins: Instr) -> List[Instr]:
+        if ins.index_in_block > 0:
+            bb = self.function.blocks[ins.block_label]
+            return [bb.instrs[ins.index_in_block - 1]]
+        out = []
+        for pred_label in self.preds.get(ins.block_label, []):
+            term = self.function.blocks[pred_label].terminator
+            if term is not None:
+                out.append(term)
+        return out
+
+    def first_instr(self, label: str) -> Instr:
+        return self.function.blocks[label].instrs[0]
+
+
+def build_cfg(function: Function) -> FunctionCFG:
+    """Construct the block-level CFG of ``function``."""
+    cfg = FunctionCFG(function=function)
+    for bb in function:
+        cfg.preds.setdefault(bb.label, [])
+        cfg.succs.setdefault(bb.label, [])
+    for bb in function:
+        for succ in bb.successor_labels():
+            cfg.succs[bb.label].append(succ)
+            cfg.preds[succ].append(bb.label)
+    return cfg
+
+
+def build_all_cfgs(module) -> Dict[str, FunctionCFG]:
+    """CFGs for every function in a module, keyed by function name."""
+    return {name: build_cfg(func) for name, func in module.functions.items()}

@@ -1,0 +1,122 @@
+"""A small iterative dataflow framework, plus two classic clients.
+
+The backward slicer needs reaching definitions of virtual registers; the
+refinement tests use liveness as an independent oracle.  Both are expressed
+against instruction-level transfer functions over the per-function CFG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from ..lang.ir import Function, Instr, Register
+from .cfg import FunctionCFG, build_cfg
+
+
+def defined_register(ins: Instr) -> str:
+    """Name of the register this instruction defines, or ''."""
+    return ins.dst.name if ins.dst is not None else ""
+
+
+def used_registers(ins: Instr) -> List[str]:
+    """Names of the registers this instruction reads."""
+    return [op.name for op in ins.operands if isinstance(op, Register)]
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions (forward, may)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReachingDefs:
+    """For each instruction: the set of def uids that reach its entry."""
+
+    reach_in: Dict[int, FrozenSet[int]]
+    by_register: Dict[str, Set[int]]
+
+    def reaching_defs_of(self, ins: Instr, reg_name: str) -> Set[int]:
+        """Definitions of ``reg_name`` that may reach ``ins``."""
+        wanted = self.by_register.get(reg_name, set())
+        return {d for d in self.reach_in.get(ins.uid, frozenset())
+                if d in wanted}
+
+
+def compute_reaching_defs(function: Function,
+                          cfg: FunctionCFG = None) -> ReachingDefs:
+    """Classic gen/kill reaching definitions at instruction granularity.
+
+    Parameters are modeled as definitions at the function's first
+    instruction (their defining uid is recorded as ``-(param_index + 1)``,
+    a pseudo-uid the slicer maps back to call-site arguments).
+    """
+    cfg = cfg or build_cfg(function)
+    by_register: Dict[str, Set[int]] = {}
+    all_instrs: List[Instr] = list(function.instructions())
+    for ins in all_instrs:
+        reg = defined_register(ins)
+        if reg:
+            by_register.setdefault(reg, set()).add(ins.uid)
+    for i, pname in enumerate(function.params):
+        by_register.setdefault(pname, set()).add(-(i + 1))
+
+    entry_instr = function.blocks[function.entry].instrs[0]
+    param_defs = frozenset(-(i + 1) for i in range(len(function.params)))
+
+    reach_in: Dict[int, FrozenSet[int]] = {
+        ins.uid: frozenset() for ins in all_instrs}
+    reach_in[entry_instr.uid] = param_defs
+
+    changed = True
+    while changed:
+        changed = False
+        for ins in all_instrs:
+            if ins.uid == entry_instr.uid:
+                in_set = set(param_defs)
+            else:
+                in_set = set()
+            for pred in cfg.instr_predecessors(ins):
+                # out(pred) = gen(pred) ∪ (in(pred) − kill(pred))
+                pred_in = set(reach_in[pred.uid])
+                reg = defined_register(pred)
+                if reg:
+                    pred_in -= by_register.get(reg, set())
+                    pred_in.add(pred.uid)
+                in_set |= pred_in
+            frozen = frozenset(in_set)
+            if frozen != reach_in[ins.uid]:
+                reach_in[ins.uid] = frozen
+                changed = True
+    return ReachingDefs(reach_in=reach_in, by_register=by_register)
+
+
+# ---------------------------------------------------------------------------
+# Liveness (backward, may)
+# ---------------------------------------------------------------------------
+
+
+def compute_liveness(function: Function,
+                     cfg: FunctionCFG = None) -> Dict[int, FrozenSet[str]]:
+    """live-out register sets per instruction uid."""
+    cfg = cfg or build_cfg(function)
+    all_instrs = list(function.instructions())
+    live_out: Dict[int, FrozenSet[str]] = {
+        ins.uid: frozenset() for ins in all_instrs}
+    changed = True
+    while changed:
+        changed = False
+        for ins in reversed(all_instrs):
+            out: Set[str] = set()
+            for succ in cfg.instr_successors(ins):
+                succ_out = set(live_out[succ.uid])
+                reg = defined_register(succ)
+                if reg:
+                    succ_out.discard(reg)
+                succ_out.update(used_registers(succ))
+                out |= succ_out
+            frozen = frozenset(out)
+            if frozen != live_out[ins.uid]:
+                live_out[ins.uid] = frozen
+                changed = True
+    return live_out

@@ -1,0 +1,155 @@
+"""Dominator and postdominator trees (Cooper-Harvey-Kennedy).
+
+Gist's control-flow-tracking planner (§3.2.2) uses strict dominance to skip
+redundant trace-start points and immediate postdominators to place
+trace-stop points; the watchpoint planner (§3.2.3) places watchpoints after
+the immediate dominator of an access.  Both trees are computed per function
+at block granularity.
+
+Postdominators are dominators of the reverse CFG rooted at a virtual exit
+node, which is wired to every RET block and — so that infinite loops still
+have defined postdominators — to every block with no successors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .cfg import FunctionCFG
+
+VIRTUAL_EXIT = "<exit>"
+
+
+class DomTree:
+    """Immediate-dominator tree over block labels."""
+
+    def __init__(self, idom: Dict[str, Optional[str]], root: str) -> None:
+        self.idom = idom
+        self.root = root
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True if a dominates b (reflexive)."""
+        node: Optional[str] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def immediate(self, label: str) -> Optional[str]:
+        return self.idom.get(label)
+
+
+def _chk_dominators(nodes: List[str], preds: Dict[str, List[str]],
+                    root: str) -> Dict[str, Optional[str]]:
+    """Cooper-Harvey-Kennedy iterative dominator computation.
+
+    ``nodes`` must be in reverse postorder starting with ``root``.
+    Unreachable nodes (not in ``nodes``) are ignored.
+    """
+    index = {label: i for i, label in enumerate(nodes)}
+    idom: Dict[str, Optional[str]] = {root: root}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in nodes:
+            if label == root:
+                continue
+            candidates = [p for p in preds.get(label, [])
+                          if p in index and p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+    # Root's idom is conventionally None for callers.
+    result: Dict[str, Optional[str]] = dict(idom)
+    result[root] = None
+    return result
+
+
+def build_domtree(cfg: FunctionCFG) -> DomTree:
+    """Dominator tree of a function CFG (rooted at the entry block)."""
+    rpo = cfg.reverse_postorder()
+    # Keep only blocks reachable from the entry, preserving RPO.
+    reachable = _reachable_from(cfg.entry, cfg.succs)
+    nodes = [label for label in rpo if label in reachable]
+    idom = _chk_dominators(nodes, cfg.preds, cfg.entry)
+    return DomTree(idom, cfg.entry)
+
+
+def build_postdomtree(cfg: FunctionCFG) -> DomTree:
+    """Postdominator tree, rooted at a virtual exit node.
+
+    The returned tree's labels include :data:`VIRTUAL_EXIT`; a block whose
+    immediate postdominator is the virtual exit has no real postdominator.
+    """
+    # Reverse graph: succ/pred swapped, with the virtual exit wired in.
+    rsuccs: Dict[str, List[str]] = {VIRTUAL_EXIT: []}
+    rpreds: Dict[str, List[str]] = {VIRTUAL_EXIT: []}
+    for label in cfg.succs:
+        rsuccs[label] = list(cfg.preds.get(label, []))
+        rpreds[label] = list(cfg.succs.get(label, []))
+    exits = set(cfg.exit_blocks())
+    for label in cfg.succs:
+        if label in exits or not cfg.succs.get(label):
+            rsuccs[VIRTUAL_EXIT].append(label)
+            rpreds[label].append(VIRTUAL_EXIT)
+    reachable = _reachable_from(VIRTUAL_EXIT, rsuccs)
+    if len(reachable) < len(rsuccs):
+        # Blocks trapped in exit-less cycles: wire them to the virtual exit
+        # too, so every block gets a defined (if weak) postdominator.
+        for label in list(rsuccs):
+            if label not in reachable:
+                rsuccs[VIRTUAL_EXIT].append(label)
+                rpreds[label].append(VIRTUAL_EXIT)
+        reachable = _reachable_from(VIRTUAL_EXIT, rsuccs)
+    nodes = _reverse_postorder(VIRTUAL_EXIT, rsuccs)
+    idom = _chk_dominators(nodes, rpreds, VIRTUAL_EXIT)
+    return DomTree(idom, VIRTUAL_EXIT)
+
+
+def _reachable_from(root: str, succs: Dict[str, List[str]]) -> set:
+    seen = {root}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for nxt in succs.get(node, []):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen
+
+
+def _reverse_postorder(root: str, succs: Dict[str, List[str]]) -> List[str]:
+    seen = {root}
+    order: List[str] = []
+    stack: List[tuple] = [(root, 0)]
+    while stack:
+        node, idx = stack[-1]
+        children = succs.get(node, [])
+        if idx < len(children):
+            stack[-1] = (node, idx + 1)
+            nxt = children[idx]
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, 0))
+        else:
+            order.append(node)
+            stack.pop()
+    return list(reversed(order))

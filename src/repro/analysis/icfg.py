@@ -1,0 +1,138 @@
+"""Interprocedural CFG (ICFG) and thread-aware ICFG (TICFG).
+
+Instruction-granularity graph over the whole module.  Nodes are instruction
+uids; edges are tagged with how control flows:
+
+``intra``
+    within a block or across a branch.
+``call`` / ``return``
+    into a user function at a call site / back to the instruction after it.
+``spawn`` / ``join``
+    the implicit edges the paper's TICFG adds (§3.1): ``thread_create`` is
+    "akin to a callsite with the thread start routine as the target
+    function", and a joined thread's returns flow to the statement after
+    ``thread_join``.  Join targets are overapproximated to all spawned
+    routines, exactly because the TICFG "represents an overapproximation of
+    all the possible dynamic control flow behaviors".
+
+:func:`build_icfg` builds the plain ICFG; :func:`build_ticfg` builds the
+TICFG (ICFG + spawn/join edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..lang.ir import FuncRef, Instr, Module, Opcode
+
+EdgeKind = str  # "intra" | "call" | "return" | "spawn" | "join"
+
+
+@dataclass
+class ICFG:
+    """Instruction-level interprocedural control flow graph."""
+
+    module: Module
+    has_thread_edges: bool = False
+    succs: Dict[int, List[Tuple[int, EdgeKind]]] = field(default_factory=dict)
+    preds: Dict[int, List[Tuple[int, EdgeKind]]] = field(default_factory=dict)
+
+    def _add_edge(self, src: int, dst: int, kind: EdgeKind) -> None:
+        self.succs.setdefault(src, []).append((dst, kind))
+        self.preds.setdefault(dst, []).append((src, kind))
+        self.succs.setdefault(dst, [])
+        self.preds.setdefault(src, [])
+
+    def successors(self, uid: int,
+                   kinds: Iterable[EdgeKind] = ()) -> List[int]:
+        wanted = set(kinds)
+        return [dst for dst, kind in self.succs.get(uid, [])
+                if not wanted or kind in wanted]
+
+    def predecessors(self, uid: int,
+                     kinds: Iterable[EdgeKind] = ()) -> List[int]:
+        wanted = set(kinds)
+        return [src for src, kind in self.preds.get(uid, [])
+                if not wanted or kind in wanted]
+
+    def backward_reachable(self, uid: int, limit: int = 0) -> Set[int]:
+        """All uids that can reach ``uid`` (inclusive)."""
+        seen = {uid}
+        stack = [uid]
+        while stack:
+            node = stack.pop()
+            for src, _kind in self.preds.get(node, []):
+                if src not in seen:
+                    seen.add(src)
+                    stack.append(src)
+                    if limit and len(seen) >= limit:
+                        return seen
+        return seen
+
+    def edge_count(self) -> int:
+        return sum(len(v) for v in self.succs.values())
+
+
+def _function_rets(module: Module, func_name: str) -> List[Instr]:
+    return [ins for ins in module.functions[func_name].instructions()
+            if ins.opcode == Opcode.RET]
+
+
+def _next_in_block(module: Module, ins: Instr) -> Instr:
+    bb = module.block_of(ins)
+    return bb.instrs[ins.index_in_block + 1]
+
+
+def _build(module: Module, thread_edges: bool) -> ICFG:
+    if not module.finalized:
+        raise ValueError("module must be finalized")
+    graph = ICFG(module=module, has_thread_edges=thread_edges)
+    spawn_routines = module.thread_entry_functions()
+    for func in module.functions.values():
+        for bb in func:
+            for ins in bb.instrs:
+                graph.succs.setdefault(ins.uid, [])
+                graph.preds.setdefault(ins.uid, [])
+                if ins.opcode in (Opcode.BR, Opcode.JMP):
+                    for label in ins.labels:
+                        target = func.blocks[label].instrs[0]
+                        graph._add_edge(ins.uid, target.uid, "intra")
+                    continue
+                if ins.opcode == Opcode.RET:
+                    continue  # return edges added from call sites below
+                nxt = _next_in_block(module, ins)
+                if ins.opcode == Opcode.CALL and \
+                        ins.callee in module.functions:
+                    callee = module.functions[ins.callee]
+                    entry = callee.blocks[callee.entry].instrs[0]
+                    graph._add_edge(ins.uid, entry.uid, "call")
+                    for ret in _function_rets(module, ins.callee):
+                        graph._add_edge(ret.uid, nxt.uid, "return")
+                elif thread_edges and ins.opcode == Opcode.CALL and \
+                        ins.callee == "thread_create" and ins.operands and \
+                        isinstance(ins.operands[0], FuncRef):
+                    routine = module.functions[ins.operands[0].name]
+                    entry = routine.blocks[routine.entry].instrs[0]
+                    graph._add_edge(ins.uid, entry.uid, "spawn")
+                    graph._add_edge(ins.uid, nxt.uid, "intra")
+                    continue
+                elif thread_edges and ins.opcode == Opcode.CALL and \
+                        ins.callee == "thread_join":
+                    for routine in spawn_routines:
+                        for ret in _function_rets(module, routine):
+                            graph._add_edge(ret.uid, nxt.uid, "join")
+                    graph._add_edge(ins.uid, nxt.uid, "intra")
+                    continue
+                graph._add_edge(ins.uid, nxt.uid, "intra")
+    return graph
+
+
+def build_icfg(module: Module) -> ICFG:
+    """The interprocedural CFG (call/return edges, no thread edges)."""
+    return _build(module, thread_edges=False)
+
+
+def build_ticfg(module: Module) -> ICFG:
+    """The thread interprocedural CFG of §3.1 (adds spawn/join edges)."""
+    return _build(module, thread_edges=True)

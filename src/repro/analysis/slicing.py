@@ -1,0 +1,542 @@
+"""Interprocedural backward slicing (the paper's Algorithm 1).
+
+Given a failure report, compute the static backward slice: the set of
+program statements that may affect the failing statement.  Properties,
+matching §3.1:
+
+- **Interprocedural**: data flow follows call arguments (``getArgValues``)
+  and return values (``getRetValues``) across functions, and thread-creation
+  arguments across spawn sites (the TICFG's implicit edges).
+- **Path-insensitive**: no per-path predicates; every reaching definition
+  counts.
+- **Flow-sensitive**: the traversal walks backward from the failure point;
+  every slice member records its *derivation depth* (how many backward
+  steps introduced it), which is what Adaptive Slice Tracking's σ-window is
+  measured in.
+- **No alias analysis**: the paper deliberately skips may-alias analysis
+  (it is "over 50% inaccurate" in practice) and compensates with runtime
+  data-flow tracking.  We implement only a cheap *syntactic must-alias*
+  match — two memory accesses whose address expressions resolve to the same
+  symbolic location (same global, same field offset of the same pointer
+  chain) are linked.  Heap aliasing through distinct pointer chains is
+  intentionally missed, and recovered at runtime by hardware watchpoints
+  (§3.2.3), exactly as in Gist.
+- **Control dependences**: branch statements that decide whether the failing
+  computation executes are included (the paper's failure sketches show the
+  governing branches, e.g. the ``if (!obj->refcnt)`` in Fig. 8).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lang.ir import (
+    ConstInt,
+    FuncRef,
+    GlobalRef,
+    Instr,
+    Module,
+    NullPtr,
+    Opcode,
+    Register,
+    StrConst,
+)
+from .callgraph import CallGraph, build_callgraph
+from .cfg import FunctionCFG, build_cfg
+from .dataflow import ReachingDefs, compute_reaching_defs
+from .domtree import DomTree, build_postdomtree
+
+# A symbolic memory location: nested tuples of strings/ints.  Examples:
+#   ("global", "fifo", 0)           the global itself
+#   ("deref", ("global", "fifo", 0), 1)   fifo->field-at-offset-1
+#   ("alloca", 42, 0)               a specific stack slot
+#   ("malloc", 17, 3)               slot 3 of the block allocated at uid 17
+#   ("param", "cons", 0, 0)         memory named by a parameter pointer
+Symbol = Tuple
+
+
+@dataclass
+class StaticSlice:
+    """The result of backward slicing.
+
+    ``depth[uid]`` is the derivation depth: 0 for the failing instruction,
+    and d+1 for anything introduced while processing a depth-d item.  The
+    σ-window used by Adaptive Slice Tracking selects the σ source
+    *statements* with the smallest depth.
+    """
+
+    module: Module
+    failing_uid: int
+    depth: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def uids(self) -> Set[int]:
+        return set(self.depth)
+
+    def contains(self, uid: int) -> bool:
+        return uid in self.depth
+
+    def instructions(self) -> List[Instr]:
+        """Slice members ordered by (derivation depth, uid)."""
+        return [self.module.instr(uid)
+                for uid in sorted(self.depth, key=lambda u: (self.depth[u], u))]
+
+    def size_ir(self) -> int:
+        return len(self.depth)
+
+    def statements(self) -> List[Tuple[str, int]]:
+        """Distinct source statements ``(function, line)`` ordered by the
+        minimum derivation depth of their instructions.
+
+        Function-header lines (parameter spills, allocas carrying the
+        declaration's line number) are not source statements and are
+        excluded — Adaptive Slice Tracking's σ counts *statements*, and a
+        window slot spent on a header would track nothing.
+        """
+        best: Dict[Tuple[str, int], Tuple[int, int]] = {}
+        for uid, d in self.depth.items():
+            ins = self.module.instr(uid)
+            if ins.line == self.module.functions[ins.func_name].line:
+                continue
+            key = (ins.func_name, ins.line)
+            cur = best.get(key)
+            if cur is None or (d, uid) < cur:
+                best[key] = (d, uid)
+        return sorted(best, key=lambda k: best[k])
+
+    def size_loc(self) -> int:
+        return len({(ins.func_name, ins.line)
+                    for ins in self.instructions()})
+
+    def window(self, sigma: int) -> Set[int]:
+        """Instruction uids of the σ source statements nearest the failure
+        (Adaptive Slice Tracking's unit of growth, §3.2.1)."""
+        chosen = set(self.statements()[:max(sigma, 0)])
+        return {uid for uid in self.depth
+                if (self.module.instr(uid).func_name,
+                    self.module.instr(uid).line) in chosen}
+
+    def format(self, limit: int = 0) -> str:
+        lines = [f"static slice from uid={self.failing_uid} "
+                 f"({self.size_ir()} instrs, {self.size_loc()} stmts)"]
+        for ins in self.instructions()[:limit or None]:
+            src = self.module.source_line(ins.line)
+            lines.append(f"  d={self.depth[ins.uid]:<3} #{ins.uid:<4} "
+                         f"{ins.func_name}:{ins.line:<4} {ins.format()}"
+                         + (f"   ; {src}" if src else ""))
+        return "\n".join(lines)
+
+
+# -- work items --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _UseItem:
+    """A register use to resolve: find defs of ``reg`` reaching ``uid``."""
+
+    func: str
+    uid: int
+    reg: str
+    depth: int
+
+
+class BackwardSlicer:
+    """Implements Algorithm 1 over GIR.
+
+    One slicer can serve many slice requests on the same module; per-function
+    CFGs, reaching definitions, and postdominator trees are cached.
+    """
+
+    #: Safety valve against pathological recursion in address resolution.
+    MAX_RESOLVE_DEPTH = 12
+
+    def __init__(self, module: Module,
+                 callgraph: Optional[CallGraph] = None,
+                 use_must_alias: bool = True) -> None:
+        if not module.finalized:
+            raise ValueError("module must be finalized")
+        self.module = module
+        self.callgraph = callgraph or build_callgraph(module)
+        #: Ablation knob: disable the syntactic must-alias store linking
+        #: to see what pure no-alias slicing misses (everything the
+        #: runtime watchpoints must then discover).
+        self.use_must_alias = use_must_alias
+        self._cfgs: Dict[str, FunctionCFG] = {}
+        self._rds: Dict[str, ReachingDefs] = {}
+        self._postdoms: Dict[str, DomTree] = {}
+        self._store_symbols: Optional[List[Tuple[Instr, Symbol]]] = None
+
+    # -- caches ----------------------------------------------------------------
+
+    def _cfg(self, func: str) -> FunctionCFG:
+        if func not in self._cfgs:
+            self._cfgs[func] = build_cfg(self.module.functions[func])
+        return self._cfgs[func]
+
+    def _rd(self, func: str) -> ReachingDefs:
+        if func not in self._rds:
+            self._rds[func] = compute_reaching_defs(
+                self.module.functions[func], self._cfg(func))
+        return self._rds[func]
+
+    def _postdom(self, func: str) -> DomTree:
+        if func not in self._postdoms:
+            self._postdoms[func] = build_postdomtree(self._cfg(func))
+        return self._postdoms[func]
+
+    # -- address symbols ---------------------------------------------------------
+
+    def resolve_register(self, func: str, uid: int, reg: str,
+                         fuel: int = MAX_RESOLVE_DEPTH) -> Optional[Symbol]:
+        """Resolve the symbolic value of ``reg`` as used at ``uid``.
+
+        Returns None when the value is not a syntactically trackable
+        address (multiple reaching defs, arithmetic on unknowns, ...).
+        """
+        if fuel <= 0 or uid < 0:
+            return None
+        defs = self._rd(func).reaching_defs_of(self.module.instr(uid), reg)
+        if len(defs) != 1:
+            return None
+        (def_uid,) = defs
+        if def_uid < 0:  # parameter pseudo-definition
+            return self._resolve_param(func, -def_uid - 1, fuel - 1)
+        return self._resolve_def(func, def_uid, fuel - 1)
+
+    def _resolve_param(self, func: str, index: int,
+                       fuel: int) -> Optional[Symbol]:
+        """Resolve a parameter through its call sites.
+
+        When every call site passes the same symbolic value, the parameter
+        *is* that value (context-insensitive must-alias through arguments);
+        this is what links ``set->count`` in ``next_url`` to the store in
+        ``glob_url`` when both are called with the same object.  Mixed or
+        unresolvable call sites fall back to an opaque per-parameter symbol.
+        """
+        opaque: Symbol = ("param", func, index, 0)
+        if fuel <= 0:
+            return opaque
+        resolved: Optional[Symbol] = None
+        for cs in self.callgraph.call_sites_of(func):
+            call = cs.instr
+            if cs.is_spawn:
+                if index != 0 or len(call.operands) < 2:
+                    return opaque
+                operand = call.operands[1]
+            else:
+                if index >= len(call.operands):
+                    return opaque
+                operand = call.operands[index]
+            sym = self._resolve_operand(call.func_name, call.uid, operand,
+                                        fuel)
+            if sym is None or (resolved is not None and sym != resolved):
+                return opaque
+            resolved = sym
+        return resolved if resolved is not None else opaque
+
+    def _resolve_def(self, func: str, def_uid: int,
+                     fuel: int) -> Optional[Symbol]:
+        ins = self.module.instr(def_uid)
+        if ins.opcode == Opcode.ALLOCA:
+            return ("alloca", def_uid, 0)
+        if ins.opcode == Opcode.MOVE:
+            op = ins.operands[0]
+            if isinstance(op, GlobalRef):
+                return ("global", op.name, 0)
+            if isinstance(op, StrConst):
+                return ("string", op.index, 0)
+            if isinstance(op, Register):
+                return self.resolve_register(func, def_uid, op.name, fuel)
+            if isinstance(op, NullPtr):
+                return ("null", 0, 0)
+            return None
+        if ins.opcode == Opcode.GEP:
+            base, offset = ins.operands
+            if not isinstance(offset, ConstInt):
+                return None
+            base_sym = self._resolve_operand(func, def_uid, base, fuel)
+            if base_sym is None:
+                return None
+            return base_sym[:-1] + (base_sym[-1] + offset.value,)
+        if ins.opcode == Opcode.LOAD:
+            addr_sym = self._resolve_operand(func, def_uid, ins.operands[0],
+                                             fuel)
+            if addr_sym is None:
+                return None
+            if addr_sym[0] == "alloca":
+                # Loading a local scalar slot.  Codegen spills every local
+                # (and every parameter) to an alloca, so pointer-typed
+                # locals read back the value they were assigned.  When the
+                # slot has exactly one store (single assignment — the
+                # overwhelmingly common case for pointer locals), the load
+                # *is* that stored value; resolving through it gives flat,
+                # function-independent symbols like ("malloc", uid, k) that
+                # must-alias across functions.
+                stored = self._single_store_value(func, addr_sym, fuel)
+                if stored is not None:
+                    return stored
+            return ("deref", addr_sym, 0)
+        if ins.opcode == Opcode.CALL and ins.callee in ("malloc",
+                                                        "mutex_create"):
+            return ("malloc", def_uid, 0)
+        return None
+
+    def _single_store_value(self, func: str, alloca_sym: Symbol,
+                            fuel: int) -> Optional[Symbol]:
+        """If exactly one store targets this alloca slot, the symbol of the
+        value it stores; otherwise None."""
+        if fuel <= 0:
+            return None
+        stores = self._stores_in_function(func)
+        matching: List[Instr] = []
+        for store in stores:
+            addr_sym = self._resolve_operand(func, store.uid,
+                                             store.operands[0], fuel)
+            if addr_sym == alloca_sym:
+                matching.append(store)
+                if len(matching) > 1:
+                    return None
+        if len(matching) != 1:
+            return None
+        store = matching[0]
+        value = store.operands[1]
+        if isinstance(value, Register):
+            return self.resolve_register(func, store.uid, value.name,
+                                         fuel - 1)
+        return self._resolve_operand(func, store.uid, value, fuel - 1)
+
+    def _stores_in_function(self, func: str) -> List[Instr]:
+        if not hasattr(self, "_func_store_cache"):
+            self._func_store_cache: Dict[str, List[Instr]] = {}
+        cached = self._func_store_cache.get(func)
+        if cached is None:
+            cached = [ins for ins
+                      in self.module.functions[func].instructions()
+                      if ins.opcode == Opcode.STORE]
+            self._func_store_cache[func] = cached
+        return cached
+
+    def _resolve_operand(self, func: str, uid: int, operand,
+                         fuel: int) -> Optional[Symbol]:
+        if isinstance(operand, GlobalRef):
+            return ("global", operand.name, 0)
+        if isinstance(operand, StrConst):
+            return ("string", operand.index, 0)
+        if isinstance(operand, Register):
+            return self.resolve_register(func, uid, operand.name, fuel)
+        return None
+
+    def access_symbol(self, ins: Instr) -> Optional[Symbol]:
+        """Symbolic location accessed by a LOAD/STORE, if resolvable."""
+        if not ins.is_memory_access():
+            return None
+        return self._resolve_operand(ins.func_name, ins.uid,
+                                     ins.operands[0],
+                                     self.MAX_RESOLVE_DEPTH)
+
+    def _all_store_symbols(self) -> List[Tuple[Instr, Symbol]]:
+        if self._store_symbols is None:
+            out = []
+            for ins in self.module.instructions():
+                if ins.opcode == Opcode.STORE:
+                    sym = self.access_symbol(ins)
+                    if sym is not None:
+                        out.append((ins, sym))
+            self._store_symbols = out
+        return self._store_symbols
+
+    # -- the main algorithm ---------------------------------------------------------
+
+    def slice_from(self, failing_uid: int,
+                   include_control_deps: bool = True) -> StaticSlice:
+        """Compute the backward slice from a failing instruction."""
+        result = StaticSlice(module=self.module, failing_uid=failing_uid)
+        work: deque = deque()
+        seen_uses: Set[Tuple[str, int, str]] = set()
+
+        def add_instr(uid: int, depth: int) -> bool:
+            """Insert into the slice; returns True if newly added (or if a
+            smaller depth was recorded)."""
+            old = result.depth.get(uid)
+            if old is None or depth < old:
+                result.depth[uid] = depth
+                return old is None
+            return False
+
+        def enqueue_uses(ins: Instr, depth: int) -> None:
+            for op in ins.operands:
+                if isinstance(op, Register):
+                    item = (ins.func_name, ins.uid, op.name)
+                    if item not in seen_uses:
+                        seen_uses.add(item)
+                        work.append(_UseItem(ins.func_name, ins.uid,
+                                             op.name, depth))
+
+        def process_new_member(ins: Instr, depth: int) -> None:
+            """A freshly added slice member generates further work."""
+            enqueue_uses(ins, depth)
+            if ins.opcode == Opcode.CALL and \
+                    ins.callee in self.module.functions:
+                self._link_return_values(ins, depth, add_instr,
+                                         process_new_member)
+            if ins.opcode == Opcode.LOAD and self.use_must_alias:
+                self._link_matching_stores(ins, depth, add_instr,
+                                           process_new_member)
+                self._link_clobber_calls(ins, depth, add_instr,
+                                         process_new_member)
+            if include_control_deps:
+                self._link_control_deps(ins, depth, add_instr,
+                                        process_new_member)
+                self._link_spawn_sites(ins, depth, add_instr,
+                                       process_new_member)
+
+        failing = self.module.instr(failing_uid)
+        add_instr(failing_uid, 0)
+        process_new_member(failing, 0)
+
+        while work:
+            item = work.popleft()
+            self._process_use(item, add_instr, process_new_member)
+        return result
+
+    # -- item processing --------------------------------------------------------------
+
+    def _process_use(self, item: _UseItem, add_instr,
+                     process_new_member) -> None:
+        ins = self.module.instr(item.uid)
+        defs = self._rd(item.func).reaching_defs_of(ins, item.reg)
+        for def_uid in sorted(defs):
+            if def_uid < 0:
+                self._link_argument_values(item.func, -def_uid - 1,
+                                           item.depth + 1, add_instr,
+                                           process_new_member)
+                continue
+            def_ins = self.module.instr(def_uid)
+            if add_instr(def_uid, item.depth + 1):
+                process_new_member(def_ins, item.depth + 1)
+
+    def _link_argument_values(self, func: str, param_index: int, depth: int,
+                              add_instr, process_new_member) -> None:
+        """getArgValues: a parameter's value comes from every call site."""
+        for cs in self.callgraph.call_sites_of(func):
+            call = cs.instr
+            if cs.is_spawn:
+                # thread_create(routine, arg): arg feeds parameter 0.
+                if param_index != 0 or len(call.operands) < 2:
+                    continue
+                relevant = [call.operands[1]]
+            else:
+                if param_index >= len(call.operands):
+                    continue
+                relevant = [call.operands[param_index]]
+            if add_instr(call.uid, depth):
+                process_new_member(call, depth)
+            for op in relevant:
+                if isinstance(op, Register):
+                    item = _UseItem(call.func_name, call.uid, op.name, depth)
+                    self._process_use(item, add_instr, process_new_member)
+
+    def _link_return_values(self, call: Instr, depth: int, add_instr,
+                            process_new_member) -> None:
+        """getRetValues: a call's value comes from the callee's returns."""
+        callee = self.module.functions[call.callee]
+        for ins in callee.instructions():
+            if ins.opcode == Opcode.RET and ins.operands:
+                if add_instr(ins.uid, depth + 1):
+                    process_new_member(ins, depth + 1)
+
+    def _link_matching_stores(self, load: Instr, depth: int, add_instr,
+                              process_new_member) -> None:
+        """Syntactic must-alias: link a load to stores of the same symbolic
+        location anywhere in the module (no may-alias analysis — §3.1)."""
+        sym = self.access_symbol(load)
+        if sym is None or sym[0] in ("null", "string"):
+            return
+        for store, store_sym in self._all_store_symbols():
+            if store.uid == load.uid:
+                continue
+            if store_sym == sym:
+                if add_instr(store.uid, depth + 1):
+                    process_new_member(store, depth + 1)
+
+    #: Builtins that mutate or invalidate the memory their pointer argument
+    #: names; a statement feeding one of these can change the data item a
+    #: failing statement later consumes.
+    CLOBBER_BUILTINS = frozenset(
+        {"free", "mutex_destroy", "cond_destroy", "memset", "strcpy"})
+
+    def _link_clobber_calls(self, load: Instr, depth: int, add_instr,
+                            process_new_member) -> None:
+        """Link calls that clobber the value/object this load observes.
+
+        ``mutex_unlock(f->mut)`` failing on a dangling ``f->mut`` depends on
+        the ``free(f->mut)`` / ``mutex_destroy(f->mut)`` that invalidated
+        the object: the clobber call's argument is itself a load of the same
+        symbolic location.  (Fig. 1's sketch shows exactly this pair.)
+        """
+        sym = self.access_symbol(load)
+        if sym is None or sym[0] in ("null", "string"):
+            return
+        for ins in self.module.instructions():
+            if ins.opcode != Opcode.CALL or \
+                    ins.callee not in self.CLOBBER_BUILTINS:
+                continue
+            for op in ins.operands:
+                if not isinstance(op, Register):
+                    continue
+                defs = self._rd(ins.func_name).reaching_defs_of(ins, op.name)
+                if len(defs) != 1:
+                    continue
+                (def_uid,) = defs
+                if def_uid < 0:
+                    continue
+                feeder = self.module.instr(def_uid)
+                if feeder.opcode == Opcode.LOAD and \
+                        self.access_symbol(feeder) == sym:
+                    if add_instr(ins.uid, depth + 1):
+                        process_new_member(ins, depth + 1)
+                    if add_instr(feeder.uid, depth + 1):
+                        process_new_member(feeder, depth + 1)
+
+    def _link_spawn_sites(self, ins: Instr, depth: int, add_instr,
+                          process_new_member) -> None:
+        """Thread-creation control dependence (the TICFG's spawn edges):
+        every statement of a thread start routine executes only because its
+        ``thread_create`` did, so the spawn site joins the slice."""
+        for cs in self.callgraph.call_sites_of(ins.func_name):
+            if cs.is_spawn:
+                if add_instr(cs.instr.uid, depth + 1):
+                    process_new_member(cs.instr, depth + 1)
+
+    def _link_control_deps(self, ins: Instr, depth: int, add_instr,
+                           process_new_member) -> None:
+        """Add the conditional branches ``ins`` is control-dependent on.
+
+        Block X is control-dependent on branch B when B has a successor S
+        with X postdominating S but X not postdominating B's block.
+        Walking the postdominator tree from the block's parent gives the
+        chain of governing branches; we conservatively take the nearest.
+        """
+        func = self.module.functions[ins.func_name]
+        cfg = self._cfg(ins.func_name)
+        postdom = self._postdom(ins.func_name)
+        block = ins.block_label
+        for bb in func:
+            term = bb.terminator
+            if term is None or term.opcode != Opcode.BR:
+                continue
+            dependent = False
+            for succ in bb.successor_labels():
+                if postdom.dominates(block, succ) and \
+                        not postdom.dominates(block, bb.label):
+                    dependent = True
+            if dependent:
+                if add_instr(term.uid, depth + 1):
+                    process_new_member(term, depth + 1)
+
+
+def compute_slice(module: Module, failing_uid: int) -> StaticSlice:
+    """Convenience wrapper: slice a module once."""
+    return BackwardSlicer(module).slice_from(failing_uid)

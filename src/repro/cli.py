@@ -1,0 +1,314 @@
+"""The ``repro`` command-line interface.
+
+A developer-facing front door to the whole pipeline::
+
+    python -m repro compile  prog.minic            # dump GIR
+    python -m repro run      prog.minic 4 --seed 7 # execute once
+    python -m repro trace    prog.minic 4          # full-PT trace a run
+    python -m repro diagnose prog.minic 4 --switch-prob 0.05 \\
+                             --html sketch.html    # run Gist end-to-end
+    python -m repro corpus list                    # the 11 Table-1 bugs
+    python -m repro corpus show pbzip2-1           # sources + ideal sketch
+    python -m repro corpus diagnose pbzip2-1       # campaign on one bug
+
+Program arguments after the file are parsed as integers when possible and
+passed as strings otherwise (so ``run curl.minic '{}{' 400`` works).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import compute_slice
+from .core import (
+    CooperativeDeployment,
+    Gist,
+    Workload,
+    constant_factory,
+    render_sketch,
+    score,
+)
+from .core.html import render_html
+from .core.serialize import sketch_to_json
+from .lang import compile_source, verify
+from .pt import PTConfig, PTDecoder, PTEncoder
+from .runtime import Interpreter, RandomScheduler
+
+
+def _parse_args_values(raw: Sequence[str]) -> List:
+    out: List = []
+    for token in raw:
+        try:
+            out.append(int(token, 0))
+        except ValueError:
+            out.append(token)
+    return out
+
+
+def _load_module(path: str):
+    with open(path) as handle:
+        source = handle.read()
+    module = compile_source(source, module_name=path)
+    verify(module)
+    return module
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """``repro compile``: dump a program's GIR assembly."""
+    module = _load_module(args.program)
+    print(module.format())
+    print(f"\n; {module.num_instructions()} instructions, "
+          f"{len(module.functions)} functions, "
+          f"{len(module.globals)} globals", file=sys.stderr)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: execute a program once and report the outcome."""
+    module = _load_module(args.program)
+    scheduler = (RandomScheduler(args.seed, args.switch_prob)
+                 if args.seed is not None else None)
+    interp = Interpreter(module, args=_parse_args_values(args.args),
+                         scheduler=scheduler, max_steps=args.max_steps)
+    outcome = interp.run()
+    for line in outcome.stdout:
+        print(line)
+    if outcome.failed:
+        print(outcome.failure.format(), file=sys.stderr)
+        return 1
+    print(f"exit={outcome.exit_value} steps={outcome.steps} "
+          f"cycles={outcome.base_cost}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: run under full PT tracing and decode the stream."""
+    module = _load_module(args.program)
+    encoder = PTEncoder(PTConfig(), trace_on_start=True)
+    scheduler = (RandomScheduler(args.seed, args.switch_prob)
+                 if args.seed is not None else None)
+    interp = Interpreter(module, args=_parse_args_values(args.args),
+                         scheduler=scheduler, tracers=[encoder],
+                         max_steps=args.max_steps)
+    outcome = interp.run()
+    decoder = PTDecoder(module)
+    print(f"run: {'FAILED' if outcome.failed else 'ok'}, "
+          f"{outcome.steps} instructions")
+    for tid in sorted(encoder.buffers):
+        raw = encoder.raw_trace(tid)
+        trace = decoder.decode(raw)
+        seq = trace.executed_sequence()
+        print(f"thread {tid}: {len(raw)} trace bytes, "
+              f"{len(trace.windows)} windows, {len(seq)} instructions "
+              f"decoded "
+              f"({8 * len(raw) / max(len(seq), 1):.2f} bits/instr)")
+        if args.verbose:
+            for uid in seq:
+                ins = module.instr(uid)
+                print(f"  T{tid} #{uid:<5} {ins.func_name}:{ins.line} "
+                      f"{ins.format()}")
+    print(f"full-trace overhead: {100 * outcome.overhead:.2f}%")
+    return 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    """``repro coverage``: accumulate PT-based coverage over N runs."""
+    from .analysis.coverage import coverage_from_traces
+
+    module = _load_module(args.program)
+    decoder = PTDecoder(module)
+    traces = []
+    base_seed = args.seed if args.seed is not None else 0
+    for run_index in range(args.runs):
+        encoder = PTEncoder(PTConfig(), trace_on_start=True)
+        scheduler = RandomScheduler(base_seed + run_index,
+                                    args.switch_prob)
+        interp = Interpreter(module, args=_parse_args_values(args.args),
+                             scheduler=scheduler, tracers=[encoder],
+                             max_steps=args.max_steps)
+        interp.run()
+        for tid in sorted(encoder.buffers):
+            traces.append(decoder.decode(encoder.raw_trace(tid)))
+    report = coverage_from_traces(module, traces)
+    print(report.format())
+    return 0
+
+
+def cmd_slice(args: argparse.Namespace) -> int:
+    """``repro slice``: print the static backward slice from a uid."""
+    module = _load_module(args.program)
+    slice_ = compute_slice(module, args.uid)
+    print(slice_.format())
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    """``repro diagnose``: run a full Gist campaign on a program."""
+    module = _load_module(args.program)
+    gist = Gist(module, bug=args.bug or args.program,
+                endpoints=args.endpoints, ptwrite=args.ptwrite)
+    workload = Workload(args=tuple(_parse_args_values(args.args)),
+                        switch_prob=args.switch_prob,
+                        max_steps=args.max_steps)
+    result = gist.diagnose(constant_factory(workload),
+                           initial_sigma=args.sigma,
+                           max_iterations=args.max_iterations)
+    if result.sketch is None:
+        print("no failure observed; nothing to diagnose", file=sys.stderr)
+        return 1
+    print(result.rendered())
+    _export(result.sketch, args)
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    """``repro corpus``: list/show/diagnose the evaluation corpus."""
+    from .corpus import all_bugs, get_bug
+
+    if args.corpus_command == "list":
+        for spec in all_bugs():
+            print(f"{spec.bug_id:<18} {spec.software:<14} "
+                  f"{spec.kind:<12} {spec.failure_kind.value:<18} "
+                  f"{spec.description[:60]}")
+        return 0
+
+    spec = get_bug(args.bug_id)
+    if args.corpus_command == "show":
+        print(f"# {spec.bug_id}: {spec.description}\n")
+        print(spec.source)
+        ideal = spec.ideal_sketch()
+        print(f"# ideal sketch: {sorted(ideal.statements)}")
+        print(f"# root cause  : {sorted(ideal.root_cause)} "
+              f"{ideal.value_roots}")
+        return 0
+
+    if args.corpus_command == "diagnose":
+        deployment = CooperativeDeployment(
+            spec.module(), spec.workload_factory,
+            endpoints=args.endpoints, bug=spec.bug_id)
+        stats = deployment.run_campaign(
+            stop_when=spec.sketch_has_root,
+            max_iterations=args.max_iterations)
+        if stats.sketch is None:
+            print("failure never recurred", file=sys.stderr)
+            return 1
+        print(render_sketch(stats.sketch))
+        accuracy = score(stats.sketch, spec.ideal_sketch())
+        print(f"\naccuracy: relevance {accuracy.relevance:.0f}%, "
+              f"ordering {accuracy.ordering:.0f}%, "
+              f"overall {accuracy.overall:.0f}%")
+        _export(stats.sketch, args)
+        return 0
+
+    raise AssertionError(f"unknown corpus command {args.corpus_command}")
+
+
+def _export(sketch, args: argparse.Namespace) -> None:
+    if getattr(args, "html", None):
+        with open(args.html, "w") as handle:
+            handle.write(render_html(sketch))
+        print(f"wrote {args.html}", file=sys.stderr)
+    if getattr(args, "json", None):
+        with open(args.json, "w") as handle:
+            handle.write(sketch_to_json(sketch))
+        print(f"wrote {args.json}", file=sys.stderr)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Failure sketching (Gist, SOSP 2015) — reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common_run_flags(p):
+        p.add_argument("args", nargs="*", help="program arguments")
+        p.add_argument("--seed", type=int, default=None,
+                       help="random-scheduler seed")
+        p.add_argument("--switch-prob", type=float, default=0.02)
+        p.add_argument("--max-steps", type=int, default=500_000)
+
+    p = sub.add_parser("compile", help="compile MiniC and dump GIR")
+    p.add_argument("program")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="execute a MiniC program once")
+    p.add_argument("program")
+    common_run_flags(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("trace", help="run under full Intel-PT tracing")
+    p.add_argument("program")
+    common_run_flags(p)
+    p.add_argument("--verbose", action="store_true",
+                   help="dump the decoded instruction stream")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("coverage",
+                       help="statement/branch coverage from PT traces")
+    p.add_argument("program")
+    common_run_flags(p)
+    p.add_argument("--runs", type=int, default=1,
+                   help="accumulate coverage over N runs")
+    p.set_defaults(func=cmd_coverage)
+
+    p = sub.add_parser("slice", help="print the backward slice from a uid")
+    p.add_argument("program")
+    p.add_argument("uid", type=int)
+    p.set_defaults(func=cmd_slice)
+
+    p = sub.add_parser("diagnose",
+                       help="run a full Gist campaign on a program")
+    p.add_argument("program")
+    common_run_flags(p)
+    p.add_argument("--bug", default=None, help="bug name for the sketch")
+    p.add_argument("--endpoints", type=int, default=4)
+    p.add_argument("--sigma", type=int, default=2,
+                   help="initial AsT window (paper default: 2)")
+    p.add_argument("--max-iterations", type=int, default=6)
+    p.add_argument("--html", default=None, help="export sketch as HTML")
+    p.add_argument("--json", default=None, help="export sketch as JSON")
+    p.add_argument("--ptwrite", action="store_true",
+                   help="future-hardware mode: data flow rides in the PT "
+                        "stream, no watchpoints (paper section 6)")
+    p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser("corpus", help="work with the 11-bug corpus")
+    csub = p.add_subparsers(dest="corpus_command", required=True)
+    cp = csub.add_parser("list", help="list the corpus bugs")
+    cp.set_defaults(func=cmd_corpus)
+    cp = csub.add_parser("show", help="print a bug's source + ideal sketch")
+    cp.add_argument("bug_id")
+    cp.set_defaults(func=cmd_corpus)
+    cp = csub.add_parser("diagnose", help="run a campaign on a corpus bug")
+    cp.add_argument("bug_id")
+    cp.add_argument("--endpoints", type=int, default=4)
+    cp.add_argument("--max-iterations", type=int, default=6)
+    cp.add_argument("--html", default=None)
+    cp.add_argument("--json", default=None)
+    cp.set_defaults(func=cmd_corpus)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

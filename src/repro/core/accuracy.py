@@ -1,0 +1,107 @@
+"""Failure sketch accuracy metrics (§5.2).
+
+The paper scores a Gist-computed sketch ΦG against a hand-written ideal
+sketch ΦI on two axes:
+
+- **Relevance** ``AR = 100 · |ΦG ∩ ΦI| / |ΦG ∪ ΦI|`` — does the sketch
+  contain the ideal statements and nothing else?
+- **Ordering** ``AO = 100 · (1 − τ(ΦG, ΦI) / #pairs)`` — does the sketch
+  order the shared-memory accesses as the ideal does?  τ is the Kendall
+  tau distance (number of discordant pairs) over the elements common to
+  both orders.
+
+Overall accuracy is the unweighted mean of the two.
+
+Granularity: the paper measures membership over LLVM instructions; our
+stable cross-compiler unit is the source *statement* ``(function, line)``
+(each MiniC statement lowers to a deterministic group of GIR instructions),
+so both metrics operate on statement keys.  Sizes in IR instructions are
+still reported in Table 1 via :meth:`FailureSketch.size_ir`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import List, Sequence, Set, Tuple
+
+from .sketch import FailureSketch
+
+StatementKey = Tuple[str, int]
+
+
+@dataclass
+class IdealSketch:
+    """The hand-written ground truth for one corpus bug (§3.2's "ideal
+    failure sketch": only statements with data/control dependencies to the
+    failure, plus the best failure-predicting events)."""
+
+    bug: str
+    statements: Set[StatementKey] = field(default_factory=set)
+    #: Expected global order of the shared-memory-access statements.
+    access_order: List[StatementKey] = field(default_factory=list)
+    #: The statements a fix must address; the evaluation oracle ("does the
+    #: sketch contain the root cause?") checks for these.
+    root_cause: Set[StatementKey] = field(default_factory=set)
+    #: Value-predictor root criteria: (statement, value) pairs; the top
+    #: value predictor must match one of them (input-dependent bugs).
+    value_roots: List[Tuple[StatementKey, int]] = field(default_factory=list)
+    #: Source LOC / IR sizes for Table 1's "ideal sketch size" column.
+    size_loc: int = 0
+    size_ir: int = 0
+
+
+@dataclass
+class AccuracyReport:
+    """Relevance and ordering accuracy for one sketch (percentages)."""
+    relevance: float
+    ordering: float
+
+    @property
+    def overall(self) -> float:
+        return (self.relevance + self.ordering) / 2.0
+
+
+def kendall_tau_distance(a: Sequence, b: Sequence) -> Tuple[int, int]:
+    """(discordant_pairs, total_pairs) over the common elements of two
+    orders.  Elements present in only one sequence are ignored."""
+    common = [x for x in a if x in set(b)]
+    pos_b = {x: i for i, x in enumerate(b)}
+    discordant = 0
+    total = 0
+    for x, y in combinations(common, 2):
+        total += 1
+        if pos_b[x] > pos_b[y]:
+            discordant += 1
+    return discordant, total
+
+
+def relevance_accuracy(sketch: FailureSketch,
+                       ideal: IdealSketch) -> float:
+    """``AR = 100 * |G∩I| / |G∪I|`` over statement keys."""
+    got: Set[StatementKey] = set(sketch.statements())
+    want = ideal.statements
+    union = got | want
+    if not union:
+        return 100.0
+    return 100.0 * len(got & want) / len(union)
+
+
+def ordering_accuracy(sketch: FailureSketch, ideal: IdealSketch) -> float:
+    """``AO = 100 * (1 - tau/pairs)`` over the common access order."""
+    discordant, total = kendall_tau_distance(sketch.access_order,
+                                             ideal.access_order)
+    if total == 0:
+        # Paper: the pair set "can't be zero, because both failure sketches
+        # will at least contain the failing instruction" — with fewer than
+        # two common accesses there is nothing to disorder.
+        return 100.0
+    return 100.0 * (1.0 - discordant / total)
+
+
+def score(sketch: FailureSketch, ideal: IdealSketch) -> AccuracyReport:
+    """Score a sketch against its hand-written ideal (§5.2)."""
+    return AccuracyReport(
+        relevance=relevance_accuracy(sketch, ideal),
+        ordering=ordering_accuracy(sketch, ideal),
+    )

@@ -1,0 +1,75 @@
+"""Adaptive Slice Tracking (AsT, §3.2.1).
+
+Gist never tracks a whole static slice at once.  It starts with a small
+window — σ = 2 statements backward from the failure point, "because even a
+simple concurrency bug is likely to be caused by two statements from
+different threads" — and doubles σ each iteration until the developer (or,
+in our evaluation, the ideal-sketch oracle) says the sketch contains the
+root cause.
+
+σ is measured in *source statements*, matching the paper's Fig. 3; the
+window's instruction set comes from
+:meth:`repro.analysis.slicing.StaticSlice.window`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from ..analysis.slicing import StaticSlice
+
+DEFAULT_SIGMA = 2
+
+
+@dataclass
+class AstIteration:
+    """Record of one AsT round (kept for latency accounting)."""
+
+    number: int
+    sigma: int
+    window_uids: Set[int]
+    failing_runs_seen: int = 0
+    successful_runs_seen: int = 0
+
+
+class AdaptiveSliceTracker:
+    """Drives the σ schedule over one static slice."""
+
+    def __init__(self, slice_: StaticSlice,
+                 initial_sigma: int = DEFAULT_SIGMA) -> None:
+        if initial_sigma < 1:
+            raise ValueError("initial sigma must be >= 1")
+        self.slice = slice_
+        self.initial_sigma = initial_sigma
+        self.sigma = initial_sigma
+        self.iterations: List[AstIteration] = []
+
+    @property
+    def total_statements(self) -> int:
+        return len(self.slice.statements())
+
+    def current_window(self) -> Set[int]:
+        return self.slice.window(self.sigma)
+
+    def begin_iteration(self) -> AstIteration:
+        it = AstIteration(number=len(self.iterations) + 1,
+                          sigma=self.sigma,
+                          window_uids=self.current_window())
+        self.iterations.append(it)
+        return it
+
+    def grow(self) -> int:
+        """Multiplicative increase: double σ (§3.2.1).  Returns new σ."""
+        self.sigma = min(self.sigma * 2, max(self.total_statements, 1))
+        return self.sigma
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the window already covers the entire slice."""
+        return self.sigma >= self.total_statements
+
+    def failure_recurrences_used(self) -> int:
+        """Total failing production runs consumed so far — the paper's
+        root-cause-diagnosis latency metric (Table 1, Fig. 12)."""
+        return sum(it.failing_runs_seen for it in self.iterations)

@@ -1,0 +1,109 @@
+"""Gist's client side: one production endpoint.
+
+An endpoint executes workloads of the deployed program.  When the server
+has shipped an instrumentation patch, the endpoint applies it (PT toggles +
+watchpoint hooks), runs, and reports back a
+:class:`~repro.core.refinement.MonitoredRun`: raw PT buffers are decoded
+here for transport convenience, the trap log is shipped verbatim, and the
+run's outcome (including any failure report) rides along.
+
+Unmonitored runs — the fleet before any patch exists — only report failures,
+which is what bootstraps a diagnosis campaign (Fig. 2, step ①).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..hw.watchpoints import TrapRecord
+from ..instrument.patch import AppliedInstrumentation, Patch, apply_patch
+from ..lang.ir import Module
+from ..runtime.failures import RunOutcome
+from ..runtime.interpreter import Interpreter
+from .refinement import MonitoredRun
+from .workload import Workload
+
+
+@dataclass
+class ClientRunResult:
+    """One endpoint run: the outcome plus the monitored-run report, if any."""
+    outcome: RunOutcome
+    monitored: Optional[MonitoredRun] = None
+
+
+class GistClient:
+    """One endpoint in the cooperative deployment."""
+
+    def __init__(self, module: Module, endpoint_id: int = 0,
+                 ptwrite: bool = False) -> None:
+        self.module = module
+        self.endpoint_id = endpoint_id
+        self.runs_executed = 0
+        #: §6 future-hardware mode: data flow rides in the PT stream.
+        self.ptwrite = ptwrite
+
+    def run(self, workload: Workload,
+            patch: Optional[Patch] = None,
+            run_id: int = -1) -> ClientRunResult:
+        """Execute one workload, with or without instrumentation."""
+        self.runs_executed += 1
+        applied: Optional[AppliedInstrumentation] = None
+        tracers = ()
+        hooks = None
+        if patch is not None:
+            applied = apply_patch(patch, self.module, ptwrite=self.ptwrite)
+            tracers = applied.tracers()
+            hooks = applied.hooks
+        interp = Interpreter(
+            self.module,
+            entry=workload.entry,
+            args=list(workload.args),
+            scheduler=workload.make_scheduler(),
+            tracers=tracers,
+            hooks=hooks,
+            max_steps=workload.max_steps,
+        )
+        outcome = interp.run()
+        monitored = None
+        if applied is not None:
+            decoded = applied.driver.decode_all()
+            executed = {tid: trace.executed_sequence()
+                        for tid, trace in decoded.items()}
+            traps = list(applied.watchpoints.total_order())
+            if self.ptwrite:
+                # Synthesize trap records from the in-stream PTW packets.
+                # The TSC stamp supplies the cross-core total order the
+                # watchpoint unit's sequence numbers provided.  The stream
+                # carries *every* access in traced windows; keep only those
+                # touching the addresses the window's data items live at —
+                # the same address set watchpoints would have covered,
+                # minus the 4-register cap and the arming delay.
+                candidates = {h.uid for h in patch.hooks
+                              if h.action == "watch"}
+                events = []
+                for tid, trace in decoded.items():
+                    for event in trace.mem_events():
+                        events.append((tid, event))
+                watched = {event.address for _tid, event in events
+                           if event.uid in candidates}
+                for tid, event in events:
+                    if event.address not in watched:
+                        continue
+                    traps.append(TrapRecord(
+                        seq=event.tsc, tid=tid, pc=event.uid,
+                        address=event.address,
+                        is_write=event.is_write,
+                        value=event.value, slot=-1))
+                traps.sort(key=lambda t: t.seq)
+            monitored = MonitoredRun(
+                run_id=run_id,
+                endpoint_id=self.endpoint_id,
+                failed=outcome.failed,
+                failure=outcome.failure,
+                executed=executed,
+                traps=traps,
+                overhead=outcome.overhead,
+                trace_bytes=applied.driver.encoder.total_bytes(),
+            )
+        return ClientRunResult(outcome=outcome, monitored=monitored)

@@ -1,0 +1,101 @@
+"""WER-style failure report clustering (§7).
+
+The paper positions Gist next to Windows Error Reporting: WER buckets
+millions of failure reports by call-stack/error-code heuristics so that
+each bucket maps to (hopefully) one bug, and "WER can use failure sketches
+built by Gist to improve its clustering".  This module provides that
+front-end: a :class:`FailureClusterer` ingests raw failure reports from the
+fleet, buckets them, and decides which bucket deserves a diagnosis
+campaign next.
+
+Bucketing levels:
+
+- **exact**: the paper's identity (failure kind + pc + stack functions) —
+  what a :class:`~repro.core.server.DiagnosisCampaign` keys on;
+- **site**: kind + failing pc only — merges exact buckets that differ only
+  in the call path (the same cleanup routine reached from two callers is
+  one bug, two exact identities);
+- per-bucket occurrence counts and the representative report (the first
+  seen, like WER's "hit" sample).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..runtime.failures import FailureReport
+
+
+@dataclass
+class FailureBucket:
+    """One cluster of equivalent failure reports."""
+
+    key: str
+    kind: str
+    pc: int
+    representative: FailureReport
+    count: int = 0
+    exact_identities: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, report: FailureReport) -> None:
+        self.count += 1
+        identity = report.identity()
+        self.exact_identities[identity] = \
+            self.exact_identities.get(identity, 0) + 1
+
+    @property
+    def call_path_variants(self) -> int:
+        """How many distinct call paths reach this failure site."""
+        return len(self.exact_identities)
+
+
+class FailureClusterer:
+    """Buckets incoming failure reports by failure site."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[str, FailureBucket] = {}
+        self.total_reports = 0
+
+    @staticmethod
+    def site_key(report: FailureReport) -> str:
+        return f"{report.kind.value}@{report.pc}"
+
+    def add(self, report: FailureReport) -> FailureBucket:
+        self.total_reports += 1
+        key = self.site_key(report)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = FailureBucket(key=key, kind=report.kind.value,
+                                   pc=report.pc, representative=report)
+            self._buckets[key] = bucket
+        bucket.add(report)
+        return bucket
+
+    def buckets(self) -> List[FailureBucket]:
+        """All buckets, most-hit first (WER-style triage order)."""
+        return sorted(self._buckets.values(),
+                      key=lambda b: (-b.count, b.key))
+
+    def bucket_for(self, report: FailureReport) -> Optional[FailureBucket]:
+        return self._buckets.get(self.site_key(report))
+
+    def next_to_diagnose(self,
+                         already_diagnosed: Tuple[str, ...] = ()
+                         ) -> Optional[FailureBucket]:
+        """The most frequent bucket without a campaign yet — how a
+        deployment prioritizes its diagnosis budget."""
+        skip = set(already_diagnosed)
+        for bucket in self.buckets():
+            if bucket.key not in skip:
+                return bucket
+        return None
+
+    def summary(self) -> str:
+        lines = [f"{self.total_reports} reports in "
+                 f"{len(self._buckets)} buckets"]
+        for bucket in self.buckets():
+            lines.append(
+                f"  {bucket.key:<28} hits={bucket.count:<5} "
+                f"call-paths={bucket.call_path_variants}")
+        return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""The cooperative deployment loop: server + a fleet of endpoints.
+
+This is the simulated equivalent of the paper's evaluation environment
+(1,136 simulated user endpoints, §5): a fleet of :class:`GistClient`
+endpoints executes a stream of workloads; failures bootstrap a server-side
+campaign; instrumentation patches go out; monitored runs come back;
+Adaptive Slice Tracking iterates until the sketch satisfies the stop
+criterion or the slice is exhausted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..lang.ir import Module
+from ..runtime.failures import FailureReport
+from .adaptive import DEFAULT_SIGMA
+from .client import GistClient
+from .server import GistServer, IterationResult
+from .sketch import FailureSketch
+from .workload import Workload, WorkloadFactory
+
+#: Decide whether a sketch is good enough to stop AsT.  The evaluation
+#: passes the ideal-sketch oracle; interactive use passes a developer
+#: callback.  ``None`` means "stop at the first sketch produced".
+StopPredicate = Callable[[FailureSketch], bool]
+
+
+@dataclass
+class CampaignStats:
+    """What the evaluation tables read off a finished campaign."""
+
+    bug: str
+    found: bool = False
+    iterations: int = 0
+    failure_recurrences: int = 0
+    total_runs: int = 0
+    monitored_runs: int = 0
+    bootstrap_runs: int = 0
+    avg_overhead_percent: float = 0.0
+    max_overhead_percent: float = 0.0
+    wall_seconds: float = 0.0
+    offline_seconds: float = 0.0
+    sketch: Optional[FailureSketch] = None
+    iteration_results: List[IterationResult] = field(default_factory=list)
+
+
+class CooperativeDeployment:
+    """Drives one program's fleet and its diagnosis campaigns."""
+
+    def __init__(self, module: Module, workload_factory: WorkloadFactory,
+                 endpoints: int = 8, bug: str = "bug",
+                 ptwrite: bool = False,
+                 extended_predicates: bool = False) -> None:
+        if endpoints < 1:
+            raise ValueError("need at least one endpoint")
+        self.module = module
+        self.workload_factory = workload_factory
+        self.bug = bug
+        self.server = GistServer(module,
+                                 extended_predicates=extended_predicates)
+        self.clients = [GistClient(module, endpoint_id=i, ptwrite=ptwrite)
+                        for i in range(endpoints)]
+        self._next_run = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _draw(self) -> Tuple[GistClient, Workload, int]:
+        run_id = self._next_run
+        self._next_run += 1
+        client = self.clients[run_id % len(self.clients)]
+        workload = self.workload_factory(run_id)
+        return client, workload, run_id
+
+    # -- phase 0: wait for the first failure ----------------------------------
+
+    def wait_for_failure(self, max_runs: int = 10_000
+                         ) -> Tuple[Optional[FailureReport], int]:
+        """Run the fleet uninstrumented until some run fails."""
+        for _ in range(max_runs):
+            client, workload, run_id = self._draw()
+            result = client.run(workload, patch=None, run_id=run_id)
+            if result.outcome.failed:
+                return result.outcome.failure, run_id + 1
+        return None, max_runs
+
+    # -- the AsT campaign ---------------------------------------------------------
+
+    def run_campaign(
+        self,
+        initial_sigma: int = DEFAULT_SIGMA,
+        stop_when: Optional[StopPredicate] = None,
+        max_iterations: int = 10,
+        min_failing_per_iteration: int = 1,
+        min_successful_per_iteration: int = 3,
+        max_runs_per_iteration: int = 400,
+        max_bootstrap_runs: int = 10_000,
+    ) -> CampaignStats:
+        """Full pipeline: bootstrap failure → AsT iterations → sketch."""
+        stats = CampaignStats(bug=self.bug)
+        t0 = time.perf_counter()
+
+        report, bootstrap_runs = self.wait_for_failure(max_bootstrap_runs)
+        stats.bootstrap_runs = bootstrap_runs
+        stats.total_runs += bootstrap_runs
+        if report is None:
+            stats.wall_seconds = time.perf_counter() - t0
+            return stats
+
+        campaign = self.server.handle_failure_report(
+            self.bug, report, initial_sigma)
+
+        overheads: List[float] = []
+        for _ in range(max_iterations):
+            campaign.begin_iteration()
+            patches = campaign.make_patches(len(self.clients))
+            failing = 0
+            successful = 0
+            for attempt in range(max_runs_per_iteration):
+                client, workload, run_id = self._draw()
+                patch = patches[client.endpoint_id % len(patches)]
+                result = client.run(workload, patch=patch, run_id=run_id)
+                stats.total_runs += 1
+                stats.monitored_runs += 1
+                assert result.monitored is not None
+                overheads.append(result.monitored.overhead)
+                if campaign.ingest(result.monitored):
+                    failing += 1
+                elif not result.outcome.failed:
+                    successful += 1
+                if failing >= min_failing_per_iteration and \
+                        successful >= min_successful_per_iteration:
+                    break
+            iteration = campaign.finish_iteration()
+            stats.iteration_results.append(iteration)
+            stats.iterations = iteration.iteration
+            sketch = iteration.sketch
+            if sketch is not None:
+                stats.sketch = sketch
+                if stop_when is None or stop_when(sketch):
+                    stats.found = True
+                    break
+            if campaign.exhausted:
+                break
+            campaign.grow()
+
+        stats.failure_recurrences = campaign.total_failure_recurrences
+        if overheads:
+            stats.avg_overhead_percent = 100.0 * sum(overheads) / len(overheads)
+            stats.max_overhead_percent = 100.0 * max(overheads)
+        stats.offline_seconds = self.server.offline_analysis_seconds
+        stats.wall_seconds = time.perf_counter() - t0
+        return stats

@@ -1,0 +1,113 @@
+"""The top-level Gist facade: one call from failure to failure sketch.
+
+    from repro import Gist, Workload
+    from repro.core.workload import constant_factory
+
+    gist = Gist(module, bug="pbzip2 bug #1")
+    result = gist.diagnose(constant_factory(Workload(args=(4,))))
+    print(result.rendered())
+
+Under the hood this wires together every stage of the paper's Fig. 2:
+backward slicing, adaptive slice tracking, PT-based control-flow tracking,
+watchpoint-based data-flow tracking, refinement, statistical predictor
+ranking, and sketch construction — over a simulated cooperative fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.codegen import compile_source
+from ..lang.ir import Module
+from .accuracy import AccuracyReport, IdealSketch, score
+from .adaptive import DEFAULT_SIGMA
+from .cooperative import CampaignStats, CooperativeDeployment, StopPredicate
+from .render import render_sketch
+from .sketch import FailureSketch
+from .workload import Workload, WorkloadFactory, constant_factory
+
+
+@dataclass
+class DiagnosisResult:
+    """What :meth:`Gist.diagnose` returns."""
+
+    stats: CampaignStats
+
+    @property
+    def sketch(self) -> Optional[FailureSketch]:
+        return self.stats.sketch
+
+    @property
+    def found(self) -> bool:
+        return self.stats.found
+
+    @property
+    def failure_recurrences(self) -> int:
+        return self.stats.failure_recurrences
+
+    def rendered(self) -> str:
+        if self.sketch is None:
+            return "(no failure sketch: the failure never recurred "\
+                   "under monitoring)"
+        return render_sketch(self.sketch)
+
+    def accuracy_against(self, ideal: IdealSketch) -> Optional[AccuracyReport]:
+        if self.sketch is None:
+            return None
+        return score(self.sketch, ideal)
+
+
+class Gist:
+    """Failure sketching for one program."""
+
+    def __init__(self, module: Module, bug: str = "bug",
+                 endpoints: int = 8, ptwrite: bool = False,
+                 extended_predicates: bool = False) -> None:
+        self.module = module
+        self.bug = bug
+        self.endpoints = endpoints
+        #: §6 future-hardware mode: PT carries data packets, no watchpoints.
+        self.ptwrite = ptwrite
+        #: §6 future work: also rank range/inequality value predicates.
+        self.extended_predicates = extended_predicates
+
+    @classmethod
+    def from_source(cls, source: str, bug: str = "bug",
+                    endpoints: int = 8, module_name: str = "program",
+                    ptwrite: bool = False) -> "Gist":
+        """Compile MiniC source and build a Gist for it."""
+        return cls(compile_source(source, module_name), bug=bug,
+                   endpoints=endpoints, ptwrite=ptwrite)
+
+    def diagnose(
+        self,
+        workload_factory: WorkloadFactory,
+        initial_sigma: int = DEFAULT_SIGMA,
+        stop_when: Optional[StopPredicate] = None,
+        max_iterations: int = 10,
+        max_runs_per_iteration: int = 400,
+        min_successful_per_iteration: int = 3,
+    ) -> DiagnosisResult:
+        """Run a full cooperative diagnosis campaign.
+
+        ``stop_when`` models the developer deciding the sketch contains the
+        root cause (§3.2.1); by default the first sketch wins.
+        """
+        deployment = CooperativeDeployment(
+            self.module, workload_factory,
+            endpoints=self.endpoints, bug=self.bug, ptwrite=self.ptwrite,
+            extended_predicates=self.extended_predicates)
+        stats = deployment.run_campaign(
+            initial_sigma=initial_sigma,
+            stop_when=stop_when,
+            max_iterations=max_iterations,
+            max_runs_per_iteration=max_runs_per_iteration,
+            min_successful_per_iteration=min_successful_per_iteration,
+        )
+        return DiagnosisResult(stats=stats)
+
+    def diagnose_workload(self, workload: Workload,
+                          **kwargs) -> DiagnosisResult:
+        """Convenience: diagnose with a single base workload, reseeded."""
+        return self.diagnose(constant_factory(workload), **kwargs)

@@ -1,0 +1,99 @@
+"""Standalone-HTML export of failure sketches.
+
+The paper integrated Gist with KCachegrind "for easy navigation of the
+statements in the failure sketch" (§5.1).  Our navigation surface is a
+single self-contained HTML file: one column per thread, time flowing
+downward, predictor steps boxed, tracked values in a side column — open it
+in any browser, attach it to a bug report.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import List
+
+from .sketch import FailureSketch
+
+_CSS = """
+body { font-family: 'SF Mono', Consolas, monospace; margin: 2em;
+       background: #fafafa; color: #222; }
+h1 { font-size: 1.2em; }
+table { border-collapse: collapse; width: 100%; }
+th, td { border: 1px solid #ddd; padding: 4px 10px; text-align: left;
+         vertical-align: top; font-size: 0.9em; }
+th { background: #f0f0f0; }
+td.time { text-align: right; color: #888; width: 3em; }
+td.values { color: #0b6623; width: 16em; }
+.highlight { border: 2px dashed #c0392b; padding: 1px 4px;
+             display: inline-block; background: #fdf2f0; }
+.anchored { font-weight: 600; }
+.sep { border-top: 3px double #bbb; }
+.meta { color: #666; font-size: 0.85em; margin-top: 1.5em; }
+.pred { background: #fff; border: 1px solid #ddd; padding: 0.8em 1em;
+        margin-top: 1em; font-size: 0.9em; }
+"""
+
+
+def render_html(sketch: FailureSketch) -> str:
+    """Render a sketch as a self-contained HTML document."""
+    threads = sketch.threads or [0]
+    esc = _html.escape
+    rows: List[str] = []
+    prev_func = {}
+    for step in sketch.steps:
+        cells = [f'<td class="time">{step.order}</td>']
+        sep = prev_func.get(step.tid) not in (None, step.func)
+        prev_func[step.tid] = step.func
+        for tid in threads:
+            if tid != step.tid:
+                cells.append("<td></td>")
+                continue
+            body = esc(step.source or f"{step.func}:{step.line}")
+            classes = []
+            if step.anchored:
+                classes.append("anchored")
+            inner = (f'<span class="highlight">{body}</span>'
+                     if step.highlight else body)
+            cls = f' class="{" ".join(classes)}"' if classes else ""
+            cells.append(f"<td{cls}>{inner}</td>")
+        values = ", ".join(f"{esc(str(n))}={v}" for n, v in step.values)
+        cells.append(f'<td class="values">{values}</td>')
+        row_cls = ' class="sep"' if sep else ""
+        rows.append(f"<tr{row_cls}>{''.join(cells)}</tr>")
+
+    header = "".join(
+        ["<th>Time</th>"]
+        + [f"<th>Thread T{tid}</th>" for tid in threads]
+        + ["<th>values</th>"])
+
+    predictors = []
+    for kind in ("order", "value", "vrange", "branch"):
+        stats = sketch.predictors.get(kind)
+        if stats is None:
+            continue
+        predictors.append(
+            f"<div><b>{esc(kind)}</b>: "
+            f"{esc(stats.predictor.describe())} "
+            f"— F={stats.f_measure:.3f} "
+            f"(P={stats.precision:.2f}, R={stats.recall:.2f})</div>")
+    predictor_html = (f'<div class="pred"><b>Best failure predictors '
+                      f'(F-measure, β=0.5)</b>{"".join(predictors)}</div>'
+                      if predictors else "")
+
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<title>Failure Sketch — {esc(sketch.bug)}</title>
+<style>{_CSS}</style></head>
+<body>
+<h1>Failure Sketch for {esc(sketch.bug)}</h1>
+<div>Type: {esc(sketch.failure_type)}</div>
+<table>
+<tr>{header}</tr>
+{chr(10).join(rows)}
+</table>
+{predictor_html}
+<div class="meta">AsT: σ={sketch.sigma}, iterations={sketch.iterations},
+failure recurrences={sketch.failure_recurrences};
+module {esc(sketch.module_name)}, failing uid {sketch.failing_uid}.</div>
+</body></html>
+"""

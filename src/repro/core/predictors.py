@@ -1,0 +1,180 @@
+"""Failure predictor extraction (§3.3).
+
+A failure predictor is "a predicate that, when true, predicts that a failure
+will occur".  Gist extracts three families from each monitored run and later
+correlates them with run outcomes:
+
+- **Branch predictors** — a conditional branch in the tracked region taking
+  a particular direction (sequential bugs, e.g. Curl's unbalanced-brace
+  loop).
+- **Value predictors** — a tracked memory location holding a particular
+  value at a particular statement (e.g. ``urls->current == 0``,
+  ``obj->refcnt == 0``).
+- **Concurrency-pattern predictors** — the single-variable atomicity
+  violation patterns RWR / WWR / RWW / WRW and the data-race / order
+  patterns WW / WR / RW (Fig. 5), matched over the *globally ordered*
+  watchpoint access log, per address.
+
+Predictor identity is structural (instruction uids + pattern shape), never
+raw addresses, so the same predictor matches across runs whose heap layout
+differs — this is what lets statistics accumulate across a fleet of
+endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from .refinement import MonitoredRun
+
+ATOMICITY_PATTERNS = ("RWR", "WWR", "RWW", "WRW")
+RACE_PATTERNS = ("WW", "WR", "RW")
+
+
+@dataclass(frozen=True)
+class Predictor:
+    """One failure predictor.
+
+    ``kind`` ∈ {"branch", "value", "order"}; ``detail`` is the
+    kind-specific identity:
+
+    - branch: ``(branch_uid, taken)``
+    - value:  ``(access_uid, value)``
+    - order:  ``(pattern, (uid1, uid2[, uid3]))``
+    """
+
+    kind: str
+    detail: Tuple
+
+    def describe(self, module=None) -> str:
+        if self.kind == "branch":
+            uid, taken = self.detail
+            arm = "taken" if taken else "not taken"
+            where = _where(module, uid)
+            return f"branch@{uid}{where} {arm}"
+        if self.kind == "value":
+            uid, value = self.detail
+            where = _where(module, uid)
+            return f"value@{uid}{where} == {value}"
+        if self.kind == "vrange":
+            uid, relation = self.detail
+            where = _where(module, uid)
+            return f"value@{uid}{where} {relation}"
+        pattern, uids = self.detail
+        chain = " -> ".join(str(u) for u in uids)
+        return f"{pattern}({chain})"
+
+
+def _where(module, uid: int) -> str:
+    if module is None:
+        return ""
+    ins = module.instr(uid)
+    return f" ({ins.func_name}:{ins.line})"
+
+
+# ---------------------------------------------------------------------------
+# Extraction
+# ---------------------------------------------------------------------------
+
+
+def extract_branch_predictors(run: MonitoredRun,
+                              module) -> Set[Predictor]:
+    """(branch_uid, taken) facts from the decoded control flow."""
+    from ..lang.ir import Opcode
+
+    out: Set[Predictor] = set()
+    for tid, seq in run.executed.items():
+        for i, uid in enumerate(seq):
+            ins = module.instr(uid)
+            if ins.opcode is not Opcode.BR or i + 1 >= len(seq):
+                continue
+            nxt_uid = seq[i + 1]
+            nxt = module.instr(nxt_uid)
+            if nxt.block_label == ins.labels[0] and \
+                    nxt.index_in_block == 0 and \
+                    nxt.func_name == ins.func_name:
+                out.add(Predictor("branch", (uid, True)))
+            elif nxt.block_label == ins.labels[1] and \
+                    nxt.index_in_block == 0 and \
+                    nxt.func_name == ins.func_name:
+                out.add(Predictor("branch", (uid, False)))
+    return out
+
+
+def extract_value_predictors(run: MonitoredRun) -> Set[Predictor]:
+    """(access_uid, value) facts from watchpoint traps."""
+    return {Predictor("value", (trap.pc, trap.value))
+            for trap in run.traps}
+
+
+#: Derived relations for extended value predicates (§6: "we plan to track
+#: range and inequality predicates in Gist").  Each maps a value to a
+#: boolean; a predictor is emitted only for relations that hold.
+VALUE_RELATIONS: Tuple[Tuple[str, object], ...] = (
+    ("== 0", lambda v: v == 0),
+    ("< 0", lambda v: v < 0),
+    ("> 0", lambda v: v > 0),
+    ("odd", lambda v: v % 2 == 1),
+    ("even", lambda v: v % 2 == 0),
+)
+
+
+def extract_range_predictors(run: MonitoredRun) -> Set[Predictor]:
+    """Inequality/range predicates over tracked values (§6 future work).
+
+    Where plain value predictors need the exact failing value to recur
+    (``refcnt == 0``), range predicates generalize across runs whose values
+    differ but share the failure-relevant property (``version is odd``,
+    ``len < 0``).  Identity: ``("vrange", (uid, relation))``.
+    """
+    out: Set[Predictor] = set()
+    for trap in run.traps:
+        for name, holds in VALUE_RELATIONS:
+            if holds(trap.value):
+                out.add(Predictor("vrange", (trap.pc, name)))
+    return out
+
+
+def extract_order_predictors(run: MonitoredRun) -> Set[Predictor]:
+    """Concurrency patterns from the per-address global access order.
+
+    For every watched address, consecutive access pairs from different
+    threads yield WW/WR/RW race patterns; consecutive triples whose outer
+    accesses share a thread and whose middle access comes from another
+    thread yield the four atomicity-violation patterns (Fig. 5/6).
+    """
+    out: Set[Predictor] = set()
+    by_addr: Dict[int, List] = {}
+    for trap in sorted(run.traps, key=lambda t: t.seq):
+        by_addr.setdefault(trap.address, []).append(trap)
+    for accesses in by_addr.values():
+        for a, b in zip(accesses, accesses[1:]):
+            if a.tid != b.tid:
+                pattern = _letter(a) + _letter(b)
+                if pattern in RACE_PATTERNS:  # RR is not a race
+                    out.add(Predictor("order", (pattern, (a.pc, b.pc))))
+        for a, b, c in zip(accesses, accesses[1:], accesses[2:]):
+            if a.tid == c.tid and a.tid != b.tid:
+                pattern = _letter(a) + _letter(b) + _letter(c)
+                if pattern in ATOMICITY_PATTERNS:
+                    out.add(Predictor("order", (pattern, (a.pc, b.pc, c.pc))))
+    return out
+
+
+def _letter(trap) -> str:
+    return "W" if trap.is_write else "R"
+
+
+def extract_all(run: MonitoredRun, module,
+                extended: bool = False) -> Set[Predictor]:
+    """Every predictor present in one run.
+
+    ``extended`` additionally emits the §6 range/inequality predicates.
+    """
+    out = extract_branch_predictors(run, module)
+    out |= extract_value_predictors(run)
+    out |= extract_order_predictors(run)
+    if extended:
+        out |= extract_range_predictors(run)
+    return out

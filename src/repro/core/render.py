@@ -1,0 +1,103 @@
+"""ASCII rendering of failure sketches, in the style of Figs. 1/7/8.
+
+Time flows downward; each thread gets a column; statements highlighted as
+failure predictors are boxed with ``[[ ... ]]`` (the paper's dotted
+rectangles); a trailing data-flow column shows tracked values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .sketch import FailureSketch, SketchStep
+
+_COL_WIDTH = 44
+_VALUE_WIDTH = 26
+
+
+def _clip(text: str, width: int) -> str:
+    text = text.strip()
+    if len(text) <= width:
+        return text
+    return text[: width - 1] + "…"
+
+
+def _cell(step: SketchStep, width: int) -> str:
+    body = step.source or f"{step.func}:{step.line}"
+    suffix = f" (x{step.repeats})" if step.repeats > 1 else ""
+    budget = width - len(suffix) - (6 if step.highlight else 2)
+    body = _clip(body, budget) + suffix
+    if step.highlight:
+        body = f"[[ {body} ]]"
+    return body
+
+
+def render_sketch(sketch: FailureSketch, show_predictors: bool = True) -> str:
+    """Render a sketch as fixed-width text."""
+    lines: List[str] = []
+    title = f"Failure Sketch for {sketch.bug}"
+    lines.append(title)
+    lines.append("=" * len(title))
+    lines.append(f"Type: {sketch.failure_type}")
+    lines.append("")
+
+    threads = sketch.threads or [0]
+    header = ["Time"] + [f"Thread T{tid}" for tid in threads] + ["values"]
+    widths = [4] + [_COL_WIDTH] * len(threads) + [_VALUE_WIDTH]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+
+    current_func: Dict[int, str] = {}
+    for step in sketch.steps:
+        if current_func.get(step.tid) not in (None, step.func):
+            # Function change within a thread column: horizontal separator,
+            # as in Fig. 7 ("horizontal line separates different functions").
+            row = [" " * 4]
+            for tid in threads:
+                row.append(("~" * 8).ljust(_COL_WIDTH) if tid == step.tid
+                           else " " * _COL_WIDTH)
+            row.append(" " * _VALUE_WIDTH)
+            lines.append(" | ".join(row))
+        current_func[step.tid] = step.func
+
+        cells = [str(step.order).rjust(4)]
+        for tid in threads:
+            if tid == step.tid:
+                cells.append(_cell(step, _COL_WIDTH).ljust(_COL_WIDTH))
+            else:
+                cells.append(" " * _COL_WIDTH)
+        value_text = ", ".join(f"{name}={value}"
+                               for name, value in step.values)
+        cells.append(_clip(value_text, _VALUE_WIDTH).ljust(_VALUE_WIDTH))
+        lines.append(" | ".join(cells))
+
+    lines.append("")
+    lines.append(f"Failure at step {len(sketch.steps)}: "
+                 f"{sketch.failure_type}")
+    if show_predictors and sketch.predictors:
+        lines.append("")
+        lines.append("Best failure predictors (F-measure, beta=0.5):")
+        for kind in ("order", "value", "vrange", "branch"):
+            stats = sketch.predictors.get(kind)
+            if stats is None:
+                continue
+            lines.append(
+                f"  {kind:<7} {stats.predictor.describe():<40} "
+                f"F={stats.f_measure:.3f} "
+                f"(P={stats.precision:.2f}, R={stats.recall:.2f})")
+    lines.append("")
+    lines.append(f"AsT: sigma={sketch.sigma}, iterations={sketch.iterations},"
+                 f" failure recurrences={sketch.failure_recurrences}")
+    return "\n".join(lines)
+
+
+def render_compact(sketch: FailureSketch) -> str:
+    """One-line-per-step rendering for logs and tests."""
+    out = []
+    for step in sketch.steps:
+        mark = "*" if step.highlight else " "
+        values = (" " + ",".join(f"{n}={v}" for n, v in step.values)
+                  if step.values else "")
+        out.append(f"{step.order:>3} T{step.tid} {mark} "
+                   f"{step.func}:{step.line} {step.source}{values}")
+    return "\n".join(out)

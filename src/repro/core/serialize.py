@@ -1,0 +1,123 @@
+"""Failure sketch serialization.
+
+Sketches are the deliverable a Gist server hands to developers; shipping
+them between machines (or into an issue tracker) needs a stable wire form.
+``sketch_to_json`` / ``sketch_from_json`` round-trip every field, including
+the ranked predictors.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .predictors import Predictor
+from .sketch import FailureSketch, SketchStep
+from .stats import PredictorStats
+
+FORMAT_VERSION = 1
+
+
+def _predictor_to_dict(stats: PredictorStats) -> Dict[str, Any]:
+    return {
+        "kind": stats.predictor.kind,
+        "detail": list(stats.predictor.detail)
+        if not isinstance(stats.predictor.detail, tuple)
+        else _tuple_to_list(stats.predictor.detail),
+        "failing_with": stats.failing_with,
+        "successful_with": stats.successful_with,
+        "precision": stats.precision,
+        "recall": stats.recall,
+        "f_measure": stats.f_measure,
+    }
+
+
+def _tuple_to_list(value):
+    if isinstance(value, tuple):
+        return [_tuple_to_list(v) for v in value]
+    return value
+
+
+def _list_to_tuple(value):
+    if isinstance(value, list):
+        return tuple(_list_to_tuple(v) for v in value)
+    return value
+
+
+def _predictor_from_dict(payload: Dict[str, Any]) -> PredictorStats:
+    predictor = Predictor(payload["kind"],
+                          _list_to_tuple(payload["detail"]))
+    return PredictorStats(
+        predictor=predictor,
+        failing_with=payload["failing_with"],
+        successful_with=payload["successful_with"],
+        precision=payload["precision"],
+        recall=payload["recall"],
+        f_measure=payload["f_measure"],
+    )
+
+
+def sketch_to_json(sketch: FailureSketch) -> str:
+    """Serialize a sketch (steps, predictors, metadata) to JSON."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "bug": sketch.bug,
+        "failure_type": sketch.failure_type,
+        "module_name": sketch.module_name,
+        "failing_uid": sketch.failing_uid,
+        "threads": sketch.threads,
+        "sigma": sketch.sigma,
+        "iterations": sketch.iterations,
+        "failure_recurrences": sketch.failure_recurrences,
+        "statement_uids": sorted(sketch.statement_uids),
+        "access_order": [list(k) for k in sketch.access_order],
+        "steps": [
+            {
+                "order": s.order,
+                "tid": s.tid,
+                "uid": s.uid,
+                "func": s.func,
+                "line": s.line,
+                "source": s.source,
+                "highlight": s.highlight,
+                "anchored": s.anchored,
+                "values": [[name, value] for name, value in s.values],
+            }
+            for s in sketch.steps
+        ],
+        "predictors": {kind: _predictor_to_dict(stats)
+                       for kind, stats in sketch.predictors.items()},
+    }
+    return json.dumps(payload, indent=2)
+
+
+def sketch_from_json(text: str) -> FailureSketch:
+    """Inverse of :func:`sketch_to_json`; validates the format version."""
+    payload = json.loads(text)
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sketch format version {payload.get('version')!r}")
+    steps = [
+        SketchStep(
+            order=s["order"], tid=s["tid"], uid=s["uid"], func=s["func"],
+            line=s["line"], source=s["source"], highlight=s["highlight"],
+            anchored=s["anchored"],
+            values=[(name, value) for name, value in s["values"]],
+        )
+        for s in payload["steps"]
+    ]
+    return FailureSketch(
+        bug=payload["bug"],
+        failure_type=payload["failure_type"],
+        module_name=payload["module_name"],
+        failing_uid=payload["failing_uid"],
+        threads=list(payload["threads"]),
+        steps=steps,
+        statement_uids=set(payload["statement_uids"]),
+        access_order=[tuple(k) for k in payload["access_order"]],
+        predictors={kind: _predictor_from_dict(p)
+                    for kind, p in payload["predictors"].items()},
+        sigma=payload["sigma"],
+        iterations=payload["iterations"],
+        failure_recurrences=payload["failure_recurrences"],
+    )

@@ -1,0 +1,192 @@
+"""Gist's server side: slicing, patch generation, trace aggregation.
+
+The server (Fig. 2's offline half) owns the static analyses and the
+statistics.  One :class:`DiagnosisCampaign` tracks one failure identity from
+the first report to the finished sketch:
+
+① a failure report arrives → compute the static backward slice;
+② plan instrumentation for the current AsT window and cut patches
+   (splitting watchpoint candidates across clients when the window needs
+   more than the 4 debug registers — §3.2.3's cooperative approach);
+③ monitored runs stream back; matching failures count as recurrences;
+④ refinement + predictor statistics;
+⑤ a failure sketch per iteration; AsT doubles σ until the sketch satisfies
+   the stop criterion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.slicing import BackwardSlicer, StaticSlice
+from ..hw.watchpoints import NUM_DEBUG_REGISTERS
+from ..instrument.patch import Patch
+from ..instrument.planner import InstrumentationPlan, InstrumentationPlanner
+from ..lang.ir import Module
+from ..runtime.failures import FailureReport
+from .adaptive import AdaptiveSliceTracker, AstIteration, DEFAULT_SIGMA
+from .predictors import extract_all
+from .refinement import MonitoredRun, RefinementResult, refine
+from .sketch import FailureSketch, build_sketch
+from .stats import PredictorRanker
+
+
+@dataclass
+class IterationResult:
+    """Everything one AsT iteration produced."""
+
+    iteration: int
+    sigma: int
+    plan: InstrumentationPlan
+    refinement: RefinementResult
+    sketch: Optional[FailureSketch]
+    failing_runs: int
+    successful_runs: int
+
+
+class DiagnosisCampaign:
+    """Server-side state for diagnosing one failure identity."""
+
+    def __init__(self, server: "GistServer", bug: str,
+                 first_report: FailureReport,
+                 initial_sigma: int = DEFAULT_SIGMA) -> None:
+        self.server = server
+        self.bug = bug
+        self.first_report = first_report
+        self.identity = first_report.identity()
+        self.slice: StaticSlice = server.slicer.slice_from(first_report.pc)
+        self.tracker = AdaptiveSliceTracker(self.slice, initial_sigma)
+        self.iterations: List[IterationResult] = []
+        self.total_failure_recurrences = 1  # the bootstrap failure
+        self._current: Optional[AstIteration] = None
+        self._current_plan: Optional[InstrumentationPlan] = None
+        self._runs: List[MonitoredRun] = []
+        self._ranker = PredictorRanker(failure_pc=first_report.pc)
+        self._last_failing_run: Optional[MonitoredRun] = None
+
+    # -- iteration lifecycle --------------------------------------------------
+
+    def begin_iteration(self) -> Tuple[AstIteration, InstrumentationPlan]:
+        self._current = self.tracker.begin_iteration()
+        self._current_plan = self.server.planner.plan_window(
+            self.slice, self._current.window_uids)
+        self._runs = []
+        self._ranker = PredictorRanker(failure_pc=self.first_report.pc)
+        self._last_failing_run = None
+        return self._current, self._current_plan
+
+    def make_patches(self, n_variants: int = 1) -> List[Patch]:
+        """Cut patch variants for the current iteration.
+
+        When the window has more watch candidates than debug registers, the
+        candidates are split round-robin into ≤4-sized assignments, one per
+        patch variant; the deployment hands different variants to different
+        endpoints so that collectively everything is watched (§3.2.3).
+        """
+        assert self._current_plan is not None, "begin_iteration first"
+        plan = self._current_plan
+        candidates = plan.watch_candidates
+        if len(candidates) <= NUM_DEBUG_REGISTERS:
+            return [Patch.from_plan(self.server.module.name, plan)]
+        groups: List[List[int]] = []
+        for i in range(0, len(candidates), NUM_DEBUG_REGISTERS):
+            groups.append(candidates[i:i + NUM_DEBUG_REGISTERS])
+        variants = [Patch.from_plan(self.server.module.name, plan, group)
+                    for group in groups]
+        if n_variants > len(variants):
+            # Repeat variants so each endpoint gets one.
+            variants = [variants[i % len(variants)]
+                        for i in range(n_variants)]
+        return variants
+
+    def ingest(self, run: MonitoredRun) -> bool:
+        """Absorb one monitored run.  Returns True when the run recurs the
+        campaign's failure (same identity, §3 footnote 1)."""
+        assert self._current is not None, "begin_iteration first"
+        self._runs.append(run)
+        recurrence = bool(
+            run.failed and run.failure is not None
+            and run.failure.identity() == self.identity)
+        if recurrence:
+            self._current.failing_runs_seen += 1
+            self.total_failure_recurrences += 1
+            self._last_failing_run = run
+        elif not run.failed:
+            self._current.successful_runs_seen += 1
+        self._ranker.add_run(
+            extract_all(run, self.server.module,
+                        extended=self.server.extended_predicates),
+            failed=recurrence)
+        return recurrence
+
+    def finish_iteration(self) -> IterationResult:
+        assert self._current is not None and self._current_plan is not None
+        refinement = refine(self._current.window_uids, self._runs,
+                            slice_uids=self.slice.uids)
+        sketch: Optional[FailureSketch] = None
+        if self._last_failing_run is not None:
+            sketch = build_sketch(
+                module=self.server.module,
+                bug=self.bug,
+                failure=self._last_failing_run.failure or self.first_report,
+                refinement=refinement,
+                failing_run=self._last_failing_run,
+                best_predictors=self._ranker.best_per_kind(),
+                sigma=self._current.sigma,
+                iterations=self._current.number,
+                failure_recurrences=self.total_failure_recurrences,
+            )
+        result = IterationResult(
+            iteration=self._current.number,
+            sigma=self._current.sigma,
+            plan=self._current_plan,
+            refinement=refinement,
+            sketch=sketch,
+            failing_runs=self._current.failing_runs_seen,
+            successful_runs=self._current.successful_runs_seen,
+        )
+        self.iterations.append(result)
+        return result
+
+    def grow(self) -> int:
+        return self.tracker.grow()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.tracker.exhausted
+
+    def latest_sketch(self) -> Optional[FailureSketch]:
+        for result in reversed(self.iterations):
+            if result.sketch is not None:
+                return result.sketch
+        return None
+
+
+class GistServer:
+    """The centralized (or distributable) analysis side of Gist."""
+
+    def __init__(self, module: Module,
+                 extended_predicates: bool = False) -> None:
+        self.module = module
+        self.slicer = BackwardSlicer(module)
+        self.planner = InstrumentationPlanner(module, self.slicer)
+        self.campaigns: Dict[str, DiagnosisCampaign] = {}
+        self.offline_analysis_seconds = 0.0
+        #: §6 future work: also rank range/inequality value predicates.
+        self.extended_predicates = extended_predicates
+
+    def handle_failure_report(self, bug: str, report: FailureReport,
+                              initial_sigma: int = DEFAULT_SIGMA
+                              ) -> DiagnosisCampaign:
+        """Start (or return) the campaign for this failure identity.
+        Slicing time is accounted as offline analysis time (Table 1)."""
+        identity = report.identity()
+        if identity in self.campaigns:
+            return self.campaigns[identity]
+        started = time.perf_counter()
+        campaign = DiagnosisCampaign(self, bug, report, initial_sigma)
+        self.offline_analysis_seconds += time.perf_counter() - started
+        self.campaigns[identity] = campaign
+        return campaign

@@ -1,0 +1,266 @@
+"""The failure sketch data model and its builder.
+
+A failure sketch (paper Figs. 1, 7, 8) is a per-thread, time-ordered listing
+of the *source statements* that lead to a failure, annotated with:
+
+- the inter-thread execution order of the statements (steps),
+- the values of tracked variables (data flow), and
+- the highest-F-measure failure predictors, visually set off (the paper's
+  dotted rectangles; our renderer uses ``[[ ... ]]``).
+
+Statements enter the sketch from the refined slice window; their order
+comes from the failing run's reconstructed global event order; values come
+from watchpoint traps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..lang.ir import Module, Opcode
+from ..runtime.failures import FailureReport
+from .predictors import Predictor
+from .refinement import (
+    MonitoredRun,
+    OrderedEvent,
+    RefinementResult,
+    global_event_order,
+)
+from .stats import PredictorStats
+
+#: Rendering bound: loops can repeat statements arbitrarily; sketches keep
+#: the first and last occurrences of repeated steps within this budget.
+MAX_STEPS = 60
+
+
+@dataclass
+class SketchStep:
+    """One time step of the sketch: a statement execution by one thread."""
+
+    order: int
+    tid: int
+    uid: int                       # representative instruction
+    func: str
+    line: int
+    source: str
+    highlight: bool = False
+    values: List[Tuple[str, int]] = field(default_factory=list)
+    anchored: bool = False         # order comes from a watchpoint trap
+    #: >1 when this step closes a collapsed run of identical loop cycles.
+    repeats: int = 1
+
+
+@dataclass
+class FailureSketch:
+    """The finished artifact handed to the developer."""
+
+    bug: str
+    failure_type: str
+    module_name: str
+    failing_uid: int
+    threads: List[int] = field(default_factory=list)
+    steps: List[SketchStep] = field(default_factory=list)
+    statement_uids: Set[int] = field(default_factory=set)
+    #: First-occurrence order of anchored memory accesses (line-level keys),
+    #: used by the ordering-accuracy metric.
+    access_order: List[Tuple[str, int]] = field(default_factory=list)
+    predictors: Dict[str, PredictorStats] = field(default_factory=dict)
+    sigma: int = 0
+    iterations: int = 0
+    failure_recurrences: int = 0
+
+    def statements(self) -> List[Tuple[str, int]]:
+        """Distinct (function, line) statements, in first-step order."""
+        seen: Set[Tuple[str, int]] = set()
+        out: List[Tuple[str, int]] = []
+        for step in self.steps:
+            key = (step.func, step.line)
+            if key not in seen:
+                seen.add(key)
+                out.append(key)
+        return out
+
+    def size_loc(self) -> int:
+        return len(self.statements())
+
+    def size_ir(self) -> int:
+        return len(self.statement_uids)
+
+    def contains_statements(self, statements: Sequence[Tuple[str, int]]) -> bool:
+        """Does the sketch show every one of these statements?  This is the
+        oracle the evaluation uses for "the sketch contains the root
+        cause"."""
+        have = set(self.statements())
+        return all(s in have for s in statements)
+
+
+def _predictor_uids(stats: Optional[PredictorStats]) -> Set[int]:
+    if stats is None:
+        return set()
+    p = stats.predictor
+    if p.kind in ("branch", "value", "vrange"):
+        return {p.detail[0]}
+    return set(p.detail[1])
+
+
+def build_sketch(
+    module: Module,
+    bug: str,
+    failure: FailureReport,
+    refinement: RefinementResult,
+    failing_run: MonitoredRun,
+    best_predictors: Dict[str, PredictorStats],
+    sigma: int = 0,
+    iterations: int = 0,
+    failure_recurrences: int = 0,
+) -> FailureSketch:
+    """Assemble a failure sketch from one AsT iteration's artifacts."""
+    refined = refinement.refined_uids()
+    highlight_uids: Set[int] = set()
+    for stats in best_predictors.values():
+        highlight_uids |= _predictor_uids(stats)
+
+    # Value and order predictors are memory-anchored facts that belong in
+    # the sketch even when their statement fell outside the refined window
+    # (e.g. a store discovered only in successful runs).  A branch
+    # predictor, by contrast, only *marks* statements already shown.
+    anchored_highlights: Set[int] = set()
+    for kind in ("value", "order"):
+        anchored_highlights |= _predictor_uids(best_predictors.get(kind))
+    visible = refined | anchored_highlights
+    events = [e for e in global_event_order(failing_run)
+              if e.uid in visible]
+    steps: List[SketchStep] = []
+    threads: List[int] = []
+    last_key: Optional[Tuple[int, str, int]] = None
+    # Global access order at statement granularity, keyed by each
+    # statement's LAST anchored occurrence: the occurrence adjacent to the
+    # failure is the one whose ordering diagnoses the bug (a lock word is
+    # read thousands of times; the read that matters is the final one).
+    last_anchor: Dict[Tuple[str, int], Tuple[int, int, int]] = {}
+
+    for event in events:
+        ins = module.instr(event.uid)
+        if ins.opcode is Opcode.ALLOCA:
+            # Stack-slot setup is administrative, not a source statement;
+            # a sketch shows executable statements (a declaration line such
+            # as ``int i;`` lowers to nothing but an alloca).
+            continue
+        if ins.line == module.functions[ins.func_name].line:
+            # Parameter-spill instructions carry the function header's line
+            # number; headers are not steps either.
+            continue
+        key = (event.tid, ins.func_name, ins.line)
+        if event.tid not in threads:
+            threads.append(event.tid)
+        if event.anchored:
+            last_anchor[(ins.func_name, ins.line)] = event.sort_key
+        # Merge into this thread's previous step when it is the same
+        # statement: either immediately adjacent, or separated only by
+        # other threads' *unanchored* steps (those carry no certain
+        # cross-thread order, so pulling them together is sound).  An
+        # intervening anchored step has watchpoint-certain order, and
+        # genuine loop re-executions revisit the loop-condition line in
+        # between — neither may be merged across.
+        merge_target = None
+        for prev in reversed(steps):
+            if prev.tid == event.tid:
+                if (prev.func, prev.line) == (ins.func_name, ins.line):
+                    merge_target = prev
+                break
+            if prev.anchored:
+                break
+        if merge_target is not None:
+            if event.anchored and event.value is not None:
+                note = (ins.text or f"@{event.uid}", event.value)
+                if note not in merge_target.values:
+                    merge_target.values.append(note)
+            merge_target.highlight = merge_target.highlight or \
+                event.uid in highlight_uids
+            merge_target.anchored = merge_target.anchored or event.anchored
+            continue
+        last_key = key
+        step = SketchStep(
+            order=len(steps) + 1,
+            tid=event.tid,
+            uid=event.uid,
+            func=ins.func_name,
+            line=ins.line,
+            source=module.source_line(ins.line),
+            highlight=event.uid in highlight_uids,
+            anchored=event.anchored,
+        )
+        if event.anchored and event.value is not None:
+            step.values.append((ins.text or f"@{event.uid}", event.value))
+        steps.append(step)
+
+    steps = _collapse_cycles(steps)
+    steps = _bound_steps(steps)
+    for i, step in enumerate(steps):
+        step.order = i + 1
+    access_order = sorted(last_anchor, key=lambda k: last_anchor[k])
+
+    failure_type = _classify(failure, threads)
+    return FailureSketch(
+        bug=bug,
+        failure_type=failure_type,
+        module_name=module.name,
+        failing_uid=failure.pc,
+        threads=sorted(threads),
+        steps=steps,
+        statement_uids=set(refined),
+        access_order=access_order,
+        predictors=dict(best_predictors),
+        sigma=sigma,
+        iterations=iterations,
+        failure_recurrences=failure_recurrences,
+    )
+
+
+def _collapse_cycles(steps: List[SketchStep]) -> List[SketchStep]:
+    """Fold repeated loop cycles: ``A B A B A B`` becomes the first cycle
+    plus the last (which carries the final, failure-adjacent values),
+    marked with the repeat count.  The paper's sketches show each
+    statement once, not once per loop iteration."""
+    keys = [(s.tid, s.func, s.line) for s in steps]
+    out: List[SketchStep] = []
+    i = 0
+    while i < len(steps):
+        collapsed = False
+        for period in (1, 2, 3):
+            if i + 2 * period > len(steps):
+                continue
+            cycles = 1
+            while keys[i + cycles * period: i + (cycles + 1) * period] \
+                    == keys[i: i + period]:
+                cycles += 1
+            if cycles >= 3:
+                out.extend(steps[i: i + period])
+                last = steps[i + (cycles - 1) * period: i + cycles * period]
+                for step in last:
+                    step.repeats = cycles
+                out.extend(last)
+                i += cycles * period
+                collapsed = True
+                break
+        if not collapsed:
+            out.append(steps[i])
+            i += 1
+    return out
+
+
+def _bound_steps(steps: List[SketchStep]) -> List[SketchStep]:
+    """Keep sketches readable when loops repeat statements many times:
+    preserve the head and tail of the step list (the tail is where the
+    failure is) within the MAX_STEPS budget."""
+    if len(steps) <= MAX_STEPS:
+        return steps
+    head = steps[: MAX_STEPS // 3]
+    tail = steps[-(MAX_STEPS - len(head)):]
+    return head + tail
+
+
+def _classify(failure: FailureReport, threads: List[int]) -> str:
+    flavor = "Concurrency bug" if len(threads) > 1 else "Sequential bug"
+    return f"{flavor}, {failure.kind.value}"

@@ -1,0 +1,66 @@
+"""Workload descriptions for production runs.
+
+A :class:`Workload` is one simulated user execution: the program inputs plus
+the scheduling circumstances.  Corpus bugs provide workload *factories*
+(index → workload) so a cooperative campaign can draw an endless, varied
+stream of runs, a small fraction of which fail — the paper's in-production
+regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+from ..runtime.scheduler import FixedScheduler, RandomScheduler, Scheduler
+
+ArgValue = Union[int, str]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One execution's inputs and interleaving."""
+
+    args: Tuple[ArgValue, ...] = ()
+    seed: int = 0
+    switch_prob: float = 0.02
+    #: When set, replay this exact interleaving instead of random
+    #: preemption (used to pin down known-failing schedules).
+    schedule: Optional[Tuple[Tuple[int, int], ...]] = None
+    max_steps: int = 500_000
+    entry: str = "main"
+
+    def make_scheduler(self) -> Scheduler:
+        if self.schedule is not None:
+            return FixedScheduler(list(self.schedule))
+        return RandomScheduler(self.seed, self.switch_prob)
+
+
+#: index → Workload; the stream a cooperative deployment draws from.
+WorkloadFactory = Callable[[int], Workload]
+
+
+def constant_factory(workload: Workload) -> WorkloadFactory:
+    """Every run uses the same inputs; only the index varies the seed."""
+
+    def factory(index: int) -> Workload:
+        return Workload(args=workload.args, seed=workload.seed + index,
+                        switch_prob=workload.switch_prob,
+                        max_steps=workload.max_steps, entry=workload.entry)
+
+    return factory
+
+
+def mixed_factory(workloads: Sequence[Workload]) -> WorkloadFactory:
+    """Cycle through several base workloads, reseeding per index."""
+    if not workloads:
+        raise ValueError("need at least one workload")
+
+    def factory(index: int) -> Workload:
+        base = workloads[index % len(workloads)]
+        return Workload(args=base.args, seed=base.seed + index,
+                        switch_prob=base.switch_prob,
+                        schedule=base.schedule,
+                        max_steps=base.max_steps, entry=base.entry)
+
+    return factory

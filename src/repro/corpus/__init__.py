@@ -1,0 +1,21 @@
+"""The evaluation bug corpus: models of the paper's 11 bugs (Table 1)."""
+
+from .registry import (
+    BugSpec,
+    CorpusError,
+    all_bug_ids,
+    all_bugs,
+    build_ideal_sketch,
+    get_bug,
+    parse_annotations,
+)
+
+__all__ = [
+    "BugSpec",
+    "CorpusError",
+    "all_bug_ids",
+    "all_bugs",
+    "build_ideal_sketch",
+    "get_bug",
+    "parse_annotations",
+]

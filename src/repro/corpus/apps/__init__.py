@@ -1,0 +1,1 @@
+"""Corpus application models (one module per real-world program)."""

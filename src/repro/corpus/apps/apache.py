@@ -1,0 +1,387 @@
+"""The four Apache httpd bugs of Table 1.
+
+- **apache-21287** (Apache-3, httpd 2.0.48): mod_mem_cache's
+  ``decrement_refcount`` performs dec / check / free non-atomically; two
+  threads finishing with the same cached object can both observe
+  ``refcnt == 0`` and both free it — a double free (the paper's Fig. 8).
+  Fixed by making the decrement-check-free triplet atomic.
+- **apache-25520** (Apache-2, httpd 2.0.48): the buffered access logger's
+  ``len`` update is a non-atomic read-modify-write; concurrent appenders
+  lose log entries / corrupt the buffer.
+- **apache-21285** (Apache-4, httpd 2.0.46): connection teardown's
+  check-then-free on a shared buffer races with the worker's own release
+  path: both see the buffer pointer non-NULL and both free it.
+- **apache-45605** (Apache-1, httpd 2.2.9): the core output filter checks a
+  connection's brigade pointer and then dereferences it; an EOS cleanup on
+  another thread NULLs the brigade between check and use (an RWR atomicity
+  violation) and the filter segfaults.
+"""
+
+from __future__ import annotations
+
+from ..registry import BugSpec, register
+from ...core.workload import Workload
+from ...runtime.failures import FailureKind
+
+# ---------------------------------------------------------------------------
+# apache-21287: dec / check / free double free (Fig. 8)
+# ---------------------------------------------------------------------------
+
+SOURCE_21287 = """\
+// Apache mod_mem_cache (model): non-atomic decrement-check-free.
+struct cacheobj {
+    int refcnt;
+    int complete;
+    int key;
+    int cleanup;
+};
+
+struct cacheobj* obj;
+int served = 0;
+
+int handle_request(int rounds) {
+    // Request parsing + response generation stand-in.
+    int acc = rounds + 7;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 131 + i) % 65599;
+    }
+    return acc;
+}
+
+void dec(struct cacheobj* o) {
+    o->refcnt = o->refcnt - 1;                         //@ ideal acc=1
+}
+
+void cleanup_stats(int mobj, int n) {
+    int acc = mobj;
+    int i;
+    for (i = 0; i < n; i++) {
+        acc = (acc * 31 + i) % 7919;
+    }
+    served = served + acc % 2;
+}
+
+void decrement_refcount(int rounds) {
+    served = served + handle_request(rounds);
+    if (!obj->complete) {                              //@ ideal
+        int mobj = obj->key;                           //@ ideal
+        dec(obj);                                      //@ ideal
+        cleanup_stats(mobj, 12);
+        if (!obj->refcnt) {                            //@ ideal acc=3
+            free(obj);                                 //@ root acc=2
+        }
+    }
+}
+
+int main(int r1, int r2) {
+    obj = malloc(sizeof(struct cacheobj));             //@ ideal
+    obj->refcnt = 2;                                   //@ ideal
+    obj->complete = 0;                                 //@ ideal
+    obj->key = 42;
+    obj->cleanup = 0;
+    int t1 = thread_create(decrement_refcount, r1);    //@ ideal
+    int t2 = thread_create(decrement_refcount, r2);    //@ ideal
+    thread_join(t1);
+    thread_join(t2);
+    print(served);
+    return 0;
+}
+"""
+
+
+def _factory_21287(index: int) -> Workload:
+    return Workload(args=(200, 200), seed=21000 + index, switch_prob=0.05,
+                    max_steps=400_000)
+
+
+@register("apache-21287")
+def make_21287() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="apache-21287",
+        software="Apache httpd",
+        software_version="2.0.48",
+        software_loc=169_747,
+        bug_db_id="21287",
+        kind="concurrency",
+        failure_kind=FailureKind.USE_AFTER_FREE,
+        description=("mod_mem_cache decrement_refcount: dec/check/free is "
+                     "not atomic (Fig. 8).  On real hardware the losing "
+                     "thread reads freed memory and double-frees; our "
+                     "strict memory model faults at that freed-refcnt read "
+                     "instead — same root cause, same sketch"),
+        source=SOURCE_21287,
+        workload_factory=_factory_21287,
+        failing_probe=Workload(args=(200, 200), seed=21001,
+                               switch_prob=0.05, max_steps=400_000),
+        module_name="apache21287",
+    )
+
+
+# ---------------------------------------------------------------------------
+# apache-25520: buffered-log lost update
+# ---------------------------------------------------------------------------
+
+SOURCE_25520 = """\
+// Apache buffered access logging (model): racy buffer append.
+struct logbuf {
+    int len;
+    int dropped;
+    int data[128];
+};
+
+struct logbuf* buf;
+int requests_done = 0;
+
+int format_entry(int req, int rounds) {
+    int acc = req * 13 + 1;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 37 + req) % 32719;
+    }
+    return acc;
+}
+
+void log_write(int entry) {
+    int pos = buf->len;                                //@ ideal acc=1
+    if (pos < 128) {                                   //@ ideal
+        buf->data[pos] = entry;
+        buf->len = pos + 1;                            //@ root acc=2
+    } else {
+        buf->dropped = buf->dropped + 1;
+    }
+}
+
+void worker(int spec) {
+    int nreq = spec / 1000;
+    int rounds = spec % 1000;
+    int i;
+    for (i = 0; i < nreq; i++) {
+        int entry = format_entry(i, rounds);
+        log_write(entry);
+        requests_done = requests_done + 1;
+    }
+}
+
+int main(int spec1, int spec2) {
+    buf = malloc(sizeof(struct logbuf));
+    buf->len = 0;
+    buf->dropped = 0;
+    int t1 = thread_create(worker, spec1);
+    int t2 = thread_create(worker, spec2);
+    thread_join(t1);
+    thread_join(t2);
+    int expected = spec1 / 1000 + spec2 / 1000;        //@ ideal
+    assert(buf->len + buf->dropped == expected, "log entries lost");  //@ ideal
+    print(buf->len);
+    return 0;
+}
+"""
+
+
+def _factory_25520(index: int) -> Workload:
+    # 6 requests each; formatting rounds differ so the loops drift.
+    return Workload(args=(6_210, 6_195), seed=25000 + index,
+                    switch_prob=0.02, max_steps=400_000)
+
+
+@register("apache-25520")
+def make_25520() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="apache-25520",
+        software="Apache httpd",
+        software_version="2.0.48",
+        software_loc=169_747,
+        bug_db_id="25520",
+        kind="concurrency",
+        failure_kind=FailureKind.ASSERTION,
+        description=("buffered logger's len update is a non-atomic RMW; "
+                     "concurrent appenders lose entries"),
+        source=SOURCE_25520,
+        workload_factory=_factory_25520,
+        failing_probe=Workload(args=(6_210, 6_195), seed=25003,
+                               switch_prob=0.02, max_steps=400_000),
+        module_name="apache25520",
+    )
+
+
+# ---------------------------------------------------------------------------
+# apache-21285: check-then-free double free on connection teardown
+# ---------------------------------------------------------------------------
+
+SOURCE_21285 = """\
+// Apache connection teardown (model): racy check-then-free.
+struct conn {
+    void* buf;
+    int state;
+    int bytes;
+};
+
+struct conn* conn;
+int handled = 0;
+
+int serve(int rounds) {
+    int acc = 97;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 131 + i) % 49999;
+    }
+    return acc;
+}
+
+void release_conn(int rounds) {
+    // Both the worker's normal path and the shutdown path run this
+    // cleanup without holding the connection lock.  The buffer pointer is
+    // read once; the free and the NULLing are not atomic with the check.
+    void* b = conn->buf;                               //@ ideal acc=1
+    if (b) {                                           //@ ideal
+        serve(rounds / 16);
+        free(b);                                       //@ root acc=3
+        conn->buf = NULL;                              //@ ideal acc=2
+    }
+}
+
+void worker(int rounds) {
+    handled = handled + serve(rounds);
+    conn->bytes = conn->bytes + 1;
+    release_conn(rounds);                              //@ ideal
+}
+
+int main(int rounds, int shutdown_delay) {
+    conn = malloc(sizeof(struct conn));                //@ ideal
+    conn->buf = malloc(16);                            //@ ideal
+    conn->state = 1;
+    conn->bytes = 0;
+    int t = thread_create(worker, rounds);             //@ ideal
+    // Shutdown path: tear the connection down after a grace period.
+    serve(shutdown_delay);
+    release_conn(rounds);
+    thread_join(t);
+    free(conn);
+    print(handled);
+    return 0;
+}
+"""
+
+
+def _factory_21285(index: int) -> Workload:
+    return Workload(args=(160, 150), seed=31000 + index, switch_prob=0.05,
+                    max_steps=400_000)
+
+
+@register("apache-21285")
+def make_21285() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="apache-21285",
+        software="Apache httpd",
+        software_version="2.0.46",
+        software_loc=168_574,
+        bug_db_id="21285",
+        kind="concurrency",
+        failure_kind=FailureKind.DOUBLE_FREE,
+        description=("worker release and shutdown release race through the "
+                     "same check-then-free; both free the connection "
+                     "buffer"),
+        source=SOURCE_21285,
+        workload_factory=_factory_21285,
+        failing_probe=Workload(args=(160, 150), seed=31002,
+                               switch_prob=0.05, max_steps=400_000),
+        module_name="apache21285",
+    )
+
+
+# ---------------------------------------------------------------------------
+# apache-45605: brigade check/use vs EOS cleanup (RWR)
+# ---------------------------------------------------------------------------
+
+SOURCE_45605 = """\
+// Apache core output filter (model): brigade TOCTOU against EOS cleanup.
+struct brigade {
+    int nbytes;
+    int nbuckets;
+};
+
+struct conn {
+    struct brigade* brigade;
+    int eos;
+    int sent;
+};
+
+struct conn* conn;
+int flushed = 0;
+
+int network_send(int n, int rounds) {
+    int acc = n;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 131 + n) % 65521;
+    }
+    return acc;
+}
+
+void output_filter(int rounds) {
+    int pass;
+    for (pass = 0; pass < 4; pass++) {                 //@ ideal
+        if (conn->brigade) {                           //@ ideal acc=1
+            int hdr = network_send(pass, 20);
+            int n = conn->brigade->nbytes;             //@ ideal acc=3
+            conn->sent = conn->sent + n + hdr;
+            network_send(n, rounds / 4);
+            flushed = flushed + 1;
+        }
+        usleep(3);
+    }
+}
+
+void eos_cleanup(int rounds) {
+    network_send(1, rounds);
+    conn->eos = 1;
+    conn->brigade = NULL;                              //@ root acc=2
+}
+
+int main(int rounds, int cleanup_delay) {
+    conn = malloc(sizeof(struct conn));                //@ ideal
+    struct brigade* b = malloc(sizeof(struct brigade));
+    b->nbytes = 4096;
+    b->nbuckets = 2;
+    conn->brigade = b;                                 //@ ideal
+    conn->eos = 0;
+    conn->sent = 0;
+    int t = thread_create(output_filter, rounds);      //@ ideal
+    eos_cleanup(cleanup_delay);
+    thread_join(t);
+    print(conn->sent);
+    free(b);
+    free(conn);
+    return 0;
+}
+"""
+
+
+def _factory_45605(index: int) -> Workload:
+    return Workload(args=(600, 160), seed=45000 + index, switch_prob=0.02,
+                    max_steps=400_000)
+
+
+@register("apache-45605")
+def make_45605() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="apache-45605",
+        software="Apache httpd",
+        software_version="2.2.9",
+        software_loc=224_533,
+        bug_db_id="45605",
+        kind="concurrency",
+        failure_kind=FailureKind.SEGFAULT,
+        description=("output filter checks conn->brigade then dereferences "
+                     "it; EOS cleanup NULLs the brigade in between (RWR)"),
+        source=SOURCE_45605,
+        workload_factory=_factory_45605,
+        failing_probe=Workload(args=(600, 160), seed=45004,
+                               switch_prob=0.02, max_steps=400_000),
+        module_name="apache45605",
+    )

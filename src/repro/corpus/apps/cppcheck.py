@@ -1,0 +1,271 @@
+"""The two Cppcheck bugs of Table 1 — sequential, input-dependent.
+
+- **cppcheck-3238** (Cppcheck 1.52): the simplifier walks the token stream
+  and, on a ``::`` token, consumes the *following* token without checking
+  that one exists; source text ending in ``::`` reads past the end of the
+  token array.
+- **cppcheck-2782** (Cppcheck 1.48): template simplification follows
+  ``tok->next->next`` after matching ``template <``; when the match sits at
+  the end of the list the second ``next`` is NULL and the field access
+  segfaults.
+
+Both model Cppcheck's real architecture at miniature scale: a tokenizer
+producing a token stream, then simplification passes over it.  The failing
+inputs are rare members of an otherwise healthy input mix.
+"""
+
+from __future__ import annotations
+
+from ..registry import BugSpec, register
+from ...core.workload import Workload
+from ...runtime.failures import FailureKind
+
+# Token kind numbering shared by both models (kept tiny on purpose):
+# 1 ident, 2 number, 3 '(', 4 ')', 5 '{', 6 '}', 7 ';', 8 '::',
+# 9 'template', 10 '<', 11 '>', 0 end.
+
+SOURCE_3238 = """\
+// cppcheck 1.52 (model): '::'-merge reads past the token array.
+struct tokens {
+    int count;
+    int kinds[64];
+    int values[64];
+};
+
+int checked = 0;
+int findings = 0;
+
+int classify(char* src, int i) {
+    int c = src[i];
+    if (c == ':') { return 8; }
+    if (c == '(') { return 3; }
+    if (c == ')') { return 4; }
+    if (c == '{') { return 5; }
+    if (c == '}') { return 6; }
+    if (c == ';') { return 7; }
+    if (c >= '0' && c <= '9') { return 2; }
+    return 1;
+}
+
+void tokenize(struct tokens* toks, char* src) {
+    int i = 0;
+    int n = 0;
+    while (src[i] != 0 && n < 64) {
+        if (src[i] == ' ') {
+            i = i + 1;
+            continue;
+        }
+        int kind = classify(src, i);
+        if (kind == 8) {
+            i = i + 1;  // '::' is two characters
+        }
+        toks->kinds[n] = kind;
+        toks->values[n] = src[i];
+        n = n + 1;
+        i = i + 1;
+    }
+    toks->count = n;                                   //@ ideal
+}
+
+int simplify_scope(struct tokens* toks) {
+    // Merge 'A :: B' into one scoped name.  BUG: when '::' is the last
+    // token, kinds[i + 1] reads past the initialized region.
+    int merged = 0;
+    int i;
+    for (i = 0; i < toks->count; i++) {                //@ ideal
+        if (toks->kinds[i] == 8) {                     //@ ideal
+            int next = toks->kinds[i + 1];             //@ root
+            assert(next != 0, "token after ::");       //@ ideal
+            merged = merged + next;
+        }
+    }
+    return merged;
+}
+
+int analyze(struct tokens* toks, int rounds) {
+    // The actual checking passes: deterministic work over the token
+    // *values* (the kind row is the simplifier's business).
+    int acc = toks->count;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 31 + toks->values[i % 64]) % 39979;
+    }
+    return acc;
+}
+
+int main(char* src, int rounds) {
+    struct tokens* toks = malloc(sizeof(struct tokens));
+    toks->count = 0;
+    memset(toks, 0, sizeof(struct tokens));
+    tokenize(toks, src);
+    findings = findings + simplify_scope(toks);
+    checked = checked + analyze(toks, rounds);
+    print(findings);
+    print(checked);
+    free(toks);
+    return 0;
+}
+"""
+
+_INPUTS_3238 = [
+    "int a ; a = 1 ;",
+    "ns::f ( ) { x = 2 ; }",
+    "a::b::c ( 1 ) ;",
+    "while ( x ) { y ; }",
+    "class X ::",          # the killer: '::' as the final token
+    "f ( a::b ) ;",
+    "x = 5 ; g ( ) ;",
+]
+
+
+def _factory_3238(index: int) -> Workload:
+    return Workload(args=(_INPUTS_3238[index % len(_INPUTS_3238)], 2600),
+                    seed=32000 + index, switch_prob=0.0, max_steps=400_000)
+
+
+@register("cppcheck-3238")
+def make_3238() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="cppcheck-3238",
+        software="Cppcheck",
+        software_version="1.52",
+        software_loc=86_215,
+        bug_db_id="3238",
+        kind="sequential",
+        failure_kind=FailureKind.ASSERTION,
+        description=("scope simplification consumes the token after '::' "
+                     "without checking it exists; input ending in '::' "
+                     "trips the token-stream invariant"),
+        source=SOURCE_3238,
+        workload_factory=_factory_3238,
+        failing_probe=Workload(args=("class X ::", 2600), seed=1,
+                               switch_prob=0.0, max_steps=400_000),
+        module_name="cppcheck3238",
+    )
+
+
+SOURCE_2782 = """\
+// cppcheck 1.48 (model): template simplification derefs a NULL next link.
+struct token {
+    int kind;
+    int value;
+    struct token* next;
+};
+
+int simplified = 0;
+int checked = 0;
+
+int classify(char* src, int i) {
+    int c = src[i];
+    if (c == 't') { return 9; }
+    if (c == '<') { return 10; }
+    if (c == '>') { return 11; }
+    if (c == '(') { return 3; }
+    if (c == ')') { return 4; }
+    if (c == ';') { return 7; }
+    if (c >= '0' && c <= '9') { return 2; }
+    return 1;
+}
+
+struct token* tokenize(char* src) {
+    struct token* head = NULL;
+    struct token* tail = NULL;
+    int i = 0;
+    while (src[i] != 0) {
+        if (src[i] != ' ') {
+            struct token* t = malloc(sizeof(struct token));
+            t->kind = classify(src, i);
+            t->value = src[i];
+            t->next = NULL;                            //@ ideal
+            if (tail == NULL) {
+                head = t;
+            } else {
+                tail->next = t;
+            }
+            tail = t;
+        }
+        i = i + 1;
+    }
+    return head;
+}
+
+int simplify_templates(struct token* head) {
+    // Rewrite 'template < T >' sequences.  BUG: after matching
+    // 'template <', the code unconditionally reads tok->next->next->kind;
+    // when '<' ends the list, tok->next->next is NULL.
+    int rewrites = 0;
+    struct token* tok = head;
+    while (tok != NULL) {                              //@ ideal
+        if (tok->kind == 9 && tok->next != NULL) {     //@ ideal
+            if (tok->next->kind == 10) {               //@ ideal
+                struct token* arg = tok->next->next;   //@ root
+                int k = arg->kind;                     //@ ideal
+                rewrites = rewrites + k;
+            }
+        }
+        tok = tok->next;                               //@ ideal
+    }
+    return rewrites;
+}
+
+int count_tokens(struct token* head, int rounds) {
+    int n = 0;
+    struct token* tok = head;
+    while (tok != NULL) {
+        n = n + 1;
+        tok = tok->next;
+    }
+    int acc = n;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 37 + n) % 48611;
+    }
+    return acc;
+}
+
+int main(char* src, int rounds) {
+    struct token* head = tokenize(src);
+    simplified = simplified + simplify_templates(head);
+    checked = checked + count_tokens(head, rounds);
+    print(simplified);
+    print(checked);
+    return 0;
+}
+"""
+
+_INPUTS_2782 = [
+    "f ( 1 ) ;",
+    "t < 9 > x ;",
+    "a b ; t < 2 > ;",
+    "x ( ) ; y ( ) ;",
+    "a ; t <",            # the killer: 'template <' at end of list
+    "t < 3 > f ( ) ;",
+]
+
+
+def _factory_2782(index: int) -> Workload:
+    return Workload(args=(_INPUTS_2782[index % len(_INPUTS_2782)], 2400),
+                    seed=27000 + index, switch_prob=0.0, max_steps=400_000)
+
+
+@register("cppcheck-2782")
+def make_2782() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="cppcheck-2782",
+        software="Cppcheck",
+        software_version="1.48",
+        software_loc=76_009,
+        bug_db_id="2782",
+        kind="sequential",
+        failure_kind=FailureKind.SEGFAULT,
+        description=("template simplification reads tok->next->next "
+                     "unconditionally; 'template <' at end of input makes "
+                     "it NULL and the dereference segfaults"),
+        source=SOURCE_2782,
+        workload_factory=_factory_2782,
+        failing_probe=Workload(args=("a ; t <", 2400), seed=1,
+                               switch_prob=0.0, max_steps=400_000),
+        module_name="cppcheck2782",
+    )

@@ -1,0 +1,149 @@
+"""Curl bug #965 — the paper's sequential example (Fig. 7).
+
+Real bug: passing a URL with unbalanced curly braces ("{}{") to curl's URL
+globbing made ``urls->current`` NULL inside ``next_url``, and the subsequent
+``strlen(urls->current)`` segfaulted.  Developers fixed it by rejecting
+unbalanced braces in the input.
+
+Model: ``glob_url`` counts brace groups to size the expansion list but only
+fills entries for *balanced* groups, so an unbalanced input leaves a NULL
+hole; ``next_url`` walks the list and calls ``strlen`` on the current entry.
+The failure is purely input-dependent (no schedule sensitivity): exactly the
+workloads carrying a malformed URL fail.
+"""
+
+from __future__ import annotations
+
+from ..registry import BugSpec, register
+from ...core.workload import Workload
+from ...runtime.failures import FailureKind
+
+SOURCE = """\
+// curl (model): URL globbing with unbalanced braces.
+struct urlset {
+    char* current;
+    int count;
+    int index;
+    char* list[16];
+};
+
+int total_len = 0;
+int fetched = 0;
+
+int fetch(char* url, int rounds) {
+    // Stand-in for the transfer: hash the url bytes, then spin.
+    int h = 5381;
+    int i = 0;
+    while (url[i] != 0) {
+        h = (h * 33 + url[i]) % 100003;
+        i = i + 1;
+    }
+    int j;
+    for (j = 0; j < rounds; j++) {
+        h = (h * 31 + j) % 99991;
+    }
+    return h;
+}
+
+int glob_url(struct urlset* set, char* url) {
+    int opens = 0;
+    int closes = 0;
+    int i = 0;
+    while (url[i] != 0) {
+        if (url[i] == '{') {
+            opens = opens + 1;
+        }
+        if (url[i] == '}') {
+            closes = closes + 1;
+        }
+        i = i + 1;
+    }
+    // One expansion per brace group plus the base url.
+    int n = opens + 1;
+    if (n > 16) {
+        n = 16;
+    }
+    set->count = n;
+    // BUG: only *balanced* groups produce list entries; an unbalanced
+    // input leaves NULL holes that next_url will hand to strlen.
+    int filled = closes + 1;
+    if (filled > n) {
+        filled = n;
+    }
+    int k;
+    for (k = 0; k < filled; k++) {
+        set->list[k] = url;
+    }
+    return n;
+}
+
+char* next_url(struct urlset* set) {
+    if (set->index >= set->count) {                     //@ ideal
+        return NULL;
+    }
+    set->current = set->list[set->index];               //@ ideal acc=1 rootval=0
+    set->index = set->index + 1;
+    int len = strlen(set->current);                     //@ ideal acc=2 rootval=0
+    total_len = total_len + len;
+    return set->current;                                //@ ideal
+}
+
+void operate(char* url, int rounds) {
+    struct urlset* urls = malloc(sizeof(struct urlset));
+    urls->current = NULL;
+    urls->count = 0;
+    urls->index = 0;
+    glob_url(urls, url);
+    char* u = next_url(urls);                           //@ ideal
+    while (u != NULL) {                                 //@ ideal
+        fetched = fetched + fetch(u, rounds);
+        u = next_url(urls);                             //@ ideal
+    }
+    free(urls);
+}
+
+int main(char* url, int rounds) {
+    operate(url, rounds);
+    print(total_len);
+    print(fetched);
+    return 0;
+}
+"""
+
+#: Most traffic is well-formed; roughly 1 in 6 runs carries the bad input
+#: (in-production failures are the minority of runs, §2).
+_URLS = [
+    "http://example.com/{a,b}",
+    "http://example.com/files/{x}",
+    "http://example.com/plain",
+    "http://mirror.net/{one,two}",
+    "{}{",
+    "http://example.com/{q,r}/end",
+]
+
+
+def _workload_factory(index: int) -> Workload:
+    url = _URLS[index % len(_URLS)]
+    return Workload(args=(url, 400), seed=17000 + index,
+                    switch_prob=0.0, max_steps=400_000)
+
+
+@register("curl-965")
+def make_spec() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="curl-965",
+        software="Curl",
+        software_version="7.21",
+        software_loc=81_658,
+        bug_db_id="965",
+        kind="sequential",
+        failure_kind=FailureKind.SEGFAULT,
+        description=("unbalanced curly braces in the URL glob leave "
+                     "urls->current NULL; strlen(NULL) segfaults (Fig. 7)"),
+        source=SOURCE,
+        workload_factory=_workload_factory,
+        failing_probe=Workload(args=("{}{", 400), seed=1,
+                               switch_prob=0.0, max_steps=400_000),
+        module_name="curl",
+    )

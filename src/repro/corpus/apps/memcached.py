@@ -1,0 +1,108 @@
+"""Memcached bug #127 — non-atomic incr/decr.
+
+Real bug: memcached 1.4.4's ``process_arithmetic_command`` performed
+item-value increments as a read-modify-write without holding the cache
+lock, so concurrent ``incr`` requests lost updates.
+
+Model: two client-serving threads each apply ``incr`` operations to the
+same cached item.  The increment parses the request (kernel), loads the
+value, computes, and stores it back — unlocked.  ``main`` asserts the final
+counter equals the number of increments issued; a lost update (the WW race
+the paper's predictor set catches) trips the assert.
+"""
+
+from __future__ import annotations
+
+from ..registry import BugSpec, register
+from ...core.workload import Workload
+from ...runtime.failures import FailureKind
+
+SOURCE = """\
+// memcached (model): unlocked incr loses updates.
+struct item {
+    int key;
+    int value;
+    int flags;
+    int hits;
+};
+
+struct item* it;
+int requests = 0;
+
+int parse_request(int req, int rounds) {
+    int acc = req * 131 + 9;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 37 + req) % 61031;
+    }
+    return acc;
+}
+
+void incr_item(int delta) {
+    int v = it->value;                                 //@ ideal acc=1
+    // Re-encode the value (memcached stores numbers as strings): work
+    // sits between the read and the write, widening the race window.
+    int chk = 0;
+    int k;
+    for (k = 0; k < 3; k++) {
+        chk = (chk * 31 + v) % 9973;
+    }
+    it->value = v + delta;                             //@ root acc=2
+    it->hits = it->hits + chk % 2 + 1;
+}
+
+void client_thread(int spec) {
+    int nops = spec / 1000;
+    int rounds = spec % 1000;
+    int op;
+    for (op = 0; op < nops; op++) {                    //@ ideal
+        requests = requests + parse_request(op, rounds);
+        incr_item(1);                                  //@ ideal
+    }
+}
+
+int main(int spec1, int spec2) {
+    it = malloc(sizeof(struct item));                  //@ ideal
+    it->key = 7;
+    it->value = 0;                                     //@ ideal
+    it->flags = 0;
+    it->hits = 0;
+    int t1 = thread_create(client_thread, spec1);      //@ ideal
+    int t2 = thread_create(client_thread, spec2);      //@ ideal
+    thread_join(t1);
+    thread_join(t2);
+    int expected = spec1 / 1000 + spec2 / 1000;        //@ ideal
+    assert(it->value == expected, "incr lost an update");  //@ ideal
+    print(it->value);
+    free(it);
+    return 0;
+}
+"""
+
+
+def _workload_factory(index: int) -> Workload:
+    # 5 increments per client; parse kernels drift the two loops apart.
+    return Workload(args=(5_150, 5_155), seed=12000 + index,
+                    switch_prob=0.02, max_steps=400_000)
+
+
+@register("memcached-127")
+def make_spec() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="memcached-127",
+        software="Memcached",
+        software_version="1.4.4",
+        software_loc=8_182,
+        bug_db_id="127",
+        kind="concurrency",
+        failure_kind=FailureKind.ASSERTION,
+        description=("incr is an unlocked read-modify-write; two client "
+                     "threads lose updates (WW race) and the final count "
+                     "assert fails"),
+        source=SOURCE,
+        workload_factory=_workload_factory,
+        failing_probe=Workload(args=(5_150, 5_155), seed=12002,
+                               switch_prob=0.02, max_steps=400_000),
+        module_name="memcached",
+    )

@@ -1,0 +1,136 @@
+"""Pbzip2 bug #1 — the paper's running example (Fig. 1).
+
+Real bug: pbzip2 0.9.4's ``main`` destroys the queue mutex (``free(f->mut);
+f->mut = NULL;``) once the queue looks drained, while a consumer thread can
+still be about to call ``mutex_unlock(f->mut)`` — a use-after-free /
+NULL-dereference ordering bug that segfaults.  Developers fixed it with
+synchronization that makes ``cons`` finish before ``main`` tears down.
+
+Model: a producer (``main``) enqueues compression blocks; a ``consumer``
+thread dequeues and "compresses" them (a checksum kernel stands in for
+BZ2_bzCompress).  ``main`` polls the unlocked ``count`` field, and as soon
+as the queue looks empty it destroys the mutex and NULLs the pointer —
+without joining the consumer first.  The consumer's final
+``mutex_unlock(fifo->mut)`` races with that teardown.
+"""
+
+from __future__ import annotations
+
+from ..registry import BugSpec, register
+from ...core.workload import Workload
+from ...runtime.failures import FailureKind
+
+SOURCE = """\
+// pbzip2 (model): producer/consumer with premature mutex teardown.
+struct queue {
+    void* mut;
+    int head;
+    int tail;
+    int count;
+    int done;
+    int items[8];
+};
+
+struct queue* fifo;
+int total_out = 0;
+
+int compress_block(int data, int rounds) {
+    // Stand-in for BZ2_bzCompress: a deterministic checksum kernel.
+    int acc = data + 12345;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 31 + i) % 65521;
+        acc = acc ^ (i << 3);
+    }
+    return (acc % 251) + 1;
+}
+
+int read_block(int index, int rounds) {
+    // Stand-in for file input: derive block bytes from the index.
+    int acc = index * 7 + 3;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 17 + index) % 32749;
+    }
+    return acc;
+}
+
+void consumer(int rounds) {
+    int more = 1;
+    while (more) {                                     //@ ideal
+        mutex_lock(fifo->mut);
+        int avail = fifo->count;
+        if (avail > 0) {
+            int block = fifo->items[fifo->head % 8];
+            fifo->head = fifo->head + 1;
+            int out = compress_block(block, rounds);
+            total_out = total_out + out;
+            fifo->count = fifo->count - 1;
+        }
+        if (fifo->done && fifo->count == 0) {
+            more = 0;
+        }
+        mutex_unlock(fifo->mut);                       //@ ideal acc=3
+        if (avail == 0 && more) {
+            usleep(4);
+        }
+    }
+}
+
+int main(int nblocks, int rounds) {
+    fifo = malloc(sizeof(struct queue));               //@ ideal
+    fifo->mut = mutex_create();                        //@ ideal acc=1
+    fifo->head = 0;
+    fifo->tail = 0;
+    fifo->count = 0;
+    fifo->done = 0;
+    int t = thread_create(consumer, rounds);           //@ ideal
+    int i;
+    for (i = 0; i < nblocks; i++) {
+        int block = read_block(i, rounds / 2);
+        mutex_lock(fifo->mut);
+        fifo->items[fifo->tail % 8] = block;
+        fifo->tail = fifo->tail + 1;
+        fifo->count = fifo->count + 1;
+        mutex_unlock(fifo->mut);
+    }
+    fifo->done = 1;
+    // BUG: poll the (unlocked) count and tear the mutex down as soon as
+    // the queue looks drained -- the consumer may still be holding it.
+    while (fifo->count > 0) {
+        usleep(3);
+    }
+    mutex_destroy(fifo->mut);                          //@ ideal
+    fifo->mut = NULL;                                  //@ root acc=2
+    thread_join(t);
+    free(fifo);
+    print(total_out);
+    return 0;
+}
+"""
+
+
+def _workload_factory(index: int) -> Workload:
+    return Workload(args=(10, 120), seed=9000 + index, switch_prob=0.02,
+                    max_steps=400_000)
+
+
+@register("pbzip2-1")
+def make_spec() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="pbzip2-1",
+        software="Pbzip2",
+        software_version="0.9.4",
+        software_loc=1_492,
+        bug_db_id="N/A",
+        kind="concurrency",
+        failure_kind=FailureKind.SEGFAULT,
+        description=("use-after-free of the queue mutex: main frees/NULLs "
+                     "f->mut while the consumer still unlocks it (Fig. 1)"),
+        source=SOURCE,
+        workload_factory=_workload_factory,
+        failing_probe=Workload(args=(10, 120), seed=9001,
+                               switch_prob=0.02, max_steps=400_000),
+        module_name="pbzip2",
+    )

@@ -1,0 +1,133 @@
+"""Extension bug: the condition-variable variant of the pbzip2 teardown.
+
+Real pbzip2 coordinates its queue with ``pthread_cond_wait`` /
+``pthread_cond_broadcast``, not polling; the use-after-free family of bugs
+in its teardown path includes destroying synchronization objects while a
+consumer is still inside a wait.  This extension-corpus entry models that
+directly (the Table-1 entry ``pbzip2-1`` models the simpler
+polling/mutex-pointer variant the paper's Fig. 1 shows):
+
+``main`` produces blocks, broadcasts "done", spin-checks that the queue
+looks drained, and destroys the condition variable — without joining the
+consumer, which may still be inside ``cond_wait`` (woken, but not yet
+through the mutex-reacquire step).  The consumer's wait then touches freed
+condvar memory.
+
+Not part of the paper's evaluation tables (``extra=True``); exercises the
+condvar substrate end-to-end through the full Gist pipeline.
+"""
+
+from __future__ import annotations
+
+from ..registry import BugSpec, register
+from ...core.workload import Workload
+from ...runtime.failures import FailureKind
+
+SOURCE = """\
+// pbzip2 (condvar variant): destroy a condvar mid-wait.
+struct queue {
+    void* mut;
+    void* nonempty;
+    int count;
+    int done;
+    int consumed;
+};
+
+struct queue* fifo;
+int total_out = 0;
+
+int read_block(int index, int rounds) {
+    // File input: the producer is the slow side, so consumers park in
+    // cond_wait between blocks (as in real pbzip2 with fast cores).
+    int acc = index * 7 + 3;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 17 + index) % 32749;
+    }
+    return acc;
+}
+
+void consumer(int id) {
+    int more = 1;                                  //@ ideal
+    while (more) {                                     //@ ideal
+        mutex_lock(fifo->mut);                         //@ ideal
+        while (fifo->count == 0 && fifo->done == 0) { //@ ideal
+            cond_wait(fifo->nonempty, fifo->mut);      //@ ideal acc=1
+        }
+        if (fifo->count > 0) {
+            fifo->count = fifo->count - 1;
+            fifo->consumed = fifo->consumed + 1;
+            total_out = total_out + fifo->consumed + id;
+        }
+        if (fifo->done && fifo->count == 0) {
+            more = 0;
+        }
+        mutex_unlock(fifo->mut);
+    }
+}
+
+int main(int nblocks, int rounds) {
+    fifo = malloc(sizeof(struct queue));               //@ ideal
+    fifo->mut = mutex_create();                        //@ ideal
+    fifo->nonempty = cond_create();                    //@ ideal
+    fifo->count = 0;                                   //@ ideal
+    fifo->done = 0;                                    //@ ideal
+    fifo->consumed = 0;
+    int t1 = thread_create(consumer, 1);               //@ ideal
+    int t2 = thread_create(consumer, 2);               //@ ideal
+    int i;
+    for (i = 0; i < nblocks; i++) {
+        int block = read_block(i, rounds);
+        mutex_lock(fifo->mut);
+        fifo->count = fifo->count + 1;
+        cond_signal(fifo->nonempty);
+        mutex_unlock(fifo->mut);
+    }
+    mutex_lock(fifo->mut);
+    fifo->done = 1;                                    //@ ideal
+    cond_broadcast(fifo->nonempty);                    //@ ideal
+    mutex_unlock(fifo->mut);
+    // BUG: poll until the queue looks drained, then tear down the condvar
+    // without joining -- a woken consumer may still be inside cond_wait,
+    // waiting to reacquire the mutex.
+    while (fifo->count > 0) {
+        usleep(3);
+    }
+    usleep(9);
+    cond_destroy(fifo->nonempty);                      //@ root acc=2
+    thread_join(t1);
+    thread_join(t2);
+    mutex_destroy(fifo->mut);
+    free(fifo);
+    print(total_out);
+    return 0;
+}
+"""
+
+
+def _workload_factory(index: int) -> Workload:
+    return Workload(args=(8, 90), seed=77000 + index, switch_prob=0.03,
+                    max_steps=400_000)
+
+
+@register("pbzip2-cv")
+def make_spec() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="pbzip2-cv",
+        software="Pbzip2",
+        software_version="0.9.4",
+        software_loc=1_492,
+        bug_db_id="N/A",
+        kind="concurrency",
+        failure_kind=FailureKind.USE_AFTER_FREE,
+        description=("condvar variant of the teardown bug: main destroys "
+                     "the condition variable while the consumer is still "
+                     "inside cond_wait (extension corpus)"),
+        source=SOURCE,
+        workload_factory=_workload_factory,
+        failing_probe=Workload(args=(8, 90), seed=77001,
+                               switch_prob=0.03, max_steps=400_000),
+        module_name="pbzip2cv",
+        extra=True,
+    )

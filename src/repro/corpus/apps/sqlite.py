@@ -1,0 +1,112 @@
+"""SQLite ticket #1672 — a schema-version read/write race.
+
+Real bug: SQLite 3.3.3's thread handling let a connection be used from a
+second thread while the first was mid-update, tripping internal asserts.
+
+Model: a writer thread performs a two-step schema update on a shared
+database handle — it bumps ``db->version`` to an odd value (update in
+progress), rewrites the schema (a kernel), then bumps it back to even
+(stable).  A reader validates that it never observes an in-progress update:
+``assert(version % 2 == 0)``.  The race window is exactly the schema
+rewrite; the failing interleaving is the paper's RW data-race pattern.
+"""
+
+from __future__ import annotations
+
+from ..registry import BugSpec, register
+from ...core.workload import Workload
+from ...runtime.failures import FailureKind
+
+SOURCE = """\
+// sqlite (model): reader observes a mid-flight schema update.
+struct db {
+    int version;
+    int ncols;
+    int rows_read;
+};
+
+struct db* db;
+int query_total = 0;
+
+int rewrite_schema(int rounds) {
+    int acc = 3407;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 131 + i) % 52361;
+    }
+    return acc;
+}
+
+int run_query(int q, int rounds) {
+    int acc = q * 17 + 5;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 31 + q) % 46691;
+    }
+    return acc;
+}
+
+void writer(int rounds) {
+    int u;
+    for (u = 0; u < 3; u++) {
+        // Parse the DDL statement, then apply the two-step schema change:
+        // version is odd while the update is in flight.
+        rewrite_schema(rounds * 2);
+        db->version = db->version + 1;                 //@ root acc=1
+        db->ncols = db->ncols + rewrite_schema(rounds) % 3 + 1;
+        db->version = db->version + 1;                 //@ ideal
+        usleep(3);
+    }
+}
+
+void reader(int rounds) {
+    int q;
+    for (q = 0; q < 4; q++) {                          //@ ideal
+        query_total = query_total + run_query(q, rounds);
+        int v = db->version;                           //@ ideal acc=2
+        assert(v % 2 == 0, "schema stable during read");   //@ ideal
+        db->rows_read = db->rows_read + 1;
+    }
+}
+
+int main(int write_rounds, int read_rounds) {
+    db = malloc(sizeof(struct db));
+    db->version = 2;                                   //@ ideal
+    db->ncols = 5;
+    db->rows_read = 0;
+    int tw = thread_create(writer, write_rounds);      //@ ideal
+    int tr = thread_create(reader, read_rounds);       //@ ideal
+    thread_join(tw);
+    thread_join(tr);
+    print(query_total);
+    print(db->version);
+    free(db);
+    return 0;
+}
+"""
+
+
+def _workload_factory(index: int) -> Workload:
+    return Workload(args=(20, 95), seed=16000 + index, switch_prob=0.02,
+                    max_steps=400_000)
+
+
+@register("sqlite-1672")
+def make_spec() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="sqlite-1672",
+        software="SQLite",
+        software_version="3.3.3",
+        software_loc=47_150,
+        bug_db_id="1672",
+        kind="concurrency",
+        failure_kind=FailureKind.ASSERTION,
+        description=("reader observes the odd (in-progress) schema version "
+                     "mid-update: an RW race on db->version"),
+        source=SOURCE,
+        workload_factory=_workload_factory,
+        failing_probe=Workload(args=(20, 95), seed=16001,
+                               switch_prob=0.02, max_steps=400_000),
+        module_name="sqlite",
+    )

@@ -1,0 +1,106 @@
+"""Transmission bug #1818 — an initialization order violation.
+
+Real bug: Transmission 1.42 asserted ``h->bandwidth != NULL`` inside the
+event thread: ``tr_sessionInitFull`` spawned the event loop *before*
+finishing session initialization, so a fast-starting event thread observed
+the half-initialized session.
+
+Model: ``main`` allocates the session, spawns the event loop, then finishes
+loading configuration (a parsing kernel) before publishing
+``session->bandwidth``.  The event thread validates the session when its
+first event fires; if it wins the race it asserts.
+"""
+
+from __future__ import annotations
+
+from ..registry import BugSpec, register
+from ...core.workload import Workload
+from ...runtime.failures import FailureKind
+
+SOURCE = """\
+// transmission (model): event thread races session initialization.
+struct session {
+    int bandwidth;
+    int port;
+    int peer_limit;
+    int events_run;
+};
+
+struct session* session;
+int event_total = 0;
+
+int parse_config(int rounds) {
+    int acc = 443;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 131 + i) % 59999;
+    }
+    return acc;
+}
+
+int run_event(int kind, int rounds) {
+    int acc = kind + 11;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 31 + kind) % 49999;
+    }
+    return acc;
+}
+
+void event_loop(int rounds) {
+    // First event: decode it, then validate the session before use.
+    int v = run_event(0, rounds);
+    assert(session->bandwidth != 0, "session->bandwidth set");  //@ ideal acc=1 rootval=0
+    event_total = event_total + v + session->bandwidth;
+    int kind;
+    for (kind = 1; kind < 3; kind++) {
+        event_total = event_total + run_event(kind, rounds / 4);
+        usleep(2);
+    }
+    session->events_run = session->events_run + 1;
+}
+
+int main(int config_rounds, int event_rounds) {
+    session = malloc(sizeof(struct session));
+    session->bandwidth = 0;                            //@ ideal
+    session->port = 0;
+    session->peer_limit = 0;
+    session->events_run = 0;
+    // BUG: the event thread starts before initialization completes.
+    int t = thread_create(event_loop, event_rounds);   //@ ideal
+    session->port = 51413;
+    session->peer_limit = parse_config(config_rounds) % 200 + 40;
+    session->bandwidth = 100;                          //@ ideal
+    thread_join(t);
+    print(event_total);
+    free(session);
+    return 0;
+}
+"""
+
+
+def _workload_factory(index: int) -> Workload:
+    return Workload(args=(185, 215), seed=18000 + index, switch_prob=0.02,
+                    max_steps=400_000)
+
+
+@register("transmission-1818")
+def make_spec() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="transmission-1818",
+        software="Transmission",
+        software_version="1.42",
+        software_loc=59_977,
+        bug_db_id="1818",
+        kind="concurrency",
+        failure_kind=FailureKind.ASSERTION,
+        description=("event thread spawned before session init completes; "
+                     "its first event asserts on the unset bandwidth field "
+                     "(order violation)"),
+        source=SOURCE,
+        workload_factory=_workload_factory,
+        failing_probe=Workload(args=(185, 215), seed=18004,
+                               switch_prob=0.02, max_steps=400_000),
+        module_name="transmission",
+    )

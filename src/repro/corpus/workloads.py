@@ -1,0 +1,94 @@
+"""Workload calibration utilities.
+
+The in-production regime the paper assumes — failures that recur but are a
+minority of runs (§2's "once every 24 hours bugs in a 100 machine
+cluster", scaled down) — is a *property of the corpus workloads*, so this
+module makes it measurable: per-bug failure rates, failure-kind breakdowns,
+and run costs.  The corpus tests pin these numbers; the calibration report
+is also handy when adding a new bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..runtime.interpreter import run_program
+from .registry import BugSpec
+
+
+@dataclass
+class CalibrationResult:
+    """Measured workload behaviour for one bug."""
+
+    bug_id: str
+    runs: int = 0
+    failures: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    failing_pcs: Dict[int, int] = field(default_factory=dict)
+    avg_steps: float = 0.0
+    avg_base_cost: float = 0.0
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.runs if self.runs else 0.0
+
+    def dominant_failure_pc(self) -> Optional[int]:
+        if not self.failing_pcs:
+            return None
+        return max(self.failing_pcs, key=lambda pc: self.failing_pcs[pc])
+
+    def format(self) -> str:
+        parts = [f"{self.bug_id}: {self.failures}/{self.runs} failing "
+                 f"({100 * self.failure_rate:.0f}%), "
+                 f"avg {self.avg_steps:.0f} steps"]
+        for kind, count in sorted(self.outcomes.items()):
+            parts.append(f"  {kind}: {count}")
+        return "\n".join(parts)
+
+
+def calibrate(spec: BugSpec, runs: int = 40,
+              start_index: int = 0) -> CalibrationResult:
+    """Run ``runs`` workloads of a bug and measure failure behaviour."""
+    module = spec.module()
+    result = CalibrationResult(bug_id=spec.bug_id)
+    total_steps = 0
+    total_cost = 0
+    for i in range(start_index, start_index + runs):
+        workload = spec.workload_factory(i)
+        outcome = run_program(module, args=list(workload.args),
+                              scheduler=workload.make_scheduler(),
+                              max_steps=workload.max_steps)
+        result.runs += 1
+        total_steps += outcome.steps
+        total_cost += outcome.base_cost
+        if outcome.failed:
+            result.failures += 1
+            kind = outcome.failure.kind.value
+            result.outcomes[kind] = result.outcomes.get(kind, 0) + 1
+            pc = outcome.failure.pc
+            result.failing_pcs[pc] = result.failing_pcs.get(pc, 0) + 1
+        else:
+            result.outcomes["ok"] = result.outcomes.get("ok", 0) + 1
+    result.avg_steps = total_steps / max(result.runs, 1)
+    result.avg_base_cost = total_cost / max(result.runs, 1)
+    return result
+
+
+def in_production_regime(result: CalibrationResult,
+                         min_rate: float = 0.02,
+                         max_rate: float = 0.60) -> bool:
+    """Does a bug behave like an in-production failure?  It must recur
+    (diagnosable) without failing on most runs (successful runs are what
+    the statistics correlate against)."""
+    return min_rate <= result.failure_rate <= max_rate
+
+
+def calibration_report(specs, runs: int = 40) -> str:
+    """A report over several bugs (used when tuning the corpus)."""
+    lines = []
+    for spec in specs:
+        result = calibrate(spec, runs=runs)
+        marker = "" if in_production_regime(result) else "  <-- out of regime"
+        lines.append(result.format() + marker)
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Hardware debug facilities: the 4-register watchpoint unit and ptrace."""
+
+from .ptrace import PtraceError, PtraceSession, TraceeState
+from .watchpoints import (
+    NUM_DEBUG_REGISTERS,
+    TrapRecord,
+    Watchpoint,
+    WatchpointError,
+    WatchpointExhausted,
+    WatchpointUnit,
+)
+
+__all__ = [
+    "NUM_DEBUG_REGISTERS",
+    "PtraceError",
+    "PtraceSession",
+    "TraceeState",
+    "TrapRecord",
+    "Watchpoint",
+    "WatchpointError",
+    "WatchpointExhausted",
+    "WatchpointUnit",
+]

@@ -1,0 +1,99 @@
+"""A ptrace-shaped mediation layer for watchpoint placement.
+
+Gist arms debug registers through the ``ptrace`` system call: attach, write
+the DR registers, ``PTRACE_DETACH``, "thereby not incurring any performance
+overhead" afterwards (§4).  The paper also documents the usability limit
+this brings: if the target is *already* being ptraced (by a debugger or by
+itself), Gist cannot attach (§6).
+
+This module reproduces that contract:
+
+- placement must go through an attached :class:`PtraceSession`;
+- attaching to an already-traced process raises :class:`PtraceError`
+  (``EPERM``, as the kernel would);
+- each watchpoint write charges
+  :data:`~repro.runtime.costmodel.PTRACE_WATCHPOINT_COST` cycles — the
+  syscall round-trip the paper proposes to optimize away with a user-space
+  instruction in future work;
+- once detached, armed watchpoints stay armed and cost nothing until they
+  trap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..runtime.costmodel import PTRACE_WATCHPOINT_COST
+from .watchpoints import WatchpointUnit
+
+
+class PtraceError(Exception):
+    """ptrace-layer failures (EPERM on attach, detached writes, ...)."""
+    pass
+
+
+@dataclass
+class TraceeState:
+    """Per-process ptrace bookkeeping (one per interpreter run)."""
+
+    already_traced: bool = False   # e.g. the program uses ptrace itself
+    attached_by: Optional["PtraceSession"] = None
+
+
+class PtraceSession:
+    """One attach..detach span against a tracee."""
+
+    def __init__(self, tracee: TraceeState, unit: WatchpointUnit) -> None:
+        self.tracee = tracee
+        self.unit = unit
+        self.attached = False
+        self.syscall_cost = 0
+        self.placements: List[int] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self) -> "PtraceSession":
+        if self.tracee.already_traced:
+            raise PtraceError(
+                "EPERM: process is already being traced (the paper's §6 "
+                "limitation; use a third-party interface instead)")
+        if self.tracee.attached_by is not None:
+            raise PtraceError("EPERM: another session is attached")
+        self.tracee.attached_by = self
+        self.attached = True
+        self.syscall_cost += PTRACE_WATCHPOINT_COST  # PTRACE_ATTACH + wait
+        return self
+
+    def detach(self) -> None:
+        """PTRACE_DETACH: watchpoints stay armed, costs stop accruing."""
+        if not self.attached:
+            raise PtraceError("not attached")
+        self.tracee.attached_by = None
+        self.attached = False
+
+    def __enter__(self) -> "PtraceSession":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        if self.attached:
+            self.detach()
+
+    # -- debug-register writes ---------------------------------------------------
+
+    def place_watchpoint(self, address: int, length: int = 1,
+                         condition: str = "rw") -> Optional[int]:
+        """POKE the debug registers (active-set discipline applies)."""
+        if not self.attached:
+            raise PtraceError("cannot write debug registers while detached")
+        self.syscall_cost += PTRACE_WATCHPOINT_COST
+        slot = self.unit.watch_if_new(address, length, condition)
+        if slot is not None:
+            self.placements.append(slot)
+        return slot
+
+    def clear_watchpoint(self, slot: int) -> None:
+        if not self.attached:
+            raise PtraceError("cannot write debug registers while detached")
+        self.syscall_cost += PTRACE_WATCHPOINT_COST
+        self.unit.clear(slot)

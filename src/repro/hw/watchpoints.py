@@ -1,0 +1,135 @@
+"""Hardware watchpoints (x86 debug-register analogue).
+
+x86 exposes four debug-address registers (DR0–DR3); the paper's data-flow
+tracking budget is exactly those four per machine (§3.2.3), which is why
+Gist (a) refuses to watch stack variables, (b) keeps an active-set to never
+double-watch an address, and (c) falls back to splitting addresses across
+production runs cooperatively when a slice window needs more than four.
+
+:class:`WatchpointUnit` enforces the 4-register limit and, as a
+:class:`~repro.runtime.events.Tracer`, converts matching memory events into
+:class:`TrapRecord` objects.  Trap records carry the interpreter's global
+step number, giving the *total order across threads* that Gist requires of
+its data-flow log (the paper handles watchpoint traps atomically to get
+this, §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..runtime.costmodel import WATCHPOINT_TRAP_COST
+from ..runtime.events import MemEvent, Tracer
+
+NUM_DEBUG_REGISTERS = 4
+
+
+class WatchpointExhausted(Exception):
+    """All debug registers are in use."""
+
+
+class WatchpointError(Exception):
+    """Invalid watchpoint configuration."""
+    pass
+
+
+@dataclass(frozen=True)
+class Watchpoint:
+    """One armed debug register."""
+
+    slot: int                 # 0..3 (DR0..DR3)
+    address: int
+    length: int = 1           # consecutive slots covered
+    condition: str = "rw"     # "w" (write-only) or "rw"
+
+    def matches(self, address: int, is_write: bool) -> bool:
+        if not self.address <= address < self.address + self.length:
+            return False
+        if self.condition == "w":
+            return is_write
+        return True
+
+
+@dataclass(frozen=True)
+class TrapRecord:
+    """One watchpoint hit.  ``seq`` is globally ordered across threads."""
+
+    seq: int
+    tid: int
+    pc: int
+    address: int
+    is_write: bool
+    value: int
+    slot: int
+
+
+@dataclass
+class WatchpointUnit(Tracer):
+    """Four debug registers plus the trap log they produce."""
+
+    registers: Dict[int, Watchpoint] = field(default_factory=dict)
+    trap_log: List[TrapRecord] = field(default_factory=list)
+    traps_taken: int = 0
+
+    # -- arming ------------------------------------------------------------
+
+    def free_slots(self) -> List[int]:
+        return [s for s in range(NUM_DEBUG_REGISTERS)
+                if s not in self.registers]
+
+    def watching(self, address: int) -> bool:
+        return any(wp.address <= address < wp.address + wp.length
+                   for wp in self.registers.values())
+
+    def set_watchpoint(self, address: int, length: int = 1,
+                       condition: str = "rw") -> int:
+        if condition not in ("w", "rw"):
+            raise WatchpointError(f"bad condition {condition!r}")
+        if length < 1:
+            raise WatchpointError("length must be >= 1")
+        free = self.free_slots()
+        if not free:
+            raise WatchpointExhausted(
+                f"all {NUM_DEBUG_REGISTERS} debug registers in use")
+        slot = free[0]
+        self.registers[slot] = Watchpoint(slot, address, length, condition)
+        return slot
+
+    def watch_if_new(self, address: int, length: int = 1,
+                     condition: str = "rw") -> Optional[int]:
+        """Arm a watchpoint unless the address is already covered — the
+        active-set discipline of §3.2.3.  Returns the slot or None."""
+        if self.watching(address):
+            return None
+        return self.set_watchpoint(address, length, condition)
+
+    def clear(self, slot: int) -> None:
+        self.registers.pop(slot, None)
+
+    def clear_all(self) -> None:
+        self.registers.clear()
+
+    # -- trapping (Tracer callback) --------------------------------------------
+
+    def on_mem(self, interp, event: MemEvent) -> None:
+        for wp in self.registers.values():
+            if wp.matches(event.address, event.is_write):
+                self.traps_taken += 1
+                self.trap_log.append(TrapRecord(
+                    seq=event.step, tid=event.tid, pc=event.pc,
+                    address=event.address, is_write=event.is_write,
+                    value=event.value, slot=wp.slot))
+                break  # one trap per access, as in hardware
+
+    def dynamic_extra_cost(self) -> int:
+        return self.traps_taken * WATCHPOINT_TRAP_COST
+
+    # -- queries ------------------------------------------------------------------
+
+    def traps_at(self, address: int) -> List[TrapRecord]:
+        return [t for t in self.trap_log if t.address == address]
+
+    def total_order(self) -> List[TrapRecord]:
+        """All traps, in global (cross-thread) order."""
+        return sorted(self.trap_log, key=lambda t: t.seq)

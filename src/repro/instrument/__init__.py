@@ -1,0 +1,21 @@
+"""Client-side instrumentation: planning, patches, and application."""
+
+from .patch import (
+    AppliedInstrumentation,
+    Patch,
+    PatchError,
+    STUB_COST,
+    apply_patch,
+)
+from .planner import HookSpec, InstrumentationPlan, InstrumentationPlanner
+
+__all__ = [
+    "AppliedInstrumentation",
+    "HookSpec",
+    "InstrumentationPlan",
+    "InstrumentationPlanner",
+    "Patch",
+    "PatchError",
+    "STUB_COST",
+    "apply_patch",
+]

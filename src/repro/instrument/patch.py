@@ -1,0 +1,199 @@
+"""Instrumentation patches: distribution and client-side application.
+
+Gist ships instrumentation to production machines as binary patch files
+(bsdiff in the prototype, §4).  Here a patch is the serialized form of an
+:class:`~repro.instrument.planner.InstrumentationPlan` — a compact binary
+blob a server can hand to clients — and applying it to a run means
+installing interpreter hooks that drive the PT driver and the watchpoint
+unit, charging the same costs the real instrumentation would.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..hw.ptrace import PtraceError, PtraceSession, TraceeState
+from ..hw.watchpoints import WatchpointExhausted, WatchpointUnit
+from ..lang.ir import Module
+from ..pt.driver import PT_IOC_DISABLE, PT_IOC_ENABLE, PTDriver
+from ..runtime.costmodel import IOCTL_TOGGLE_COST
+from .planner import HookSpec, InstrumentationPlan
+
+_MAGIC = b"GISTPATCH\x01"
+_ACTIONS = {"pt_start": 1, "pt_stop": 2, "watch": 3}
+_ACTIONS_REV = {v: k for k, v in _ACTIONS.items()}
+
+#: Cost of the inlined instrumentation stub itself (a predicted-not-taken
+#: flag check), charged on every execution of a hooked instruction even
+#: when nothing toggles.
+STUB_COST = 1
+
+
+class PatchError(Exception):
+    """Malformed patch bytes or a patch/module mismatch."""
+    pass
+
+
+@dataclass
+class Patch:
+    """A distributable instrumentation patch."""
+
+    program: str                      # module name the patch targets
+    hooks: Tuple[HookSpec, ...] = ()
+    #: Watch-hook uids this *particular* client should arm.  When a window
+    #: needs more than 4 watchpoints, the server splits candidates across
+    #: clients cooperatively (§3.2.3); an empty set means "arm everything".
+    watch_assignment: frozenset = frozenset()
+
+    # -- serialization (the bsdiff stand-in) -----------------------------------
+
+    def to_bytes(self) -> bytes:
+        name = self.program.encode()
+        out = bytearray(_MAGIC)
+        out += struct.pack("<H", len(name))
+        out += name
+        out += struct.pack("<I", len(self.hooks))
+        for hook in self.hooks:
+            note = hook.note.encode()[:255]
+            out += struct.pack("<iBB", hook.uid, _ACTIONS[hook.action],
+                               len(note))
+            out += note
+        assignment = sorted(self.watch_assignment)
+        out += struct.pack("<I", len(assignment))
+        for uid in assignment:
+            out += struct.pack("<i", uid)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Patch":
+        if not blob.startswith(_MAGIC):
+            raise PatchError("bad patch magic")
+        pos = len(_MAGIC)
+        (name_len,) = struct.unpack_from("<H", blob, pos)
+        pos += 2
+        program = blob[pos:pos + name_len].decode()
+        pos += name_len
+        (nhooks,) = struct.unpack_from("<I", blob, pos)
+        pos += 4
+        hooks: List[HookSpec] = []
+        for _ in range(nhooks):
+            uid, action_code, note_len = struct.unpack_from("<iBB", blob, pos)
+            pos += 6
+            note = blob[pos:pos + note_len].decode()
+            pos += note_len
+            action = _ACTIONS_REV.get(action_code)
+            if action is None:
+                raise PatchError(f"unknown action code {action_code}")
+            hooks.append(HookSpec(uid, action, note))
+        (nassign,) = struct.unpack_from("<I", blob, pos)
+        pos += 4
+        assignment = []
+        for _ in range(nassign):
+            (uid,) = struct.unpack_from("<i", blob, pos)
+            pos += 4
+            assignment.append(uid)
+        return cls(program=program, hooks=tuple(hooks),
+                   watch_assignment=frozenset(assignment))
+
+    @classmethod
+    def from_plan(cls, program: str, plan: InstrumentationPlan,
+                  watch_assignment: Sequence[int] = ()) -> "Patch":
+        return cls(program=program, hooks=tuple(plan.hooks),
+                   watch_assignment=frozenset(watch_assignment))
+
+
+@dataclass
+class AppliedInstrumentation:
+    """Everything a client run carries once a patch is applied."""
+
+    patch: Patch
+    driver: PTDriver
+    watchpoints: WatchpointUnit
+    tracee: TraceeState
+    hooks: Dict[int, List[Tuple]] = field(default_factory=dict)
+    armed_addresses: Set[int] = field(default_factory=set)
+    arming_failures: int = 0
+    ptwrite: bool = False
+
+    def tracers(self) -> List:
+        return [self.driver.encoder, self.watchpoints]
+
+
+def apply_patch(patch: Patch, module: Module,
+                tracee: Optional[TraceeState] = None,
+                ptwrite: bool = False) -> AppliedInstrumentation:
+    """Build interpreter hooks + tracers implementing ``patch``.
+
+    The returned object's ``hooks`` go to the :class:`Interpreter` and its
+    ``tracers()`` join the run's tracer list.
+
+    ``ptwrite`` selects the §6 future-hardware mode: the PT stream itself
+    carries data packets for every access in traced windows, so no
+    watchpoints are armed at all (no 4-register budget, no ptrace attach,
+    no cooperative address splitting).
+    """
+    if patch.program and patch.program != module.name:
+        raise PatchError(f"patch targets {patch.program!r}, "
+                         f"module is {module.name!r}")
+    from ..pt.encoder import PTConfig
+
+    applied = AppliedInstrumentation(
+        patch=patch,
+        driver=PTDriver(module, config=PTConfig(ptwrite=ptwrite)),
+        watchpoints=WatchpointUnit(),
+        tracee=tracee or TraceeState(),
+    )
+    applied.ptwrite = ptwrite
+
+    def make_pt_hook(cmd: int):
+        def hook(interp, tid: int, ins) -> None:
+            was = applied.driver.encoder.is_enabled(tid)
+            applied.driver.ioctl(cmd, tid, ins.uid)
+            now = applied.driver.encoder.is_enabled(tid)
+            if was != now:
+                interp.extra_cost += IOCTL_TOGGLE_COST
+        return hook
+
+    def watch_hook(interp, tid: int, ins) -> None:
+        # Resolve the address the access is about to touch.
+        address = interp.eval_operand(tid, ins.operands[0])
+        if not interp.memory.is_shared(address):
+            return  # stack or null: never watched (§3.2.3)
+        if address in applied.armed_addresses:
+            return  # active-set discipline
+        try:
+            session = PtraceSession(applied.tracee, applied.watchpoints)
+            with session:
+                slot = session.place_watchpoint(address, condition="rw")
+            interp.extra_cost += session.syscall_cost
+            if slot is not None:
+                applied.armed_addresses.add(address)
+        except WatchpointExhausted:
+            applied.arming_failures += 1
+        except PtraceError:
+            applied.arming_failures += 1
+
+    assignment = patch.watch_assignment
+    # A single instruction can carry several hooks — e.g. it is both the
+    # immediate postdominator ending one statement's traced region and a
+    # predecessor starting the next statement's.  Execution order matters:
+    # the stop must fire before the start so that tracing stays ON across
+    # back-to-back regions (stop-then-start), never the reverse.
+    _ORDER = {"pt_stop": 0, "pt_start": 1, "watch": 2}
+    for spec in sorted(patch.hooks, key=lambda h: _ORDER.get(h.action, 3)):
+        if spec.action == "pt_start":
+            fn = make_pt_hook(PT_IOC_ENABLE)
+        elif spec.action == "pt_stop":
+            fn = make_pt_hook(PT_IOC_DISABLE)
+        elif spec.action == "watch":
+            if ptwrite:
+                continue  # data flow rides in the PT stream itself
+            if assignment and spec.uid not in assignment:
+                continue  # another cooperative client covers this access
+            fn = watch_hook
+        else:  # pragma: no cover - from_bytes validates
+            raise PatchError(f"unknown action {spec.action!r}")
+        applied.hooks.setdefault(spec.uid, []).append((fn, STUB_COST))
+    return applied

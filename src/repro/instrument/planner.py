@@ -1,0 +1,318 @@
+"""Instrumentation planning: where tracking starts, stops, and watches.
+
+Implements the static placement logic of §3.2.2 (control flow) and §3.2.3
+(data flow) for a given tracked slice window:
+
+Control flow (Intel PT toggles):
+
+- For each tracked statement, tracing must be ON when it executes.  Tracing
+  is started in *each predecessor basic block* of the statement's block —
+  concretely, at the predecessor's terminator, so the branch edge into the
+  block is captured.  If the block is a function entry, the "predecessors"
+  are the call sites (and spawn sites) of the function; for the program
+  entry, tracing starts at the first instruction itself.
+- **Strict-dominance optimization**: if an already-processed tracked
+  statement strictly dominates the next one, tracing is already on when the
+  next one runs, so no new start points are emitted for it.
+- **Stop points**: after a tracked statement that does *not* strictly
+  dominate the next tracked statement, tracing is stopped before the
+  statement's immediate postdominator (otherwise "tracking could continue
+  indefinitely and impose unnecessary overhead").
+
+Data flow (hardware watchpoints):
+
+- Each memory access in the window whose address is not provably a stack
+  slot gets a ``watch`` hook placed immediately before the access (the
+  paper places it after the access's immediate dominator and before the
+  access; firing just before the access satisfies both bounds).  At runtime
+  the hook reads the computed address, skips non-shared regions, and arms a
+  debug register if the 4-register budget and an optional cooperative
+  assignment allow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.callgraph import CallGraph, build_callgraph
+from ..analysis.cfg import FunctionCFG, build_cfg
+from ..analysis.domtree import DomTree, VIRTUAL_EXIT, build_domtree, \
+    build_postdomtree
+from ..analysis.slicing import BackwardSlicer, StaticSlice
+from ..lang.ir import Instr, Module
+
+
+@dataclass(frozen=True)
+class HookSpec:
+    """One instrumentation site in a patch.
+
+    ``action`` is one of:
+
+    - ``"pt_start"``: enable PT for the executing thread,
+    - ``"pt_stop"``: disable PT for the executing thread,
+    - ``"watch"``: arm a watchpoint on the address about to be accessed.
+    """
+
+    uid: int
+    action: str
+    note: str = ""
+
+
+@dataclass
+class InstrumentationPlan:
+    """The computed placement for one tracked window."""
+
+    window_uids: Set[int] = field(default_factory=set)
+    hooks: List[HookSpec] = field(default_factory=list)
+    #: Memory-access uids that want data-flow tracking, in slice order.
+    watch_candidates: List[int] = field(default_factory=list)
+
+    def hook_uids(self, action: str) -> Set[int]:
+        return {h.uid for h in self.hooks if h.action == action}
+
+    def merged(self) -> Dict[int, List[HookSpec]]:
+        by_uid: Dict[int, List[HookSpec]] = {}
+        for hook in self.hooks:
+            by_uid.setdefault(hook.uid, []).append(hook)
+        return by_uid
+
+
+class InstrumentationPlanner:
+    """Computes :class:`InstrumentationPlan` objects for slice windows."""
+
+    def __init__(self, module: Module, slicer: Optional[BackwardSlicer] = None,
+                 callgraph: Optional[CallGraph] = None) -> None:
+        self.module = module
+        self.callgraph = callgraph or build_callgraph(module)
+        self.slicer = slicer or BackwardSlicer(module, self.callgraph)
+        self._cfgs: Dict[str, FunctionCFG] = {}
+        self._doms: Dict[str, DomTree] = {}
+        self._postdoms: Dict[str, DomTree] = {}
+
+    # -- caches -------------------------------------------------------------
+
+    def _cfg(self, func: str) -> FunctionCFG:
+        if func not in self._cfgs:
+            self._cfgs[func] = build_cfg(self.module.functions[func])
+        return self._cfgs[func]
+
+    def _dom(self, func: str) -> DomTree:
+        if func not in self._doms:
+            self._doms[func] = build_domtree(self._cfg(func))
+        return self._doms[func]
+
+    def _postdom(self, func: str) -> DomTree:
+        if func not in self._postdoms:
+            self._postdoms[func] = build_postdomtree(self._cfg(func))
+        return self._postdoms[func]
+
+    # -- main entry ---------------------------------------------------------------
+
+    def plan_window(self, slice_: StaticSlice,
+                    window_uids: Set[int]) -> InstrumentationPlan:
+        """Plan control- and data-flow tracking for a window of a slice."""
+        plan = InstrumentationPlan(window_uids=set(window_uids))
+        ordered = [ins for ins in slice_.instructions()
+                   if ins.uid in window_uids]
+        # Program order within each function (statements are processed in
+        # the order they execute, which is what sdom reasoning needs).
+        ordered.sort(key=lambda i: i.uid)
+        self._plan_control_flow(plan, ordered)
+        self._plan_data_flow(plan, ordered)
+        return plan
+
+    # -- control flow -------------------------------------------------------------
+
+    def _plan_control_flow(self, plan: InstrumentationPlan,
+                           ordered: List[Instr]) -> None:
+        window_blocks: Dict[str, Set[str]] = {}
+        for ins in ordered:
+            window_blocks.setdefault(ins.func_name, set()).add(
+                ins.block_label)
+        self._window_blocks = window_blocks
+        seen_blocks: Dict[str, List[str]] = {}  # func -> processed blocks
+        for idx, ins in enumerate(ordered):
+            func = ins.func_name
+            dom = self._dom(func)
+            processed = seen_blocks.setdefault(func, [])
+            covered = any(
+                prev == ins.block_label or
+                dom.strictly_dominates(prev, ins.block_label)
+                for prev in processed)
+            if not covered:
+                self._emit_start_points(plan, ins)
+            processed.append(ins.block_label)
+            nxt = ordered[idx + 1] if idx + 1 < len(ordered) else None
+            if not self._strictly_dominates_next(ins, nxt):
+                self._emit_stop_points(plan, ins)
+
+    def _strictly_dominates_next(self, ins: Instr,
+                                 nxt: Optional[Instr]) -> bool:
+        if nxt is None or nxt.func_name != ins.func_name:
+            return False
+        dom = self._dom(ins.func_name)
+        if ins.block_label == nxt.block_label:
+            return ins.uid < nxt.uid
+        return dom.strictly_dominates(ins.block_label, nxt.block_label)
+
+    def _emit_start_points(self, plan: InstrumentationPlan,
+                           ins: Instr) -> None:
+        func = ins.func_name
+        cfg = self._cfg(func)
+        preds = cfg.preds.get(ins.block_label, [])
+        if ins.block_label == cfg.entry:
+            # Entry block: "predecessors" are the call/spawn sites.
+            sites = self.callgraph.call_sites_of(func)
+            if not sites:
+                first = cfg.first_instr(cfg.entry)
+                plan.hooks.append(HookSpec(first.uid, "pt_start",
+                                           f"entry of {func}"))
+            for cs in sites:
+                if cs.is_spawn:
+                    # The spawned thread is a fresh hardware context: the
+                    # toggle must run on *it*, i.e. at the routine's first
+                    # instruction, not at the spawning call site.
+                    first = cfg.first_instr(cfg.entry)
+                    plan.hooks.append(HookSpec(
+                        first.uid, "pt_start",
+                        f"thread entry of {func} (spawned in {cs.caller})"))
+                else:
+                    plan.hooks.append(HookSpec(
+                        cs.instr.uid, "pt_start",
+                        f"call site of {func} in {cs.caller}"))
+        if not preds and ins.block_label != cfg.entry:
+            # Unreachable block (shouldn't happen for slice members);
+            # start at the block itself.
+            first = cfg.first_instr(ins.block_label)
+            plan.hooks.append(HookSpec(first.uid, "pt_start",
+                                       "orphan block"))
+        for pred_label in preds:
+            term = cfg.block(pred_label).terminator
+            if term is not None:
+                plan.hooks.append(HookSpec(
+                    term.uid, "pt_start",
+                    f"pred {pred_label} of {ins.block_label}"))
+
+    def _emit_stop_points(self, plan: InstrumentationPlan,
+                          ins: Instr) -> None:
+        func = ins.func_name
+        cfg = self._cfg(func)
+        postdom = self._postdom(func)
+        ipdom = postdom.immediate(ins.block_label)
+        # "after stmt and before stmt's immediate postdominator".  Stopping
+        # is purely an overhead optimization, so it must never compromise
+        # coverage: when the candidate stop point can still flow back into
+        # a tracked statement (the ipdom of a loop-body statement is the
+        # loop head!), stopping there would blind the very statements this
+        # window tracks.  In that case fall back to stopping at the
+        # function's returns.
+        stop_at_returns = ipdom is None or ipdom == VIRTUAL_EXIT
+        if not stop_at_returns and self._reaches_window_block(func, ipdom):
+            stop_at_returns = True
+        if stop_at_returns:
+            for exit_label in cfg.exit_blocks():
+                term = cfg.block(exit_label).terminator
+                assert term is not None
+                plan.hooks.append(HookSpec(
+                    term.uid, "pt_stop", f"return of {func}"))
+            return
+        first = cfg.first_instr(ipdom)
+        plan.hooks.append(HookSpec(first.uid, "pt_stop",
+                                   f"ipdom({ins.block_label}) = {ipdom}"))
+
+    def _reaches_window_block(self, func: str, from_label: str) -> bool:
+        """Can control starting at ``from_label`` reach a tracked block of
+        this window (within the same function)?"""
+        targets = getattr(self, "_window_blocks", {}).get(func, set())
+        if not targets:
+            return False
+        cfg = self._cfg(func)
+        seen = {from_label}
+        stack = [from_label]
+        while stack:
+            label = stack.pop()
+            if label in targets:
+                return True
+            for nxt in cfg.succs.get(label, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    # -- data flow ------------------------------------------------------------------
+
+    def _plan_data_flow(self, plan: InstrumentationPlan,
+                        ordered: List[Instr]) -> None:
+        # One watchpoint per *data item* of each source statement.  A data
+        # item is a location the statement operates on — never the
+        # intermediate pointer loads that merely form another access's
+        # address (watching those would burn the 4-register budget on
+        # address arithmetic).  Assignments have one data item (their
+        # deepest access); a call statement has one per distinct location
+        # feeding its arguments (``cond_wait(f->cv, f->mut)`` has two).
+        by_line: Dict[Tuple[str, int], List[Instr]] = {}
+        call_lines = set()
+        for ins in ordered:
+            key = (ins.func_name, ins.line)
+            if ins.is_call():
+                call_lines.add(key)
+            if ins.is_memory_access():
+                by_line.setdefault(key, []).append(ins)
+
+        deepest: Dict[Tuple, Instr] = {}
+        for line_key, accesses in by_line.items():
+            address_formers = self._address_forming_loads(accesses)
+            for ins in accesses:
+                if ins.uid in address_formers:
+                    continue
+                symbol = self.slicer.access_symbol(ins)
+                if symbol is not None and symbol[0] == "alloca":
+                    # Provably a stack slot: Gist "does not place a
+                    # hardware watchpoint for the variables allocated on
+                    # the stack".
+                    continue
+                key = line_key + (symbol,) if line_key in call_lines \
+                    else line_key
+                prev = deepest.get(key)
+                if prev is None or ins.uid > prev.uid:
+                    deepest[key] = ins
+        for ins in sorted(deepest.values(), key=lambda i: i.uid):
+            plan.watch_candidates.append(ins.uid)
+            plan.hooks.append(HookSpec(ins.uid, "watch",
+                                       ins.text or "memory access"))
+
+    def _address_forming_loads(self, accesses: List[Instr]) -> Set[int]:
+        """Loads on this line whose results feed another access's address
+        operand (directly or through GEP/MOVE chains within the line)."""
+        if len(accesses) < 2:
+            return set()
+        func_name = accesses[0].func_name
+        line = accesses[0].line
+        func = self.module.functions[func_name]
+        line_instrs = [ins for ins in func.instructions()
+                       if ins.line == line]
+        def_of = {ins.dst.name: ins for ins in line_instrs
+                  if ins.dst is not None}
+        loads_by_dst = {ins.dst.name: ins for ins in accesses
+                        if ins.dst is not None}
+        formers: Set[int] = set()
+        from ..lang.ir import Register
+
+        for ins in accesses:
+            # Walk the address operand's def chain within the line.
+            stack = [ins.operands[0]]
+            seen = set()
+            while stack:
+                op = stack.pop()
+                if not isinstance(op, Register) or op.name in seen:
+                    continue
+                seen.add(op.name)
+                if op.name in loads_by_dst:
+                    feeder = loads_by_dst[op.name]
+                    if feeder.uid != ins.uid:
+                        formers.add(feeder.uid)
+                definition = def_of.get(op.name)
+                if definition is not None and definition.uid != ins.uid:
+                    stack.extend(definition.operands)
+        return formers

@@ -1,0 +1,67 @@
+"""MiniC frontend and the GIR intermediate representation.
+
+Public surface:
+
+- :func:`repro.lang.compile_source` — MiniC text → finalized GIR module.
+- :mod:`repro.lang.ir` — the IR data model.
+- :mod:`repro.lang.irbuilder` — programmatic IR construction.
+- :func:`repro.lang.verify` — IR well-formedness checking.
+"""
+
+from .codegen import compile_source
+from .girparser import GirParseError, parse_gir
+from .ir import (
+    BUILTINS,
+    BasicBlock,
+    ConstInt,
+    FuncRef,
+    Function,
+    GlobalRef,
+    GlobalVar,
+    Instr,
+    Module,
+    NullPtr,
+    Opcode,
+    Operand,
+    Register,
+    StrConst,
+    SYNC_BUILTINS,
+    THREAD_BUILTINS,
+)
+from .irbuilder import FunctionBuilder, ModuleBuilder
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse
+from .typechecker import TypeError_, check
+from .verifier import VerifyError, verify
+
+__all__ = [
+    "BUILTINS",
+    "BasicBlock",
+    "ConstInt",
+    "FuncRef",
+    "Function",
+    "FunctionBuilder",
+    "GirParseError",
+    "GlobalRef",
+    "GlobalVar",
+    "Instr",
+    "LexError",
+    "Module",
+    "ModuleBuilder",
+    "NullPtr",
+    "Opcode",
+    "Operand",
+    "ParseError",
+    "Register",
+    "StrConst",
+    "SYNC_BUILTINS",
+    "THREAD_BUILTINS",
+    "TypeError_",
+    "VerifyError",
+    "check",
+    "compile_source",
+    "parse",
+    "parse_gir",
+    "tokenize",
+    "verify",
+]

@@ -1,0 +1,266 @@
+"""AST node definitions for MiniC.
+
+Nodes carry ``line``/``col`` so the code generator can attach debug info to
+every GIR instruction, which is what lets failure sketches display source
+statements (Figs. 1, 7, 8 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    """Base AST node: source position only."""
+    line: int = 0
+    col: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Types (syntactic; resolved by the typechecker)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TypeExpr(Node):
+    """``base`` is ``int``/``char``/``void`` or ``struct <name>``;
+    ``pointer_depth`` counts trailing ``*``."""
+
+    base: str = "int"
+    struct_name: str = ""
+    pointer_depth: int = 0
+
+    def __str__(self) -> str:
+        base = f"struct {self.struct_name}" if self.base == "struct" else self.base
+        return base + "*" * self.pointer_depth
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    """Integer literal."""
+    value: int = 0
+
+
+@dataclass
+class CharLit(Expr):
+    """Character literal (stored as the character)."""
+    value: str = "\0"
+
+
+@dataclass
+class StrLit(Expr):
+    """String literal."""
+    value: str = ""
+
+
+@dataclass
+class NullLit(Expr):
+    """The NULL pointer literal."""
+    pass
+
+
+@dataclass
+class Ident(Expr):
+    """A variable reference."""
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    """``op`` in {'-', '!', '~', '*', '&'} (deref and address-of included)."""
+
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    """A binary operation, including && and || (short-circuit)."""
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    """``target`` must be an lvalue; ``op`` is '', '+' or '-' (for += / -=)."""
+
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+    op: str = ""
+
+
+@dataclass
+class IncDec(Expr):
+    """Postfix/prefix ++/--; only the side effect is used in MiniC."""
+
+    target: Optional[Expr] = None
+    op: str = "++"
+
+
+@dataclass
+class Call(Expr):
+    """A direct call to a named function or builtin."""
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    """Array/pointer indexing: base[index]."""
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Field(Expr):
+    """``base.name`` (arrow=False) or ``base->name`` (arrow=True)."""
+
+    base: Optional[Expr] = None
+    name: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class SizeOf(Expr):
+    """sizeof(type), in slots."""
+    type_expr: Optional[TypeExpr] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    """A local variable declaration, optionally initialized."""
+    type_expr: Optional[TypeExpr] = None
+    name: str = ""
+    array_size: int = 0  # >0 for fixed-size local arrays
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for its side effects."""
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    """A braced statement list with its own scope."""
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    """if / else."""
+    cond: Optional[Expr] = None
+    then_body: Optional[Block] = None
+    else_body: Optional[Block] = None
+
+
+@dataclass
+class While(Stmt):
+    """while loop."""
+    cond: Optional[Expr] = None
+    body: Optional[Block] = None
+
+
+@dataclass
+class For(Stmt):
+    """for loop with optional init/cond/step."""
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Block] = None
+
+
+@dataclass
+class Return(Stmt):
+    """return, optionally with a value."""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    """break out of the innermost loop."""
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    """continue the innermost loop."""
+    pass
+
+
+@dataclass
+class AssertStmt(Stmt):
+    """assert(cond[, message]) — a potential failure point."""
+    cond: Optional[Expr] = None
+    message: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StructDecl(Node):
+    """A struct type declaration."""
+    name: str = ""
+    fields: List[VarDecl] = field(default_factory=list)
+
+
+@dataclass
+class GlobalDecl(Node):
+    """A module-level variable declaration."""
+    type_expr: Optional[TypeExpr] = None
+    name: str = ""
+    array_size: int = 0
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Param(Node):
+    """One function parameter."""
+    type_expr: Optional[TypeExpr] = None
+    name: str = ""
+
+
+@dataclass
+class FuncDecl(Node):
+    """A function definition."""
+    return_type: Optional[TypeExpr] = None
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+
+
+@dataclass
+class Program(Node):
+    """A whole parsed compilation unit."""
+    structs: List[StructDecl] = field(default_factory=list)
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)

@@ -1,0 +1,507 @@
+"""MiniC AST → GIR lowering.
+
+The generated code follows a clang ``-O0``-like discipline: every local
+variable (including parameters) lives in an ALLOCA'd memory slot, every read
+is a LOAD and every write a STORE.  This keeps the IR uniform, gives the
+backward slicer real def-use structure to walk, and gives the watchpoint
+planner concrete addresses for every variable the paper's data-flow tracking
+would watch.
+
+Logical ``&&``/``||`` are lowered with short-circuit control flow, so they
+contribute conditional branches to Intel-PT-style traces exactly as compiled
+C would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from . import ast_nodes as A
+from .ir import FuncRef, GlobalRef, Module, NullPtr, Operand, Register
+from .irbuilder import FunctionBuilder, ModuleBuilder
+from .mtypes import ArrayType, CType, PointerType, StructType
+from .typechecker import TypeInfo, check
+from .parser import parse
+
+
+class CodegenError(Exception):
+    """Lowering failures (should be prevented by the typechecker)."""
+    def __init__(self, message: str, node: A.Node) -> None:
+        super().__init__(f"{node.line}:{node.col}: {message}")
+        self.node = node
+
+
+@dataclass
+class _Storage:
+    """Where a named variable lives: an alloca register or a global."""
+
+    address: Union[Register, GlobalRef]
+    ctype: CType
+
+
+class _Env:
+    """Lexically scoped name → storage mapping."""
+
+    def __init__(self, parent: Optional["_Env"] = None) -> None:
+        self.parent = parent
+        self.names: Dict[str, _Storage] = {}
+
+    def declare(self, name: str, storage: _Storage) -> None:
+        self.names[name] = storage
+
+    def lookup(self, name: str) -> Optional[_Storage]:
+        env: Optional[_Env] = self
+        while env is not None:
+            if name in env.names:
+                return env.names[name]
+            env = env.parent
+        return None
+
+
+def _ctype(expr: A.Expr) -> CType:
+    ctype = getattr(expr, "ctype", None)
+    if ctype is None:
+        raise CodegenError("expression was not type-checked", expr)
+    return ctype
+
+
+class CodeGenerator:
+    """Lowers one type-checked MiniC program to a GIR module."""
+    def __init__(self, program: A.Program, info: TypeInfo,
+                 module_name: str = "module", source: str = "") -> None:
+        self.program = program
+        self.info = info
+        self.mb = ModuleBuilder(module_name)
+        self.mb.module.source = source
+        self._globals_env = _Env()
+        self._fb: Optional[FunctionBuilder] = None
+        self._env: Optional[_Env] = None
+        self._loop_stack: List[Tuple[str, str]] = []  # (continue, break)
+
+    # -- entry point -------------------------------------------------------------
+
+    def generate(self) -> Module:
+        for g in self.program.globals:
+            self._gen_global(g)
+        for func in self.program.functions:
+            self._gen_function(func)
+        return self.mb.build()
+
+    # -- globals ----------------------------------------------------------------
+
+    def _gen_global(self, g: A.GlobalDecl) -> None:
+        gtype = self.info.global_types[g.name]
+        init: Tuple[int, ...] = ()
+        if g.init is not None:
+            if isinstance(g.init, A.IntLit):
+                init = (g.init.value,)
+            elif isinstance(g.init, A.CharLit):
+                init = (ord(g.init.value),)
+            elif isinstance(g.init, A.NullLit):
+                init = (0,)
+            else:
+                raise CodegenError(
+                    "global initializers must be constants", g)
+        ref = self.mb.global_var(g.name, size=max(gtype.size(), 1),
+                                 init=init, line=g.line)
+        self._globals_env.declare(g.name, _Storage(ref, gtype))
+
+    # -- functions ---------------------------------------------------------------
+
+    def _gen_function(self, func: A.FuncDecl) -> None:
+        sig = self.info.functions[func.name]
+        self._fb = self.mb.function(func.name, sig.param_names, line=func.line)
+        self._env = _Env(self._globals_env)
+        fb = self._fb
+        # Parameters: spill the incoming registers to allocas so that all
+        # subsequent accesses are memory operations (clang -O0 style).
+        for pname, ptype in zip(sig.param_names, sig.param_types):
+            slot = fb.alloca(max((ptype or _int_fallback()).size(), 1),
+                             line=func.line, text=pname)
+            fb.store(slot, Register(pname), line=func.line, text=pname)
+            self._env.declare(pname, _Storage(slot, ptype or _int_fallback()))
+        assert func.body is not None
+        self._gen_block(func.body)
+        if not fb.is_terminated():
+            fb.ret(line=func.line)
+        self._fb = None
+        self._env = None
+
+    # -- statements ---------------------------------------------------------------
+
+    def _gen_block(self, block: A.Block) -> None:
+        outer = self._env
+        self._env = _Env(outer)
+        for stmt in block.stmts:
+            self._gen_stmt(stmt)
+        self._env = outer
+
+    def _gen_stmt(self, stmt: A.Stmt) -> None:
+        fb = self._require_fb()
+        if isinstance(stmt, A.VarDecl):
+            self._gen_var_decl(stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            if stmt.expr is not None:
+                self._gen_expr(stmt.expr, want_value=False)
+        elif isinstance(stmt, A.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, A.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, A.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, A.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, A.Return):
+            value = None
+            if stmt.value is not None:
+                value = self._gen_expr(stmt.value)
+            fb.ret(value, line=stmt.line)
+        elif isinstance(stmt, A.Break):
+            if not self._loop_stack:
+                raise CodegenError("break outside loop", stmt)
+            fb.jmp(self._loop_stack[-1][1], line=stmt.line)
+        elif isinstance(stmt, A.Continue):
+            if not self._loop_stack:
+                raise CodegenError("continue outside loop", stmt)
+            fb.jmp(self._loop_stack[-1][0], line=stmt.line)
+        elif isinstance(stmt, A.AssertStmt):
+            cond = self._gen_expr(stmt.cond)
+            fb.assert_(cond, stmt.message, line=stmt.line)
+        else:  # pragma: no cover
+            raise CodegenError(f"unknown statement {type(stmt).__name__}", stmt)
+
+    def _gen_var_decl(self, stmt: A.VarDecl) -> None:
+        fb = self._require_fb()
+        assert self._env is not None
+        # Re-infer the declared type from the checker's global/struct info:
+        # VarDecl nodes themselves don't carry a resolved ctype, so rebuild it.
+        ctype = self._resolve_decl_type(stmt)
+        slot = fb.alloca(max(ctype.size(), 1), line=stmt.line, text=stmt.name)
+        self._env.declare(stmt.name, _Storage(slot, ctype))
+        if stmt.init is not None:
+            value = self._gen_expr(stmt.init)
+            fb.store(slot, value, line=stmt.line, text=stmt.name)
+
+    def _resolve_decl_type(self, stmt: A.VarDecl) -> CType:
+        from .mtypes import CHAR, INT, VOID, make_pointer
+
+        assert stmt.type_expr is not None
+        t = stmt.type_expr
+        if t.base == "int":
+            base: CType = INT
+        elif t.base == "char":
+            base = CHAR
+        elif t.base == "void":
+            base = VOID
+        else:
+            base = self.info.structs[t.struct_name]
+        ctype = make_pointer(base, t.pointer_depth)
+        if stmt.array_size:
+            ctype = ArrayType(ctype, stmt.array_size)
+        return ctype
+
+    def _gen_if(self, stmt: A.If) -> None:
+        fb = self._require_fb()
+        cond = self._gen_expr(stmt.cond)
+        then_label = fb.fresh_label("if.then")
+        else_label = fb.fresh_label("if.else") if stmt.else_body else None
+        end_label = fb.fresh_label("if.end")
+        fb.br(cond, then_label, else_label or end_label, line=stmt.line)
+        fb.block(then_label)
+        assert stmt.then_body is not None
+        self._gen_block(stmt.then_body)
+        if not fb.is_terminated():
+            fb.jmp(end_label, line=stmt.line)
+        if else_label is not None:
+            fb.block(else_label)
+            assert stmt.else_body is not None
+            self._gen_block(stmt.else_body)
+            if not fb.is_terminated():
+                fb.jmp(end_label, line=stmt.line)
+        fb.block(end_label)
+
+    def _gen_while(self, stmt: A.While) -> None:
+        fb = self._require_fb()
+        head = fb.fresh_label("while.head")
+        body = fb.fresh_label("while.body")
+        end = fb.fresh_label("while.end")
+        fb.jmp(head, line=stmt.line)
+        fb.block(head)
+        cond = self._gen_expr(stmt.cond)
+        fb.br(cond, body, end, line=stmt.line)
+        fb.block(body)
+        self._loop_stack.append((head, end))
+        assert stmt.body is not None
+        self._gen_block(stmt.body)
+        self._loop_stack.pop()
+        if not fb.is_terminated():
+            fb.jmp(head, line=stmt.line)
+        fb.block(end)
+
+    def _gen_for(self, stmt: A.For) -> None:
+        fb = self._require_fb()
+        outer = self._env
+        self._env = _Env(outer)
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        head = fb.fresh_label("for.head")
+        body = fb.fresh_label("for.body")
+        step = fb.fresh_label("for.step")
+        end = fb.fresh_label("for.end")
+        fb.jmp(head, line=stmt.line)
+        fb.block(head)
+        if stmt.cond is not None:
+            cond = self._gen_expr(stmt.cond)
+            fb.br(cond, body, end, line=stmt.line)
+        else:
+            fb.jmp(body, line=stmt.line)
+        fb.block(body)
+        self._loop_stack.append((step, end))
+        assert stmt.body is not None
+        self._gen_block(stmt.body)
+        self._loop_stack.pop()
+        if not fb.is_terminated():
+            fb.jmp(step, line=stmt.line)
+        fb.block(step)
+        if stmt.step is not None:
+            self._gen_expr(stmt.step, want_value=False)
+        fb.jmp(head, line=stmt.line)
+        fb.block(end)
+        self._env = outer
+
+    # -- expressions --------------------------------------------------------------
+
+    def _gen_expr(self, expr: Optional[A.Expr],
+                  want_value: bool = True) -> Operand:
+        """Generate code for an rvalue; returns the operand holding it."""
+        fb = self._require_fb()
+        assert expr is not None
+        if isinstance(expr, A.IntLit):
+            return fb.const(expr.value, line=expr.line)
+        if isinstance(expr, A.CharLit):
+            return fb.const(ord(expr.value), line=expr.line)
+        if isinstance(expr, A.StrLit):
+            return fb.move(self.mb.string(expr.value), line=expr.line)
+        if isinstance(expr, A.NullLit):
+            return fb.move(NullPtr(), line=expr.line)
+        if isinstance(expr, A.SizeOf):
+            # Type size, in slots.
+            decl = A.VarDecl(type_expr=expr.type_expr, line=expr.line)
+            return fb.const(self._resolve_decl_type(decl).size(),
+                            line=expr.line)
+        if isinstance(expr, A.Ident):
+            return self._gen_ident_rvalue(expr)
+        if isinstance(expr, A.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, A.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, A.Assign):
+            return self._gen_assign(expr)
+        if isinstance(expr, A.IncDec):
+            return self._gen_incdec(expr)
+        if isinstance(expr, (A.Index, A.Field)):
+            addr = self._gen_lvalue(expr)
+            if isinstance(_ctype(expr), (ArrayType, StructType)):
+                return addr  # aggregate decays to its address
+            return fb.load(addr, line=expr.line, text=_describe(expr))
+        if isinstance(expr, A.Call):
+            return self._gen_call(expr, want_value)
+        raise CodegenError(f"unknown expression {type(expr).__name__}", expr)
+
+    def _gen_ident_rvalue(self, expr: A.Ident) -> Operand:
+        fb = self._require_fb()
+        storage = self._lookup_storage(expr)
+        if isinstance(storage.ctype, (ArrayType, StructType)):
+            # Arrays/structs decay to their address.
+            if isinstance(storage.address, GlobalRef):
+                return fb.move(storage.address, line=expr.line)
+            return storage.address
+        return fb.load(storage.address, line=expr.line, text=expr.name)
+
+    def _gen_unary(self, expr: A.Unary) -> Operand:
+        fb = self._require_fb()
+        assert expr.operand is not None
+        if expr.op == "*":
+            addr = self._gen_expr(expr.operand)
+            return fb.load(addr, line=expr.line, text=_describe(expr))
+        if expr.op == "&":
+            addr = self._gen_lvalue(expr.operand)
+            if isinstance(addr, GlobalRef):
+                return fb.move(addr, line=expr.line)
+            return addr
+        operand = self._gen_expr(expr.operand)
+        return fb.unop(expr.op, operand, line=expr.line)
+
+    def _gen_binary(self, expr: A.Binary) -> Operand:
+        fb = self._require_fb()
+        if expr.op in ("&&", "||"):
+            return self._gen_short_circuit(expr)
+        left = self._gen_expr(expr.left)
+        right = self._gen_expr(expr.right)
+        # Pointer arithmetic scales by element size.
+        ltype = _ctype(expr.left) if expr.left is not None else None
+        if expr.op in ("+", "-") and ltype is not None and (
+                ltype.is_pointer() or isinstance(ltype, ArrayType)):
+            elem = (ltype.pointee if isinstance(ltype, PointerType)
+                    else ltype.elem)  # type: ignore[union-attr]
+            scale = max(elem.size(), 1)
+            if scale != 1:
+                right = fb.binop("*", right, scale, line=expr.line)
+            if expr.op == "-":
+                right = fb.unop("-", right, line=expr.line)
+            return fb.gep(left, right, line=expr.line)
+        return fb.binop(expr.op, left, right, line=expr.line)
+
+    def _gen_short_circuit(self, expr: A.Binary) -> Operand:
+        fb = self._require_fb()
+        result = fb.alloca(1, line=expr.line, text="sc")
+        rhs_label = fb.fresh_label("sc.rhs")
+        end_label = fb.fresh_label("sc.end")
+        left = self._gen_expr(expr.left)
+        left_bool = fb.binop("!=", left, 0, line=expr.line)
+        fb.store(result, left_bool, line=expr.line)
+        if expr.op == "&&":
+            fb.br(left_bool, rhs_label, end_label, line=expr.line)
+        else:
+            fb.br(left_bool, end_label, rhs_label, line=expr.line)
+        fb.block(rhs_label)
+        right = self._gen_expr(expr.right)
+        right_bool = fb.binop("!=", right, 0, line=expr.line)
+        fb.store(result, right_bool, line=expr.line)
+        fb.jmp(end_label, line=expr.line)
+        fb.block(end_label)
+        return fb.load(result, line=expr.line)
+
+    def _gen_assign(self, expr: A.Assign) -> Operand:
+        fb = self._require_fb()
+        assert expr.target is not None and expr.value is not None
+        addr = self._gen_lvalue(expr.target)
+        value = self._gen_expr(expr.value)
+        if expr.op:  # += / -=
+            old = fb.load(addr, line=expr.line, text=_describe(expr.target))
+            ttype = _ctype(expr.target)
+            if expr.op in ("+", "-") and ttype.is_pointer():
+                scale = max(ttype.pointee.size(), 1)  # type: ignore[union-attr]
+                if scale != 1:
+                    value = fb.binop("*", value, scale, line=expr.line)
+                if expr.op == "-":
+                    value = fb.unop("-", value, line=expr.line)
+                value = fb.gep(old, value, line=expr.line)
+            else:
+                value = fb.binop(expr.op, old, value, line=expr.line)
+        fb.store(addr, value, line=expr.line, text=_describe(expr.target))
+        return value
+
+    def _gen_incdec(self, expr: A.IncDec) -> Operand:
+        fb = self._require_fb()
+        assert expr.target is not None
+        addr = self._gen_lvalue(expr.target)
+        old = fb.load(addr, line=expr.line, text=_describe(expr.target))
+        ttype = _ctype(expr.target)
+        delta: Operand
+        if ttype.is_pointer():
+            scale = max(ttype.pointee.size(), 1)  # type: ignore[union-attr]
+            step = scale if expr.op == "++" else -scale
+            new = fb.gep(old, step, line=expr.line)
+        else:
+            op = "+" if expr.op == "++" else "-"
+            new = fb.binop(op, old, 1, line=expr.line)
+        fb.store(addr, new, line=expr.line, text=_describe(expr.target))
+        return old
+
+    def _gen_call(self, expr: A.Call, want_value: bool) -> Operand:
+        fb = self._require_fb()
+        args: List[Operand] = []
+        for i, arg in enumerate(expr.args):
+            if expr.name == "thread_create" and i == 0:
+                assert isinstance(arg, A.Ident)
+                args.append(FuncRef(arg.name))
+            else:
+                args.append(self._gen_expr(arg))
+        dst = fb.call(expr.name, args, want_result=True, line=expr.line)
+        assert dst is not None
+        return dst
+
+    # -- lvalues --------------------------------------------------------------------
+
+    def _gen_lvalue(self, expr: Optional[A.Expr]) -> Operand:
+        """Generate code computing the *address* of an lvalue expression."""
+        fb = self._require_fb()
+        assert expr is not None
+        if isinstance(expr, A.Ident):
+            storage = self._lookup_storage(expr)
+            if isinstance(storage.address, GlobalRef):
+                return fb.move(storage.address, line=expr.line)
+            return storage.address
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            return self._gen_expr(expr.operand)
+        if isinstance(expr, A.Index):
+            assert expr.base is not None and expr.index is not None
+            base_type = _ctype(expr.base)
+            base = self._gen_expr(expr.base)  # pointer value or array decay
+            index = self._gen_expr(expr.index)
+            if isinstance(base_type, ArrayType):
+                elem = base_type.elem
+            elif isinstance(base_type, PointerType):
+                elem = base_type.pointee
+            else:
+                raise CodegenError("indexing non-indexable value", expr)
+            scale = max(elem.size(), 1)
+            if scale != 1:
+                index = fb.binop("*", index, scale, line=expr.line)
+            return fb.gep(base, index, line=expr.line)
+        if isinstance(expr, A.Field):
+            assert expr.base is not None
+            if expr.arrow:
+                base = self._gen_expr(expr.base)  # load the pointer
+                base_type = _ctype(expr.base)
+                assert isinstance(base_type, PointerType)
+                st = base_type.pointee
+            else:
+                base = self._gen_lvalue(expr.base)
+                st = _ctype(expr.base)
+            assert isinstance(st, StructType)
+            offset = st.field_named(expr.name).offset
+            return fb.gep(base, offset, line=expr.line)
+        raise CodegenError("expression is not an lvalue", expr)
+
+    # -- misc ------------------------------------------------------------------------
+
+    def _lookup_storage(self, expr: A.Ident) -> _Storage:
+        assert self._env is not None
+        storage = self._env.lookup(expr.name)
+        if storage is None:
+            raise CodegenError(f"unknown identifier {expr.name!r}", expr)
+        return storage
+
+    def _require_fb(self) -> FunctionBuilder:
+        assert self._fb is not None, "not inside a function"
+        return self._fb
+
+
+def _int_fallback() -> CType:
+    from .mtypes import INT
+
+    return INT
+
+
+def _describe(expr: Optional[A.Expr]) -> str:
+    """A short human-readable name for a memory access (used in sketches)."""
+    if isinstance(expr, A.Ident):
+        return expr.name
+    if isinstance(expr, A.Field):
+        sep = "->" if expr.arrow else "."
+        return f"{_describe(expr.base)}{sep}{expr.name}"
+    if isinstance(expr, A.Index):
+        return f"{_describe(expr.base)}[]"
+    if isinstance(expr, A.Unary) and expr.op == "*":
+        return f"*{_describe(expr.operand)}"
+    return ""
+
+
+def compile_source(source: str, module_name: str = "module") -> Module:
+    """Compile MiniC source text into a finalized GIR module."""
+    program = parse(source)
+    info = check(program)
+    return CodeGenerator(program, info, module_name, source).generate()

@@ -1,0 +1,443 @@
+"""GIR: the Gist intermediate representation.
+
+GIR plays the role LLVM IR plays in the paper: a typed, register-based,
+three-address representation with explicit basic blocks, on which all of the
+static analyses (CFG construction, dominators, backward slicing) and all of
+the dynamic machinery (interpretation, Intel-PT-style control-flow tracing,
+hardware watchpoints) operate.
+
+Unlike LLVM, GIR is not in SSA form: virtual registers are per-function and
+mutable, which keeps the MiniC code generator simple.  The analyses that need
+def-use information (slicing) recover it with a flow-sensitive backward walk,
+mirroring the paper's Algorithm 1, which is operand-driven rather than
+SSA-driven.
+
+Every instruction carries debug information (``line``/``col``) mapping it back
+to MiniC source, because failure sketches are rendered at source-statement
+granularity while accuracy is measured at IR-instruction granularity
+(Table 1 reports both).
+
+The module is pure data + pretty-printing; no behaviour lives here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes.
+
+    The set is deliberately small; synchronization and threading are builtin
+    calls (``CALL`` to ``mutex_lock`` etc.) handled by the interpreter, which
+    mirrors how pthreads calls appear as ordinary calls in LLVM IR.
+    """
+
+    CONST = "const"      # dst = immediate
+    MOVE = "move"        # dst = src register/operand
+    BINOP = "binop"      # dst = a <op> b
+    UNOP = "unop"        # dst = <op> a
+    LOAD = "load"        # dst = *addr
+    STORE = "store"      # *addr = value
+    ALLOCA = "alloca"    # dst = &fresh stack slots
+    GEP = "gep"          # dst = base + offset (slot arithmetic)
+    CALL = "call"        # dst? = callee(args...)
+    RET = "ret"          # return value?
+    BR = "br"            # conditional branch
+    JMP = "jmp"          # unconditional branch
+    ASSERT = "assert"    # failure point when condition is false
+
+
+#: Opcodes that terminate a basic block.
+TERMINATORS = (Opcode.RET, Opcode.BR, Opcode.JMP)
+
+#: Opcodes that access memory (candidates for watchpoint tracking).
+MEMORY_OPCODES = (Opcode.LOAD, Opcode.STORE)
+
+
+class Operand:
+    """Base class for instruction operands."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Register(Operand):
+    """A per-function virtual register, e.g. ``%t3``."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return "%" + self.name
+
+
+@dataclass(frozen=True)
+class ConstInt(Operand):
+    """An integer immediate."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class GlobalRef(Operand):
+    """The *address* of a module-level global variable, e.g. ``@fifo``."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return "@" + self.name
+
+
+@dataclass(frozen=True)
+class FuncRef(Operand):
+    """A reference to a function, used by calls and thread spawns."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return "&" + self.name
+
+
+@dataclass(frozen=True)
+class StrConst(Operand):
+    """The address of interned string data (see :attr:`Module.strings`)."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"str#{self.index}"
+
+
+@dataclass(frozen=True)
+class NullPtr(Operand):
+    """The null pointer constant."""
+
+    def __repr__(self) -> str:
+        return "null"
+
+
+@dataclass
+class Instr:
+    """A single GIR instruction.
+
+    Attributes:
+        opcode: what the instruction does.
+        dst: destination register, if the instruction produces a value.
+        operands: ordered source operands. Their meaning is per-opcode:
+            BINOP ``(a, b)``; LOAD ``(addr,)``; STORE ``(addr, value)``;
+            GEP ``(base, offset)``; BR ``(cond,)``; RET ``(value?,)``;
+            CALL ``(args...)``; ASSERT ``(cond,)``.
+        op: operator string for BINOP/UNOP (``"+"``, ``"=="``, ...).
+        callee: function or builtin name for CALL.
+        labels: target block labels for BR (then, else) and JMP (target,).
+        size: slot count for ALLOCA.
+        text: message for ASSERT / human-readable annotation.
+        line, col: MiniC source position (debug info).
+        uid: module-unique instruction id, assigned by
+            :meth:`Module.finalize`.  Doubles as the runtime program counter,
+            so failure reports, PT trace entries, and watchpoint trap records
+            all agree on how to name an instruction.
+    """
+
+    opcode: Opcode
+    dst: Optional[Register] = None
+    operands: Tuple[Operand, ...] = ()
+    op: str = ""
+    callee: str = ""
+    labels: Tuple[str, ...] = ()
+    size: int = 1
+    text: str = ""
+    line: int = 0
+    col: int = 0
+    uid: int = -1
+    # Backrefs filled in by Module.finalize():
+    func_name: str = ""
+    block_label: str = ""
+    index_in_block: int = -1
+
+    def is_terminator(self) -> bool:
+        return self.opcode in TERMINATORS
+
+    def is_memory_access(self) -> bool:
+        return self.opcode in MEMORY_OPCODES
+
+    def is_call(self) -> bool:
+        return self.opcode == Opcode.CALL
+
+    def uses(self) -> Tuple[Operand, ...]:
+        """All source operands (the values this instruction reads)."""
+        return self.operands
+
+    def used_registers(self) -> List[Register]:
+        return [o for o in self.operands if isinstance(o, Register)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Instr #{self.uid} {self.format()}>"
+
+    def format(self) -> str:
+        """Render the instruction in GIR assembly syntax."""
+        parts: List[str] = []
+        if self.dst is not None:
+            parts.append(f"{self.dst!r} =")
+        parts.append(self.opcode.value)
+        if self.opcode in (Opcode.BINOP, Opcode.UNOP):
+            parts.append(self.op)
+        if self.opcode == Opcode.CALL:
+            parts.append(self.callee)
+        if self.opcode == Opcode.ALLOCA:
+            parts.append(f"[{self.size}]")
+        if self.operands:
+            parts.append(", ".join(repr(o) for o in self.operands))
+        if self.labels:
+            parts.append("-> " + ", ".join(self.labels))
+        if self.opcode == Opcode.ASSERT and self.text:
+            parts.append(f"!{self.text!r}")
+        return " ".join(parts)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of instructions.
+
+    The final instruction is always a terminator once the function has been
+    finalized; the verifier enforces this.
+    """
+
+    label: str
+    instrs: List[Instr] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        if self.instrs and self.instrs[-1].is_terminator():
+            return self.instrs[-1]
+        return None
+
+    def successor_labels(self) -> Tuple[str, ...]:
+        term = self.terminator
+        if term is None or term.opcode == Opcode.RET:
+            return ()
+        return term.labels
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+@dataclass
+class Function:
+    """A GIR function: parameters + basic blocks.
+
+    Parameters are materialized as registers named after the parameter, bound
+    by the interpreter when a frame is pushed.
+    """
+
+    name: str
+    params: List[str] = field(default_factory=list)
+    blocks: Dict[str, BasicBlock] = field(default_factory=dict)
+    entry: str = "entry"
+    line: int = 0
+
+    def block(self, label: str) -> BasicBlock:
+        return self.blocks[label]
+
+    def add_block(self, label: str) -> BasicBlock:
+        if label in self.blocks:
+            raise ValueError(f"duplicate block label {label!r} in {self.name}")
+        bb = BasicBlock(label)
+        self.blocks[label] = bb
+        return bb
+
+    def instructions(self) -> Iterator[Instr]:
+        for bb in self.blocks.values():
+            yield from bb.instrs
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks.values())
+
+
+@dataclass
+class GlobalVar:
+    """A module-level variable occupying ``size`` consecutive memory slots."""
+
+    name: str
+    size: int = 1
+    init: Sequence[int] = ()
+    line: int = 0
+
+
+class Module:
+    """A whole GIR program: functions, globals, and interned strings.
+
+    After construction (by the code generator or by hand through
+    :class:`~repro.lang.irbuilder.IRBuilder`), call :meth:`finalize` to
+    assign unique instruction ids and backrefs.  Most analyses require a
+    finalized module.
+    """
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVar] = {}
+        self.strings: List[str] = []
+        self.source: str = ""
+        self._finalized = False
+        self._by_uid: List[Instr] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise ValueError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+        self._finalized = False
+        return func
+
+    def add_global(self, gvar: GlobalVar) -> GlobalVar:
+        if gvar.name in self.globals:
+            raise ValueError(f"duplicate global {gvar.name!r}")
+        self.globals[gvar.name] = gvar
+        self._finalized = False
+        return gvar
+
+    def intern_string(self, value: str) -> StrConst:
+        """Intern ``value`` and return an operand addressing its data."""
+        try:
+            return StrConst(self.strings.index(value))
+        except ValueError:
+            self.strings.append(value)
+            return StrConst(len(self.strings) - 1)
+
+    def finalize(self) -> "Module":
+        """Assign uids/backrefs.  Idempotent; returns self for chaining."""
+        self._by_uid = []
+        uid = 0
+        for func in self.functions.values():
+            for bb in func:
+                for idx, ins in enumerate(bb.instrs):
+                    ins.uid = uid
+                    ins.func_name = func.name
+                    ins.block_label = bb.label
+                    ins.index_in_block = idx
+                    self._by_uid.append(ins)
+                    uid += 1
+        self._finalized = True
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def instr(self, uid: int) -> Instr:
+        """Look an instruction up by uid (the runtime program counter)."""
+        if not self._finalized:
+            raise RuntimeError("module not finalized")
+        return self._by_uid[uid]
+
+    def num_instructions(self) -> int:
+        if not self._finalized:
+            raise RuntimeError("module not finalized")
+        return len(self._by_uid)
+
+    def instructions(self) -> Iterator[Instr]:
+        for func in self.functions.values():
+            yield from func.instructions()
+
+    def function_of(self, ins: Instr) -> Function:
+        return self.functions[ins.func_name]
+
+    def block_of(self, ins: Instr) -> BasicBlock:
+        return self.functions[ins.func_name].blocks[ins.block_label]
+
+    def source_line(self, line: int) -> str:
+        """Return the MiniC source text for a 1-based line number."""
+        if not self.source:
+            return ""
+        lines = self.source.splitlines()
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+    def thread_entry_functions(self) -> List[str]:
+        """Names of functions used as thread start routines anywhere."""
+        entries = []
+        for ins in self.instructions():
+            if ins.opcode == Opcode.CALL and ins.callee == "thread_create":
+                if ins.operands and isinstance(ins.operands[0], FuncRef):
+                    name = ins.operands[0].name
+                    if name not in entries:
+                        entries.append(name)
+        return entries
+
+    # -- printing ----------------------------------------------------------
+
+    def format(self) -> str:
+        """Render the whole module as GIR assembly text."""
+        out: List[str] = [f"; module {self.name}"]
+        for g in self.globals.values():
+            init = f" = {list(g.init)}" if g.init else ""
+            out.append(f"@{g.name} : [{g.size}]{init}")
+        for i, s in enumerate(self.strings):
+            out.append(f"str#{i} = {s!r}")
+        for func in self.functions.values():
+            params = ", ".join("%" + p for p in func.params)
+            out.append(f"\ndef {func.name}({params}) {{")
+            for bb in func:
+                out.append(f"{bb.label}:")
+                for ins in bb.instrs:
+                    loc = f"  ; line {ins.line}" if ins.line else ""
+                    out.append(f"  {ins.format()}{loc}")
+            out.append("}")
+        return "\n".join(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nfuncs = len(self.functions)
+        return f"<Module {self.name!r} functions={nfuncs}>"
+
+
+#: Names the interpreter implements natively.  The typechecker and the
+#: call-graph builder both special-case these.
+BUILTINS = frozenset(
+    {
+        "malloc",
+        "free",
+        "print",
+        "print_str",
+        "strlen",
+        "strcmp",
+        "strcpy",
+        "memset",
+        "thread_create",
+        "thread_join",
+        "mutex_create",
+        "mutex_lock",
+        "mutex_unlock",
+        "mutex_destroy",
+        "cond_create",
+        "cond_wait",
+        "cond_signal",
+        "cond_broadcast",
+        "cond_destroy",
+        "usleep",
+        "atoi",
+        "abort",
+        "exit",
+    }
+)
+
+#: Builtins that create implicit control-flow edges for the TICFG.
+THREAD_BUILTINS = frozenset({"thread_create", "thread_join"})
+
+#: Builtins that synchronize threads (used by the scheduler & predictors).
+SYNC_BUILTINS = frozenset(
+    {"mutex_lock", "mutex_unlock", "thread_join", "thread_create",
+     "cond_wait", "cond_signal", "cond_broadcast"}
+)

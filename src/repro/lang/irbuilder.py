@@ -1,0 +1,211 @@
+"""Convenience builder for constructing GIR by hand.
+
+The MiniC code generator uses this, and tests use it to build small IR
+fragments without going through the frontend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .ir import (
+    BasicBlock,
+    ConstInt,
+    FuncRef,
+    Function,
+    GlobalRef,
+    GlobalVar,
+    Instr,
+    Module,
+    NullPtr,
+    Opcode,
+    Operand,
+    Register,
+    StrConst,
+)
+
+OperandLike = Union[Operand, int, str]
+
+
+def _coerce(value: OperandLike) -> Operand:
+    """Accept ints as immediates and strings as register names."""
+    if isinstance(value, Operand):
+        return value
+    if isinstance(value, int):
+        return ConstInt(value)
+    if isinstance(value, str):
+        return Register(value)
+    raise TypeError(f"cannot convert {value!r} to an operand")
+
+
+class FunctionBuilder:
+    """Builds one function, tracking the current insertion block."""
+
+    def __init__(self, module: Module, name: str, params: Sequence[str] = (),
+                 line: int = 0) -> None:
+        self.module = module
+        self.func = Function(name=name, params=list(params), line=line)
+        module.add_function(self.func)
+        self._tmp = 0
+        self._label = 0
+        self._cur: Optional[BasicBlock] = None
+        self.block("entry")
+
+    # -- structure ---------------------------------------------------------
+
+    def block(self, label: Optional[str] = None) -> str:
+        """Create a new block and make it current; returns its label."""
+        if label is None:
+            label = self.fresh_label()
+        bb = self.func.add_block(label)
+        self._cur = bb
+        return label
+
+    def switch_to(self, label: str) -> None:
+        self._cur = self.func.blocks[label]
+
+    @property
+    def current_label(self) -> str:
+        assert self._cur is not None
+        return self._cur.label
+
+    def fresh_reg(self, hint: str = "t") -> Register:
+        self._tmp += 1
+        return Register(f"{hint}{self._tmp}")
+
+    def fresh_label(self, hint: str = "bb") -> str:
+        self._label += 1
+        return f"{hint}{self._label}"
+
+    def is_terminated(self) -> bool:
+        assert self._cur is not None
+        return self._cur.terminator is not None
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, ins: Instr) -> Instr:
+        assert self._cur is not None, "no current block"
+        if self._cur.terminator is not None:
+            # Dead code after a terminator: emit into a fresh unreachable
+            # block so the verifier still sees well-formed blocks.
+            self.block(self.fresh_label("dead"))
+        self._cur.instrs.append(ins)
+        return ins
+
+    def const(self, value: int, dst: Optional[Register] = None,
+              line: int = 0) -> Register:
+        dst = dst or self.fresh_reg()
+        self.emit(Instr(Opcode.CONST, dst=dst, operands=(ConstInt(value),),
+                        line=line))
+        return dst
+
+    def move(self, src: OperandLike, dst: Optional[Register] = None,
+             line: int = 0) -> Register:
+        dst = dst or self.fresh_reg()
+        self.emit(Instr(Opcode.MOVE, dst=dst, operands=(_coerce(src),),
+                        line=line))
+        return dst
+
+    def binop(self, op: str, a: OperandLike, b: OperandLike,
+              dst: Optional[Register] = None, line: int = 0) -> Register:
+        dst = dst or self.fresh_reg()
+        self.emit(Instr(Opcode.BINOP, dst=dst, op=op,
+                        operands=(_coerce(a), _coerce(b)), line=line))
+        return dst
+
+    def unop(self, op: str, a: OperandLike, dst: Optional[Register] = None,
+             line: int = 0) -> Register:
+        dst = dst or self.fresh_reg()
+        self.emit(Instr(Opcode.UNOP, dst=dst, op=op, operands=(_coerce(a),),
+                        line=line))
+        return dst
+
+    def load(self, addr: OperandLike, dst: Optional[Register] = None,
+             line: int = 0, text: str = "") -> Register:
+        dst = dst or self.fresh_reg()
+        self.emit(Instr(Opcode.LOAD, dst=dst, operands=(_coerce(addr),),
+                        line=line, text=text))
+        return dst
+
+    def store(self, addr: OperandLike, value: OperandLike,
+              line: int = 0, text: str = "") -> Instr:
+        return self.emit(Instr(Opcode.STORE,
+                               operands=(_coerce(addr), _coerce(value)),
+                               line=line, text=text))
+
+    def alloca(self, size: int = 1, dst: Optional[Register] = None,
+               line: int = 0, text: str = "") -> Register:
+        dst = dst or self.fresh_reg("a")
+        self.emit(Instr(Opcode.ALLOCA, dst=dst, size=size, line=line,
+                        text=text))
+        return dst
+
+    def gep(self, base: OperandLike, offset: OperandLike,
+            dst: Optional[Register] = None, line: int = 0) -> Register:
+        dst = dst or self.fresh_reg("p")
+        self.emit(Instr(Opcode.GEP, dst=dst,
+                        operands=(_coerce(base), _coerce(offset)), line=line))
+        return dst
+
+    def call(self, callee: str, args: Sequence[OperandLike] = (),
+             dst: Optional[Register] = None, want_result: bool = True,
+             line: int = 0) -> Optional[Register]:
+        if want_result and dst is None:
+            dst = self.fresh_reg("r")
+        ops = tuple(_coerce(a) for a in args)
+        self.emit(Instr(Opcode.CALL, dst=dst if want_result else None,
+                        callee=callee, operands=ops, line=line))
+        return dst if want_result else None
+
+    def ret(self, value: Optional[OperandLike] = None, line: int = 0) -> Instr:
+        ops = () if value is None else (_coerce(value),)
+        return self.emit(Instr(Opcode.RET, operands=ops, line=line))
+
+    def br(self, cond: OperandLike, then_label: str, else_label: str,
+           line: int = 0) -> Instr:
+        return self.emit(Instr(Opcode.BR, operands=(_coerce(cond),),
+                               labels=(then_label, else_label), line=line))
+
+    def jmp(self, label: str, line: int = 0) -> Instr:
+        return self.emit(Instr(Opcode.JMP, labels=(label,), line=line))
+
+    def assert_(self, cond: OperandLike, message: str = "",
+                line: int = 0) -> Instr:
+        return self.emit(Instr(Opcode.ASSERT, operands=(_coerce(cond),),
+                               text=message, line=line))
+
+
+class ModuleBuilder:
+    """Top-level builder: functions, globals, strings."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.module = Module(name)
+
+    def function(self, name: str, params: Sequence[str] = (),
+                 line: int = 0) -> FunctionBuilder:
+        return FunctionBuilder(self.module, name, params, line=line)
+
+    def global_var(self, name: str, size: int = 1,
+                   init: Sequence[int] = (), line: int = 0) -> GlobalRef:
+        self.module.add_global(GlobalVar(name, size=size, init=tuple(init),
+                                         line=line))
+        return GlobalRef(name)
+
+    def string(self, value: str) -> StrConst:
+        return self.module.intern_string(value)
+
+    def build(self) -> Module:
+        return self.module.finalize()
+
+
+__all__ = [
+    "FunctionBuilder",
+    "ModuleBuilder",
+    "OperandLike",
+    "ConstInt",
+    "FuncRef",
+    "GlobalRef",
+    "NullPtr",
+    "Register",
+    "StrConst",
+]

@@ -1,0 +1,189 @@
+"""MiniC semantic types and struct layout.
+
+All sizes are in *slots*, the word-addressed unit of the simulated address
+space (:mod:`repro.runtime.memory`): ``int``, ``char`` and pointers each
+occupy one slot; structs and arrays occupy consecutive slots.  Working in
+slots keeps GEP arithmetic and watchpoint addresses trivial while preserving
+everything the paper's analyses care about (which addresses alias, which
+field is accessed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class CType:
+    """Base class for resolved MiniC types."""
+
+    def size(self) -> int:
+        return 1
+
+    def is_pointer(self) -> bool:
+        return False
+
+    def is_scalar(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class IntType(CType):
+    """The int type (one slot)."""
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class CharType(CType):
+    """The char type (one slot)."""
+    def __str__(self) -> str:
+        return "char"
+
+
+@dataclass(frozen=True)
+class VoidType(CType):
+    """void: only meaningful behind a pointer or as a return type."""
+    def size(self) -> int:
+        return 0
+
+    def is_scalar(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    """Pointer to ``pointee`` (one slot)."""
+    pointee: CType = field(default_factory=IntType)
+
+    def is_pointer(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class StructField:
+    """One resolved field: name, type, slot offset."""
+    name: str
+    ctype: CType
+    offset: int
+
+
+class StructType(CType):
+    """A nominal struct type with computed field offsets."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.fields: List[StructField] = []
+        self._size = 0
+        self._by_name: Dict[str, StructField] = {}
+
+    def add_field(self, name: str, ctype: CType, count: int = 1) -> None:
+        if name in self._by_name:
+            raise TypeError(f"duplicate field {name!r} in struct {self.name}")
+        f = StructField(name, ctype, self._size)
+        self.fields.append(f)
+        self._by_name[name] = f
+        self._size += ctype.size() * max(count, 1)
+
+    def field_named(self, name: str) -> StructField:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TypeError(
+                f"struct {self.name} has no field {name!r}") from None
+
+    def has_field(self, name: str) -> bool:
+        return name in self._by_name
+
+    def size(self) -> int:
+        return self._size
+
+    def is_scalar(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    """Fixed-size array of ``count`` elements."""
+    elem: CType = field(default_factory=IntType)
+    count: int = 0
+
+    def size(self) -> int:
+        return self.elem.size() * self.count
+
+    def is_scalar(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.elem}[{self.count}]"
+
+
+INT = IntType()
+CHAR = CharType()
+VOID = VoidType()
+VOID_PTR = PointerType(VOID)
+CHAR_PTR = PointerType(CHAR)
+
+
+@dataclass
+class FuncSig:
+    """A resolved function signature."""
+
+    name: str
+    return_type: CType
+    param_types: List[CType]
+    param_names: List[str]
+    is_builtin: bool = False
+
+
+def make_pointer(pointee: CType, depth: int) -> CType:
+    """Wrap a type in ``depth`` levels of pointers."""
+    t = pointee
+    for _ in range(depth):
+        t = PointerType(t)
+    return t
+
+
+#: Builtin signatures.  ``None`` in ``param_types`` means "any scalar or
+#: pointer" — several builtins are intentionally polymorphic (e.g. the
+#: ``thread_create`` argument).
+BUILTIN_SIGS: Dict[str, Tuple[Optional[CType], List[Optional[CType]]]] = {
+    "malloc": (VOID_PTR, [INT]),
+    "free": (VOID, [None]),
+    "print": (VOID, [INT]),
+    "print_str": (VOID, [CHAR_PTR]),
+    "strlen": (INT, [CHAR_PTR]),
+    "strcmp": (INT, [CHAR_PTR, CHAR_PTR]),
+    "strcpy": (VOID, [CHAR_PTR, CHAR_PTR]),
+    "memset": (VOID, [None, INT, INT]),
+    "thread_create": (INT, [None, None]),
+    "thread_join": (VOID, [INT]),
+    "mutex_create": (VOID_PTR, []),
+    "mutex_lock": (VOID, [None]),
+    "mutex_unlock": (VOID, [None]),
+    "mutex_destroy": (VOID, [None]),
+    "cond_create": (VOID_PTR, []),
+    "cond_wait": (VOID, [None, None]),
+    "cond_signal": (VOID, [None]),
+    "cond_broadcast": (VOID, [None]),
+    "cond_destroy": (VOID, [None]),
+    "usleep": (VOID, [INT]),
+    "atoi": (INT, [CHAR_PTR]),
+    "abort": (VOID, []),
+    "exit": (VOID, [INT]),
+}

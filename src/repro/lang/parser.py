@@ -1,0 +1,443 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (EBNF, roughly):
+
+    program     := (struct_decl | global_decl | func_decl)*
+    struct_decl := 'struct' IDENT '{' (type IDENT ('[' INT ']')? ';')* '}' ';'
+    global_decl := type IDENT ('[' INT ']')? ('=' expr)? ';'
+    func_decl   := type IDENT '(' params? ')' block
+    params      := type IDENT (',' type IDENT)*
+    type        := ('int' | 'char' | 'void' | 'struct' IDENT) '*'*
+
+    block       := '{' stmt* '}'
+    stmt        := var_decl | if | while | for | return | break ';'
+                 | continue ';' | assert | block | expr ';'
+    var_decl    := type IDENT ('[' INT ']')? ('=' expr)? ';'
+    if          := 'if' '(' expr ')' stmt ('else' stmt)?
+    while       := 'while' '(' expr ')' stmt
+    for         := 'for' '(' (var_decl | expr? ';') expr? ';' expr? ')' stmt
+    return      := 'return' expr? ';'
+    assert      := 'assert' '(' expr (',' STRING)? ')' ';'
+
+    expr        := assign
+    assign      := ternary (('=' | '+=' | '-=') assign)?
+    logor       := logand ('||' logand)*
+    logand      := bitor ('&&' bitor)*
+    bitor       := bitxor ('|' bitxor)*
+    bitxor      := bitand ('^' bitand)*
+    bitand      := equality ('&' equality)*
+    equality    := relational (('=='|'!=') relational)*
+    relational  := shift (('<'|'<='|'>'|'>=') shift)*
+    shift       := additive (('<<'|'>>') additive)*
+    additive    := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    unary       := ('-'|'!'|'~'|'*'|'&') unary | postfix ('++'|'--')?
+    postfix     := primary ( '(' args ')' | '[' expr ']'
+                           | '.' IDENT | '->' IDENT )*
+    primary     := IDENT | INT | CHAR | STRING | NULL
+                 | 'sizeof' '(' type ')' | '(' expr ')'
+
+Function calls use the identifier directly (no function pointers); thread
+start routines are named in ``thread_create(<ident>, arg)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast_nodes as A
+from .lexer import tokenize
+from .tokens import Token, TokKind
+
+
+class ParseError(Exception):
+    """Syntax error, carrying the offending token's position."""
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{token.line}:{token.col}: {message} (got {token.kind.name} {token.value!r})")
+        self.token = token
+
+
+_TYPE_STARTERS = (TokKind.KW_INT, TokKind.KW_CHAR, TokKind.KW_VOID,
+                  TokKind.KW_STRUCT)
+
+
+class Parser:
+    """Recursive-descent parser producing a MiniC AST."""
+    def __init__(self, source: str) -> None:
+        self.toks = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.toks) - 1)
+        return self.toks[i]
+
+    def _at(self, *kinds: TokKind) -> bool:
+        return self._peek().kind in kinds
+
+    def _advance(self) -> Token:
+        tok = self.toks[self.pos]
+        if tok.kind is not TokKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _expect(self, kind: TokKind, what: str = "") -> Token:
+        tok = self._peek()
+        if tok.kind is not kind:
+            raise ParseError(f"expected {what or kind.value}", tok)
+        return self._advance()
+
+    def _accept(self, kind: TokKind) -> Optional[Token]:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    # -- types ---------------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        if self._at(TokKind.KW_STRUCT):
+            # 'struct Name {' is a declaration, 'struct Name*'/'struct Name x'
+            # in statement position is a type use; both start a type.
+            return True
+        return self._at(TokKind.KW_INT, TokKind.KW_CHAR, TokKind.KW_VOID)
+
+    def _parse_type(self) -> A.TypeExpr:
+        tok = self._peek()
+        t = A.TypeExpr(line=tok.line, col=tok.col)
+        if self._accept(TokKind.KW_INT):
+            t.base = "int"
+        elif self._accept(TokKind.KW_CHAR):
+            t.base = "char"
+        elif self._accept(TokKind.KW_VOID):
+            t.base = "void"
+        elif self._accept(TokKind.KW_STRUCT):
+            t.base = "struct"
+            t.struct_name = self._expect(TokKind.IDENT, "struct name").value
+        else:
+            raise ParseError("expected type", tok)
+        while self._accept(TokKind.STAR):
+            t.pointer_depth += 1
+        return t
+
+    # -- top level -------------------------------------------------------------
+
+    def parse_program(self) -> A.Program:
+        prog = A.Program(line=1, col=1)
+        while not self._at(TokKind.EOF):
+            if self._at(TokKind.KW_STRUCT) and \
+                    self._peek(1).kind is TokKind.IDENT and \
+                    self._peek(2).kind is TokKind.LBRACE:
+                prog.structs.append(self._parse_struct_decl())
+                continue
+            type_expr = self._parse_type()
+            name_tok = self._expect(TokKind.IDENT, "declaration name")
+            if self._at(TokKind.LPAREN):
+                prog.functions.append(self._parse_func_rest(type_expr, name_tok))
+            else:
+                prog.globals.append(self._parse_global_rest(type_expr, name_tok))
+        return prog
+
+    def _parse_struct_decl(self) -> A.StructDecl:
+        kw = self._expect(TokKind.KW_STRUCT)
+        name = self._expect(TokKind.IDENT, "struct name").value
+        decl = A.StructDecl(name=name, line=kw.line, col=kw.col)
+        self._expect(TokKind.LBRACE)
+        while not self._at(TokKind.RBRACE):
+            ftype = self._parse_type()
+            fname = self._expect(TokKind.IDENT, "field name")
+            size = 0
+            if self._accept(TokKind.LBRACKET):
+                size = int(self._expect(TokKind.INT, "array size").value, 0)
+                self._expect(TokKind.RBRACKET)
+            self._expect(TokKind.SEMI)
+            decl.fields.append(A.VarDecl(type_expr=ftype, name=fname.value,
+                                         array_size=size,
+                                         line=fname.line, col=fname.col))
+        self._expect(TokKind.RBRACE)
+        self._expect(TokKind.SEMI)
+        return decl
+
+    def _parse_global_rest(self, type_expr: A.TypeExpr,
+                           name_tok: Token) -> A.GlobalDecl:
+        decl = A.GlobalDecl(type_expr=type_expr, name=name_tok.value,
+                            line=name_tok.line, col=name_tok.col)
+        if self._accept(TokKind.LBRACKET):
+            decl.array_size = int(self._expect(TokKind.INT, "array size").value, 0)
+            self._expect(TokKind.RBRACKET)
+        if self._accept(TokKind.ASSIGN):
+            decl.init = self._parse_expr()
+        self._expect(TokKind.SEMI)
+        return decl
+
+    def _parse_func_rest(self, return_type: A.TypeExpr,
+                         name_tok: Token) -> A.FuncDecl:
+        func = A.FuncDecl(return_type=return_type, name=name_tok.value,
+                          line=name_tok.line, col=name_tok.col)
+        self._expect(TokKind.LPAREN)
+        if not self._at(TokKind.RPAREN):
+            if self._at(TokKind.KW_VOID) and self._peek(1).kind is TokKind.RPAREN:
+                self._advance()  # f(void)
+            else:
+                while True:
+                    ptype = self._parse_type()
+                    pname = self._expect(TokKind.IDENT, "parameter name")
+                    func.params.append(A.Param(type_expr=ptype,
+                                               name=pname.value,
+                                               line=pname.line, col=pname.col))
+                    if not self._accept(TokKind.COMMA):
+                        break
+        self._expect(TokKind.RPAREN)
+        func.body = self._parse_block()
+        return func
+
+    # -- statements -------------------------------------------------------------
+
+    def _parse_block(self) -> A.Block:
+        lb = self._expect(TokKind.LBRACE)
+        block = A.Block(line=lb.line, col=lb.col)
+        while not self._at(TokKind.RBRACE):
+            block.stmts.append(self._parse_stmt())
+        self._expect(TokKind.RBRACE)
+        return block
+
+    def _parse_stmt(self) -> A.Stmt:
+        tok = self._peek()
+        if self._at(TokKind.LBRACE):
+            return self._parse_block()
+        if self._at_type():
+            return self._parse_var_decl()
+        if self._at(TokKind.KW_IF):
+            return self._parse_if()
+        if self._at(TokKind.KW_WHILE):
+            return self._parse_while()
+        if self._at(TokKind.KW_FOR):
+            return self._parse_for()
+        if self._accept(TokKind.KW_RETURN):
+            value = None if self._at(TokKind.SEMI) else self._parse_expr()
+            self._expect(TokKind.SEMI)
+            return A.Return(value=value, line=tok.line, col=tok.col)
+        if self._accept(TokKind.KW_BREAK):
+            self._expect(TokKind.SEMI)
+            return A.Break(line=tok.line, col=tok.col)
+        if self._accept(TokKind.KW_CONTINUE):
+            self._expect(TokKind.SEMI)
+            return A.Continue(line=tok.line, col=tok.col)
+        if self._at(TokKind.KW_ASSERT):
+            return self._parse_assert()
+        expr = self._parse_expr()
+        self._expect(TokKind.SEMI)
+        return A.ExprStmt(expr=expr, line=tok.line, col=tok.col)
+
+    def _parse_var_decl(self) -> A.VarDecl:
+        type_expr = self._parse_type()
+        name_tok = self._expect(TokKind.IDENT, "variable name")
+        decl = A.VarDecl(type_expr=type_expr, name=name_tok.value,
+                         line=name_tok.line, col=name_tok.col)
+        if self._accept(TokKind.LBRACKET):
+            decl.array_size = int(self._expect(TokKind.INT, "array size").value, 0)
+            self._expect(TokKind.RBRACKET)
+        if self._accept(TokKind.ASSIGN):
+            decl.init = self._parse_expr()
+        self._expect(TokKind.SEMI)
+        return decl
+
+    def _parse_if(self) -> A.If:
+        kw = self._expect(TokKind.KW_IF)
+        self._expect(TokKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokKind.RPAREN)
+        then_body = self._as_block(self._parse_stmt())
+        else_body = None
+        if self._accept(TokKind.KW_ELSE):
+            else_body = self._as_block(self._parse_stmt())
+        return A.If(cond=cond, then_body=then_body, else_body=else_body,
+                    line=kw.line, col=kw.col)
+
+    def _parse_while(self) -> A.While:
+        kw = self._expect(TokKind.KW_WHILE)
+        self._expect(TokKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokKind.RPAREN)
+        body = self._as_block(self._parse_stmt())
+        return A.While(cond=cond, body=body, line=kw.line, col=kw.col)
+
+    def _parse_for(self) -> A.For:
+        kw = self._expect(TokKind.KW_FOR)
+        self._expect(TokKind.LPAREN)
+        init: Optional[A.Stmt] = None
+        if self._at_type():
+            init = self._parse_var_decl()  # consumes ';'
+        elif not self._at(TokKind.SEMI):
+            e = self._parse_expr()
+            init = A.ExprStmt(expr=e, line=e.line, col=e.col)
+            self._expect(TokKind.SEMI)
+        else:
+            self._expect(TokKind.SEMI)
+        cond = None if self._at(TokKind.SEMI) else self._parse_expr()
+        self._expect(TokKind.SEMI)
+        step = None if self._at(TokKind.RPAREN) else self._parse_expr()
+        self._expect(TokKind.RPAREN)
+        body = self._as_block(self._parse_stmt())
+        return A.For(init=init, cond=cond, step=step, body=body,
+                     line=kw.line, col=kw.col)
+
+    def _parse_assert(self) -> A.AssertStmt:
+        kw = self._expect(TokKind.KW_ASSERT)
+        self._expect(TokKind.LPAREN)
+        cond = self._parse_expr()
+        message = ""
+        if self._accept(TokKind.COMMA):
+            message = self._expect(TokKind.STRING, "assert message").value
+        self._expect(TokKind.RPAREN)
+        self._expect(TokKind.SEMI)
+        return A.AssertStmt(cond=cond, message=message,
+                            line=kw.line, col=kw.col)
+
+    @staticmethod
+    def _as_block(stmt: A.Stmt) -> A.Block:
+        if isinstance(stmt, A.Block):
+            return stmt
+        return A.Block(stmts=[stmt], line=stmt.line, col=stmt.col)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _parse_expr(self) -> A.Expr:
+        return self._parse_assign()
+
+    def _parse_assign(self) -> A.Expr:
+        left = self._parse_logor()
+        tok = self._peek()
+        if self._accept(TokKind.ASSIGN):
+            return A.Assign(target=left, value=self._parse_assign(), op="",
+                            line=tok.line, col=tok.col)
+        if self._accept(TokKind.PLUS_ASSIGN):
+            return A.Assign(target=left, value=self._parse_assign(), op="+",
+                            line=tok.line, col=tok.col)
+        if self._accept(TokKind.MINUS_ASSIGN):
+            return A.Assign(target=left, value=self._parse_assign(), op="-",
+                            line=tok.line, col=tok.col)
+        return left
+
+    def _binary_level(self, kinds, sub) -> A.Expr:
+        left = sub()
+        while self._at(*kinds):
+            tok = self._advance()
+            right = sub()
+            left = A.Binary(op=tok.value, left=left, right=right,
+                            line=tok.line, col=tok.col)
+        return left
+
+    def _parse_logor(self) -> A.Expr:
+        return self._binary_level((TokKind.OROR,), self._parse_logand)
+
+    def _parse_logand(self) -> A.Expr:
+        return self._binary_level((TokKind.ANDAND,), self._parse_bitor)
+
+    def _parse_bitor(self) -> A.Expr:
+        return self._binary_level((TokKind.PIPE,), self._parse_bitxor)
+
+    def _parse_bitxor(self) -> A.Expr:
+        return self._binary_level((TokKind.CARET,), self._parse_bitand)
+
+    def _parse_bitand(self) -> A.Expr:
+        return self._binary_level((TokKind.AMP,), self._parse_equality)
+
+    def _parse_equality(self) -> A.Expr:
+        return self._binary_level((TokKind.EQ, TokKind.NE),
+                                  self._parse_relational)
+
+    def _parse_relational(self) -> A.Expr:
+        return self._binary_level(
+            (TokKind.LT, TokKind.LE, TokKind.GT, TokKind.GE),
+            self._parse_shift)
+
+    def _parse_shift(self) -> A.Expr:
+        return self._binary_level((TokKind.SHL, TokKind.SHR),
+                                  self._parse_additive)
+
+    def _parse_additive(self) -> A.Expr:
+        return self._binary_level((TokKind.PLUS, TokKind.MINUS),
+                                  self._parse_multiplicative)
+
+    def _parse_multiplicative(self) -> A.Expr:
+        return self._binary_level((TokKind.STAR, TokKind.SLASH,
+                                   TokKind.PERCENT), self._parse_unary)
+
+    def _parse_unary(self) -> A.Expr:
+        tok = self._peek()
+        if self._at(TokKind.MINUS, TokKind.NOT, TokKind.TILDE, TokKind.STAR,
+                    TokKind.AMP):
+            self._advance()
+            operand = self._parse_unary()
+            return A.Unary(op=tok.value, operand=operand,
+                           line=tok.line, col=tok.col)
+        if self._at(TokKind.PLUSPLUS, TokKind.MINUSMINUS):
+            self._advance()
+            target = self._parse_unary()
+            return A.IncDec(target=target, op=tok.value,
+                            line=tok.line, col=tok.col)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> A.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if self._accept(TokKind.LBRACKET):
+                index = self._parse_expr()
+                self._expect(TokKind.RBRACKET)
+                expr = A.Index(base=expr, index=index,
+                               line=tok.line, col=tok.col)
+            elif self._accept(TokKind.DOT):
+                name = self._expect(TokKind.IDENT, "field name").value
+                expr = A.Field(base=expr, name=name, arrow=False,
+                               line=tok.line, col=tok.col)
+            elif self._accept(TokKind.ARROW):
+                name = self._expect(TokKind.IDENT, "field name").value
+                expr = A.Field(base=expr, name=name, arrow=True,
+                               line=tok.line, col=tok.col)
+            elif self._at(TokKind.PLUSPLUS, TokKind.MINUSMINUS):
+                self._advance()
+                expr = A.IncDec(target=expr, op=tok.value,
+                                line=tok.line, col=tok.col)
+            else:
+                return expr
+
+    def _parse_primary(self) -> A.Expr:
+        tok = self._peek()
+        if self._accept(TokKind.INT):
+            return A.IntLit(value=int(tok.value, 0), line=tok.line, col=tok.col)
+        if self._accept(TokKind.CHAR):
+            return A.CharLit(value=tok.value, line=tok.line, col=tok.col)
+        if self._accept(TokKind.STRING):
+            return A.StrLit(value=tok.value, line=tok.line, col=tok.col)
+        if self._accept(TokKind.KW_NULL):
+            return A.NullLit(line=tok.line, col=tok.col)
+        if self._at(TokKind.KW_SIZEOF):
+            self._advance()
+            self._expect(TokKind.LPAREN)
+            type_expr = self._parse_type()
+            self._expect(TokKind.RPAREN)
+            return A.SizeOf(type_expr=type_expr, line=tok.line, col=tok.col)
+        if self._accept(TokKind.LPAREN):
+            expr = self._parse_expr()
+            self._expect(TokKind.RPAREN)
+            return expr
+        if self._at(TokKind.IDENT):
+            self._advance()
+            if self._accept(TokKind.LPAREN):
+                call = A.Call(name=tok.value, line=tok.line, col=tok.col)
+                if not self._at(TokKind.RPAREN):
+                    while True:
+                        call.args.append(self._parse_expr())
+                        if not self._accept(TokKind.COMMA):
+                            break
+                self._expect(TokKind.RPAREN)
+                return call
+            return A.Ident(name=tok.value, line=tok.line, col=tok.col)
+        raise ParseError("expected expression", tok)
+
+
+def parse(source: str) -> A.Program:
+    """Parse MiniC source into an AST."""
+    return Parser(source).parse_program()

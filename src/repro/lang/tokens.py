@@ -1,0 +1,97 @@
+"""Token definitions for the MiniC frontend."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokKind(enum.Enum):
+    """Every MiniC token kind, including keywords and operators."""
+    # literals / identifiers
+    IDENT = "ident"
+    INT = "int_lit"
+    CHAR = "char_lit"
+    STRING = "string_lit"
+    # keywords
+    KW_INT = "int"
+    KW_CHAR = "char"
+    KW_VOID = "void"
+    KW_STRUCT = "struct"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_FOR = "for"
+    KW_RETURN = "return"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_ASSERT = "assert"
+    KW_NULL = "NULL"
+    KW_SIZEOF = "sizeof"
+    # punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    DOT = "."
+    ARROW = "->"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    PLUS = "+"
+    MINUS = "-"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    SHL = "<<"
+    SHR = ">>"
+    NOT = "!"
+    TILDE = "~"
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    ANDAND = "&&"
+    OROR = "||"
+    PLUSPLUS = "++"
+    MINUSMINUS = "--"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "int": TokKind.KW_INT,
+    "char": TokKind.KW_CHAR,
+    "void": TokKind.KW_VOID,
+    "struct": TokKind.KW_STRUCT,
+    "if": TokKind.KW_IF,
+    "else": TokKind.KW_ELSE,
+    "while": TokKind.KW_WHILE,
+    "for": TokKind.KW_FOR,
+    "return": TokKind.KW_RETURN,
+    "break": TokKind.KW_BREAK,
+    "continue": TokKind.KW_CONTINUE,
+    "assert": TokKind.KW_ASSERT,
+    "NULL": TokKind.KW_NULL,
+    "sizeof": TokKind.KW_SIZEOF,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexed token with its source position."""
+    kind: TokKind
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.value!r}, {self.line}:{self.col})"

@@ -1,0 +1,108 @@
+"""GIR well-formedness checks.
+
+Run after construction (the compiler pipeline calls this in tests) to catch
+malformed IR early: blocks must end in exactly one terminator, branch targets
+must exist, called functions must exist or be builtins, and operand shapes
+must match opcodes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ir import (
+    BUILTINS,
+    FuncRef,
+    Instr,
+    Module,
+    Opcode,
+)
+
+
+class VerifyError(Exception):
+    """The module violates a GIR well-formedness rule."""
+    pass
+
+
+_OPERAND_COUNTS = {
+    Opcode.CONST: 1,
+    Opcode.MOVE: 1,
+    Opcode.UNOP: 1,
+    Opcode.BINOP: 2,
+    Opcode.LOAD: 1,
+    Opcode.STORE: 2,
+    Opcode.GEP: 2,
+    Opcode.BR: 1,
+    Opcode.ASSERT: 1,
+}
+
+
+def _check_instr(module: Module, func_name: str, label: str,
+                 ins: Instr, errors: List[str]) -> None:
+    where = f"{func_name}:{label}: {ins.format()}"
+    want = _OPERAND_COUNTS.get(ins.opcode)
+    if want is not None and len(ins.operands) != want:
+        errors.append(f"{where}: expected {want} operands, "
+                      f"got {len(ins.operands)}")
+    needs_dst = (Opcode.CONST, Opcode.MOVE, Opcode.BINOP, Opcode.UNOP,
+                 Opcode.LOAD, Opcode.ALLOCA, Opcode.GEP)
+    if ins.opcode in needs_dst and ins.dst is None:
+        errors.append(f"{where}: missing destination register")
+    if ins.opcode == Opcode.RET and len(ins.operands) > 1:
+        errors.append(f"{where}: ret takes at most one operand")
+    if ins.opcode == Opcode.BR and len(ins.labels) != 2:
+        errors.append(f"{where}: br needs two target labels")
+    if ins.opcode == Opcode.JMP and len(ins.labels) != 1:
+        errors.append(f"{where}: jmp needs one target label")
+    if ins.opcode == Opcode.ALLOCA and ins.size < 1:
+        errors.append(f"{where}: alloca size must be >= 1")
+    if ins.opcode == Opcode.CALL:
+        callee = ins.callee
+        if callee not in BUILTINS and callee not in module.functions:
+            errors.append(f"{where}: call to unknown function {callee!r}")
+        if callee == "thread_create":
+            if not ins.operands or not isinstance(ins.operands[0], FuncRef):
+                errors.append(f"{where}: thread_create needs a FuncRef "
+                              f"first operand")
+            elif ins.operands[0].name not in module.functions:
+                errors.append(
+                    f"{where}: thread start routine "
+                    f"{ins.operands[0].name!r} does not exist")
+    for operand in ins.operands:
+        if isinstance(operand, FuncRef) and ins.callee != "thread_create":
+            errors.append(f"{where}: FuncRef operand outside thread_create")
+
+
+def verify(module: Module) -> None:
+    """Raise :class:`VerifyError` listing all problems found, if any."""
+    errors: List[str] = []
+    if not module.finalized:
+        errors.append("module is not finalized")
+    for func in module.functions.values():
+        if func.entry not in func.blocks:
+            errors.append(f"{func.name}: entry block {func.entry!r} missing")
+        for bb in func:
+            if not bb.instrs:
+                errors.append(f"{func.name}:{bb.label}: empty block")
+                continue
+            term = bb.instrs[-1]
+            if not term.is_terminator():
+                errors.append(
+                    f"{func.name}:{bb.label}: does not end in a terminator")
+            for ins in bb.instrs[:-1]:
+                if ins.is_terminator():
+                    errors.append(f"{func.name}:{bb.label}: terminator "
+                                  f"{ins.format()} in middle of block")
+            for label in bb.successor_labels():
+                if label not in func.blocks:
+                    errors.append(f"{func.name}:{bb.label}: branch to "
+                                  f"unknown block {label!r}")
+            for ins in bb.instrs:
+                _check_instr(module, func.name, bb.label, ins, errors)
+    for gvar in module.globals.values():
+        if gvar.size < 1:
+            errors.append(f"@{gvar.name}: size must be >= 1")
+        if len(gvar.init) > gvar.size:
+            errors.append(f"@{gvar.name}: initializer larger than variable")
+    if errors:
+        raise VerifyError("\n".join(errors))

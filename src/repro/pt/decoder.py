@@ -1,0 +1,259 @@
+"""The decode side of the PT simulator.
+
+Like the real libipt, the decoder owns a copy of the program and *replays*
+control flow from it: the packet stream only disambiguates what static
+analysis cannot — conditional branch outcomes (TNT) and return targets
+(TIP).  Direct jumps and calls are followed through the GIR module without
+consuming any packets, which is exactly why the trace is so compact.
+
+The output is a list of :class:`TraceWindow` objects (one per PGE..PGD
+span), each holding the executed instruction uids in order.  Gist's slice
+refinement intersects these with the static slice (§3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set
+
+from ..lang.ir import Module, Opcode
+from . import packets as P
+
+#: Runaway guard: decoding never follows more instructions than this.
+MAX_DECODE_STEPS = 5_000_000
+
+
+class DecodeError(Exception):
+    """The packet stream cannot be reconciled with the program."""
+    pass
+
+
+@dataclass
+class TraceWindow:
+    """One contiguous traced region of one thread's execution."""
+
+    start_uid: int
+    end_uid: int = -1
+    executed: List[int] = field(default_factory=list)
+    truncated_by_overflow: bool = False
+    #: PTWRITE-style data packets (§6 future-hardware mode), in order.
+    mem_events: List["P.PTW"] = field(default_factory=list)
+
+
+@dataclass
+class DecodedTrace:
+    """All windows recovered from one thread's packet buffer."""
+
+    windows: List[TraceWindow] = field(default_factory=list)
+
+    def executed_uids(self) -> Set[int]:
+        out: Set[int] = set()
+        for window in self.windows:
+            out.update(window.executed)
+        return out
+
+    def executed_sequence(self) -> List[int]:
+        out: List[int] = []
+        for window in self.windows:
+            out.extend(window.executed)
+        return out
+
+    def mem_events(self) -> List["P.PTW"]:
+        out: List["P.PTW"] = []
+        for window in self.windows:
+            out.extend(window.mem_events)
+        return out
+
+
+class _PacketCursor:
+    """Pull-based packet reader with one-packet lookahead."""
+
+    def __init__(self, raw: bytes) -> None:
+        self._iter: Iterator[P.Packet] = P.parse_stream(raw)
+        self._peeked: Optional[P.Packet] = None
+        self.exhausted = False
+
+    def peek(self) -> Optional[P.Packet]:
+        if self._peeked is None and not self.exhausted:
+            try:
+                self._peeked = next(self._iter)
+            except StopIteration:
+                self.exhausted = True
+        return self._peeked
+
+    def pop(self) -> Optional[P.Packet]:
+        pkt = self.peek()
+        self._peeked = None
+        return pkt
+
+
+class PTDecoder:
+    """Reconstructs executed-instruction sequences from raw PT buffers."""
+
+    def __init__(self, module: Module) -> None:
+        if not module.finalized:
+            raise ValueError("module must be finalized")
+        self.module = module
+
+    # -- helpers ------------------------------------------------------------
+
+    def _entry_uid(self, func_name: str) -> int:
+        func = self.module.functions[func_name]
+        return func.blocks[func.entry].instrs[0].uid
+
+    def _block_first_uid(self, func_name: str, label: str) -> int:
+        return self.module.functions[func_name].blocks[label].instrs[0].uid
+
+    def _next_uid(self, uid: int) -> int:
+        ins = self.module.instr(uid)
+        bb = self.module.block_of(ins)
+        return bb.instrs[ins.index_in_block + 1].uid
+
+    # -- decoding ----------------------------------------------------------------
+
+    def decode(self, raw: bytes) -> DecodedTrace:
+        trace = DecodedTrace()
+        cursor = _PacketCursor(raw)
+        budget = MAX_DECODE_STEPS
+        while True:
+            pkt = cursor.pop()
+            if pkt is None:
+                return trace
+            if isinstance(pkt, (P.PSB, P.OVF)):
+                continue
+            if isinstance(pkt, P.TIPPGE):
+                window = TraceWindow(start_uid=pkt.uid)
+                budget = self._walk(window, cursor, budget)
+                trace.windows.append(window)
+                continue
+            # A dangling TNT/TIP/PGD outside any window: tolerated (can
+            # happen after an overflow resync); skip to the next PGE.
+
+    def _walk(self, window: TraceWindow, cursor: _PacketCursor,
+              budget: int) -> int:
+        """Follow control flow from the window start, consuming packets."""
+        tnt_bits: List[bool] = []
+        uid = window.start_uid
+        while True:
+            budget -= 1
+            if budget <= 0:
+                raise DecodeError("decode budget exhausted "
+                                  "(runaway reconstruction)")
+            nxt_pkt = cursor.peek()
+            while isinstance(nxt_pkt, P.PTW):
+                window.mem_events.append(cursor.pop())
+                nxt_pkt = cursor.peek()
+            if isinstance(nxt_pkt, P.TIPPGD) and nxt_pkt.uid == uid and \
+                    not tnt_bits:
+                # Tracing was switched off exactly here: the window ends,
+                # and straight-line guesses beyond this point would be
+                # phantoms (e.g. code "after" a failed assertion).
+                cursor.pop()
+                window.executed.append(uid)
+                window.end_uid = uid
+                return budget
+            ins = self.module.instr(uid)
+            window.executed.append(uid)
+            op = ins.opcode
+            if op == Opcode.BR:
+                bit = self._need_tnt(tnt_bits, cursor, window, uid)
+                if bit is None:
+                    return budget
+                label = ins.labels[0] if bit else ins.labels[1]
+                uid = self._block_first_uid(ins.func_name, label)
+            elif op == Opcode.JMP:
+                uid = self._block_first_uid(ins.func_name, ins.labels[0])
+            elif op == Opcode.CALL and ins.callee in self.module.functions:
+                uid = self._entry_uid(ins.callee)
+            elif op == Opcode.RET:
+                target = self._need_tip(tnt_bits, cursor, window, uid)
+                if target is None or target < 0:
+                    if window.end_uid == -1:
+                        window.end_uid = uid
+                    return budget
+                uid = target
+            else:
+                uid = self._next_uid(uid)
+
+    # -- packet needs ---------------------------------------------------------------
+
+    def _need_tnt(self, tnt_bits: List[bool], cursor: _PacketCursor,
+                  window: TraceWindow, at_uid: int) -> Optional[bool]:
+        while not tnt_bits:
+            pkt = cursor.pop()
+            if pkt is None:
+                window.end_uid = at_uid
+                return None
+            if isinstance(pkt, P.TNT):
+                tnt_bits.extend(pkt.bits)
+            elif isinstance(pkt, P.PTW):
+                window.mem_events.append(pkt)
+            elif isinstance(pkt, P.TIPPGD):
+                self._finish_window(window, pkt.uid, at_uid)
+                return None
+            elif isinstance(pkt, P.OVF):
+                window.truncated_by_overflow = True
+                window.end_uid = at_uid
+                return None
+            elif isinstance(pkt, P.PSB):
+                continue
+            else:
+                raise DecodeError(
+                    f"expected TNT at uid {at_uid}, got {pkt!r}")
+        return tnt_bits.pop(0)
+
+    def _need_tip(self, tnt_bits: List[bool], cursor: _PacketCursor,
+                  window: TraceWindow, at_uid: int) -> Optional[int]:
+        # Any buffered TNT bits must be drained before a TIP in a valid
+        # stream; the encoder flushes on TIP, so leftovers mean corruption.
+        if tnt_bits:
+            raise DecodeError(f"unconsumed TNT bits before return "
+                              f"at uid {at_uid}")
+        while True:
+            pkt = cursor.pop()
+            if pkt is None:
+                window.end_uid = at_uid
+                return None
+            if isinstance(pkt, P.TIP):
+                return pkt.uid
+            if isinstance(pkt, P.PTW):
+                window.mem_events.append(pkt)
+                continue
+            if isinstance(pkt, P.TIPPGD):
+                self._finish_window(window, pkt.uid, at_uid)
+                return None
+            if isinstance(pkt, P.OVF):
+                window.truncated_by_overflow = True
+                window.end_uid = at_uid
+                return None
+            if isinstance(pkt, P.PSB):
+                continue
+            raise DecodeError(f"expected TIP at uid {at_uid}, got {pkt!r}")
+
+    def _finish_window(self, window: TraceWindow, pgd_uid: int,
+                       at_uid: int) -> None:
+        """Close a window on PGD.  The PGD's uid says where tracing was
+        switched off; straight-line instructions between the last recorded
+        branch point and that uid were executed but needed no packets, so
+        walk them in (never crossing another packet-needing instruction)."""
+        if pgd_uid < 0:
+            window.end_uid = at_uid
+            return
+        uid = at_uid
+        guard = 0
+        while uid != pgd_uid:
+            ins = self.module.instr(uid)
+            if ins.opcode in (Opcode.BR, Opcode.RET):
+                break  # cannot cross without packets; stop here
+            if ins.opcode == Opcode.JMP:
+                uid = self._block_first_uid(ins.func_name, ins.labels[0])
+            elif ins.opcode == Opcode.CALL and \
+                    ins.callee in self.module.functions:
+                uid = self._entry_uid(ins.callee)
+            else:
+                uid = self._next_uid(uid)
+            guard += 1
+            if guard > 100_000:
+                raise DecodeError("PGD landing point unreachable")
+            window.executed.append(uid)
+        window.end_uid = pgd_uid

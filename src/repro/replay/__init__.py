@@ -1,0 +1,15 @@
+"""Record/replay baseline (Mozilla rr analogue, for Fig. 13)."""
+
+from .log import BehaviorDigest, RecordLog
+from .recorder import Recorder, record
+from .replayer import ReplayDivergence, ReplayResult, replay
+
+__all__ = [
+    "BehaviorDigest",
+    "RecordLog",
+    "Recorder",
+    "ReplayDivergence",
+    "ReplayResult",
+    "record",
+    "replay",
+]

@@ -1,0 +1,111 @@
+"""Record/replay log format.
+
+The baseline recorder (a Mozilla-rr analogue, used by Fig. 13) captures
+everything needed to re-execute a run deterministically:
+
+- the program inputs,
+- the full thread schedule (run-length encoded ``(tid, steps)`` pairs),
+- a digest of observable behaviour (steps, stdout, failure identity) the
+  replayer checks itself against.
+
+Our interpreter is deterministic given inputs + schedule, so this log is
+*sufficient* for faithful replay — the same property real record/replay
+systems obtain by recording syscall results and scheduling decisions.  The
+cost model charges the recorder for every retired instruction and every
+memory access, which is where the ~10× overhead of software record/replay
+comes from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+ArgValue = Union[int, str]
+
+
+@dataclass
+class BehaviorDigest:
+    """What must match between a recording and its replay."""
+
+    steps: int
+    stdout_hash: str
+    failed: bool
+    failure_identity: str = ""
+    exit_value: int = 0
+
+    @staticmethod
+    def hash_stdout(lines: Sequence[str]) -> str:
+        h = hashlib.sha256()
+        for line in lines:
+            h.update(line.encode())
+            h.update(b"\n")
+        return h.hexdigest()[:16]
+
+
+@dataclass
+class RecordLog:
+    """One recorded execution."""
+
+    program: str
+    args: Tuple[ArgValue, ...] = ()
+    entry: str = "main"
+    schedule: List[Tuple[int, int]] = field(default_factory=list)  # RLE
+    digest: Optional[BehaviorDigest] = None
+    mem_events: int = 0
+    sync_events: int = 0
+
+    def append_step(self, tid: int) -> None:
+        if self.schedule and self.schedule[-1][0] == tid:
+            last_tid, count = self.schedule[-1]
+            self.schedule[-1] = (last_tid, count + 1)
+        else:
+            self.schedule.append((tid, 1))
+
+    def total_steps(self) -> int:
+        return sum(count for _tid, count in self.schedule)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "program": self.program,
+            "args": list(self.args),
+            "entry": self.entry,
+            "schedule": self.schedule,
+            "mem_events": self.mem_events,
+            "sync_events": self.sync_events,
+            "digest": None,
+        }
+        if self.digest is not None:
+            payload["digest"] = {
+                "steps": self.digest.steps,
+                "stdout_hash": self.digest.stdout_hash,
+                "failed": self.digest.failed,
+                "failure_identity": self.digest.failure_identity,
+                "exit_value": self.digest.exit_value,
+            }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RecordLog":
+        payload = json.loads(text)
+        digest = None
+        if payload.get("digest"):
+            d = payload["digest"]
+            digest = BehaviorDigest(
+                steps=d["steps"], stdout_hash=d["stdout_hash"],
+                failed=d["failed"],
+                failure_identity=d.get("failure_identity", ""),
+                exit_value=d.get("exit_value", 0))
+        return cls(
+            program=payload["program"],
+            args=tuple(payload["args"]),
+            entry=payload.get("entry", "main"),
+            schedule=[(t, n) for t, n in payload["schedule"]],
+            digest=digest,
+            mem_events=payload.get("mem_events", 0),
+            sync_events=payload.get("sync_events", 0),
+        )

@@ -1,0 +1,69 @@
+"""Deterministic replay from a :class:`~repro.replay.log.RecordLog`.
+
+Replays re-execute the program under a :class:`FixedScheduler` built from
+the recorded schedule, then verify the behaviour digest: same step count,
+same stdout, same failure (by identity).  A mismatch raises
+:class:`ReplayDivergence` — record/replay systems treat divergence as a
+recorder bug, and so do our tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.ir import Module
+from ..runtime.failures import RunOutcome
+from ..runtime.interpreter import Interpreter
+from ..runtime.scheduler import FixedScheduler
+from .log import BehaviorDigest, RecordLog
+
+
+class ReplayDivergence(Exception):
+    """The replay did not match the recorded behaviour digest."""
+    pass
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of a replay plus whether the digest matched."""
+    outcome: RunOutcome
+    matched: bool
+    detail: str = ""
+
+
+def replay(module: Module, log: RecordLog,
+           verify: bool = True, max_steps: int = 2_000_000) -> ReplayResult:
+    """Re-execute a recorded run and (optionally) verify the digest."""
+    if log.program and log.program != module.name:
+        raise ReplayDivergence(
+            f"log is for {log.program!r}, module is {module.name!r}")
+    scheduler = FixedScheduler(log.schedule)
+    interp = Interpreter(module, entry=log.entry, args=list(log.args),
+                         scheduler=scheduler, max_steps=max_steps)
+    outcome = interp.run()
+    if not verify or log.digest is None:
+        return ReplayResult(outcome=outcome, matched=True,
+                            detail="not verified")
+    mismatches = _compare(outcome, log.digest)
+    if mismatches:
+        detail = "; ".join(mismatches)
+        raise ReplayDivergence(f"replay diverged: {detail}")
+    return ReplayResult(outcome=outcome, matched=True)
+
+
+def _compare(outcome: RunOutcome, digest: BehaviorDigest) -> list:
+    problems = []
+    if outcome.steps != digest.steps:
+        problems.append(f"steps {outcome.steps} != {digest.steps}")
+    got_stdout = BehaviorDigest.hash_stdout(outcome.stdout)
+    if got_stdout != digest.stdout_hash:
+        problems.append("stdout differs")
+    if outcome.failed != digest.failed:
+        problems.append(f"failed {outcome.failed} != {digest.failed}")
+    got_identity = outcome.failure.identity() if outcome.failure else ""
+    if got_identity != digest.failure_identity:
+        problems.append("failure identity differs")
+    if not outcome.failed and outcome.exit_value != digest.exit_value:
+        problems.append(
+            f"exit {outcome.exit_value} != {digest.exit_value}")
+    return problems

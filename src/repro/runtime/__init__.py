@@ -1,0 +1,58 @@
+"""Execution substrate: memory, threads, scheduling, interpretation, cost.
+
+This package is the reproduction's stand-in for "production x86 execution":
+it runs GIR programs with controllable thread interleavings, detects the
+failure kinds the paper's corpus exhibits, and charges deterministic model
+cycles so instrumentation overhead is measurable and reproducible.
+"""
+
+from .costmodel import CostModel, overhead_percent
+from .events import (
+    BranchEvent,
+    FlowEvent,
+    FlowKind,
+    MemEvent,
+    SyncEvent,
+    Tracer,
+)
+from .failures import FailureKind, FailureReport, RunOutcome, StackFrameInfo
+from .interpreter import Interpreter, run_program
+from .memory import Memory, MemoryFault
+from .scheduler import (
+    FixedScheduler,
+    PCTScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from .sync import Mutex, MutexTable
+from .threads import Frame, Thread, ThreadStatus
+
+__all__ = [
+    "BranchEvent",
+    "CostModel",
+    "FailureKind",
+    "FailureReport",
+    "FixedScheduler",
+    "FlowEvent",
+    "FlowKind",
+    "Frame",
+    "Interpreter",
+    "MemEvent",
+    "Memory",
+    "MemoryFault",
+    "Mutex",
+    "MutexTable",
+    "PCTScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "RunOutcome",
+    "Scheduler",
+    "StackFrameInfo",
+    "SyncEvent",
+    "Thread",
+    "ThreadStatus",
+    "Tracer",
+    "overhead_percent",
+    "run_program",
+]

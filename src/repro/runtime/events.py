@@ -1,0 +1,124 @@
+"""Execution events and the tracer interface.
+
+The interpreter is observable: any number of :class:`Tracer` objects can be
+attached to a run.  This is how every dynamic component in the reproduction
+plugs in without the interpreter knowing about it:
+
+- the Intel-PT encoder subscribes to control-flow events,
+- the hardware watchpoint unit subscribes to memory events,
+- the record/replay baseline subscribes to everything,
+- Gist's client instrumentation runs as per-pc hooks (see
+  :mod:`repro.instrument.patch`), and
+- the cost model charges each tracer's declared per-event costs.
+
+Events carry the *global step number*, a monotonically increasing counter
+across all threads.  That counter is what gives watchpoint trap records their
+total order (the property the paper gets from handling watchpoint traps
+atomically, §4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..lang.ir import Instr
+    from .interpreter import Interpreter
+
+
+class FlowKind(enum.Enum):
+    """Control transfers that an Intel-PT-like tracer cares about."""
+
+    COND_BRANCH = "cond"      # BR: encoded as a TNT bit
+    JUMP = "jmp"              # direct: compressed away by PT
+    CALL = "call"             # direct: compressed away by PT
+    RET = "ret"               # indirect: encoded as a TIP packet
+    THREAD_START = "tstart"   # trace stream begins for a thread
+    THREAD_END = "tend"
+
+
+@dataclass(frozen=True)
+class BranchEvent:
+    """A retired conditional branch (one TNT bit for PT)."""
+    step: int
+    tid: int
+    pc: int
+    taken: bool
+    target_label: str
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    """A retired unconditional transfer (jmp/call/ret/thread edge)."""
+    step: int
+    tid: int
+    pc: int
+    kind: FlowKind
+    target: str = ""          # callee / block label / return-to description
+    target_pc: int = -1
+
+
+@dataclass(frozen=True)
+class MemEvent:
+    """A retired load/store with its resolved address and value."""
+    step: int
+    tid: int
+    pc: int
+    address: int
+    is_write: bool
+    value: int
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """A completed synchronization builtin (lock, join, signal, ...)."""
+    step: int
+    tid: int
+    pc: int
+    op: str                   # mutex_lock / mutex_unlock / thread_join / ...
+    object_address: int = 0
+    other_tid: int = -1
+
+
+class Tracer:
+    """Base class for execution observers.  All callbacks are optional.
+
+    ``cost_*`` class attributes declare the per-event runtime cost (in model
+    cycles) that attaching this tracer imposes on the production run; the
+    interpreter accumulates them into :attr:`RunOutcome.extra_cost`.  A pure
+    observer used for measurement (not deployed to production) leaves them
+    at zero.
+    """
+
+    cost_per_step: int = 0
+    cost_per_branch: int = 0
+    cost_per_mem: int = 0
+    cost_per_flow: int = 0
+
+    def on_start(self, interp: "Interpreter") -> None:
+        """Called once before the first instruction executes."""
+
+    def on_step(self, interp: "Interpreter", tid: int, ins: "Instr") -> None:
+        """Called before each instruction executes."""
+
+    def on_branch(self, interp: "Interpreter", event: BranchEvent) -> None:
+        """Called after a conditional branch retires."""
+
+    def on_flow(self, interp: "Interpreter", event: FlowEvent) -> None:
+        """Called after an unconditional transfer (jmp/call/ret) retires."""
+
+    def on_mem(self, interp: "Interpreter", event: MemEvent) -> None:
+        """Called after a load/store retires (address and value known)."""
+
+    def on_sync(self, interp: "Interpreter", event: SyncEvent) -> None:
+        """Called when a synchronization builtin completes."""
+
+    def on_finish(self, interp: "Interpreter") -> None:
+        """Called once when the program stops (normally or by failure)."""
+
+    def dynamic_extra_cost(self) -> int:
+        """Cost not expressible per-event (e.g. buffer flushes); polled at
+        the end of the run."""
+        return 0

@@ -1,0 +1,97 @@
+"""Failure reports.
+
+A :class:`FailureReport` is what a production run ships to the Gist server
+(input ① in the paper's Fig. 2): the failure kind, the failing program
+counter, and a stack trace.  Gist matches "the same failure across multiple
+executions ... by matching the program counters and stack traces of those
+executions" (paper §3, footnote 1); :meth:`FailureReport.identity` implements
+exactly that matching key.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class FailureKind(enum.Enum):
+    """The failure classes the interpreter detects (paper §3.3)."""
+    SEGFAULT = "segfault"
+    DOUBLE_FREE = "double free"
+    USE_AFTER_FREE = "use after free"
+    OUT_OF_BOUNDS = "out of bounds"
+    ASSERTION = "assertion failure"
+    DEADLOCK = "deadlock"
+    HANG = "hang"
+    ABORT = "abort"
+    DIV_BY_ZERO = "division by zero"
+
+
+@dataclass(frozen=True)
+class StackFrameInfo:
+    """One stack-trace entry: the function and the call-site / fault pc."""
+
+    function: str
+    pc: int
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.function}@{self.pc} (line {self.line})"
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """Everything a client reports about one failure occurrence."""
+
+    kind: FailureKind
+    pc: int                      # uid of the faulting instruction
+    tid: int
+    message: str = ""
+    stack: Tuple[StackFrameInfo, ...] = ()
+    address: Optional[int] = None  # faulting address, when applicable
+
+    def identity(self) -> str:
+        """Stable hash identifying "the same failure" across runs.
+
+        Uses the failure kind, the faulting pc, and the function names on
+        the stack — but not data values or thread ids, which legitimately
+        vary between recurrences of one bug.
+        """
+        h = hashlib.sha256()
+        h.update(self.kind.value.encode())
+        h.update(str(self.pc).encode())
+        for frame in self.stack:
+            h.update(frame.function.encode())
+        return h.hexdigest()[:16]
+
+    def format(self) -> str:
+        lines = [f"{self.kind.value} at pc={self.pc} (thread {self.tid})"]
+        if self.message:
+            lines.append(f"  message: {self.message}")
+        if self.address is not None:
+            lines.append(f"  address: {hex(self.address)}")
+        for frame in self.stack:
+            lines.append(f"  at {frame}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RunOutcome:
+    """Summary of one execution: did it fail, and how."""
+
+    failed: bool
+    failure: Optional[FailureReport] = None
+    exit_value: int = 0
+    steps: int = 0
+    base_cost: int = 0
+    extra_cost: int = 0
+    stdout: List[str] = field(default_factory=list)
+
+    @property
+    def overhead(self) -> float:
+        """Instrumentation overhead as a fraction of the base run cost."""
+        if self.base_cost == 0:
+            return 0.0
+        return self.extra_cost / self.base_cost

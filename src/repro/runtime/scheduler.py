@@ -1,0 +1,174 @@
+"""Thread schedulers.
+
+Concurrency bugs in the corpus manifest only under particular interleavings,
+so scheduling is a first-class, *seeded* concern:
+
+- :class:`RandomScheduler` drives "production" runs: each seed is one
+  simulated user execution, and some seeds produce the failing interleaving.
+- :class:`RoundRobinScheduler` is a deterministic sanity scheduler.
+- :class:`FixedScheduler` replays an explicit interleaving; corpus bugs use
+  it to pin down their *failing* schedule, and the record/replay baseline
+  uses it to prove faithful replay.
+
+Schedulers decide at every instruction boundary, and are additionally
+consulted at *yield points* (blocking sync ops, usleep), which is where real
+preemption is most likely and where races interleave.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+
+class Scheduler:
+    """Picks which runnable thread executes the next instruction."""
+
+    def pick(self, runnable: Sequence[int], current: Optional[int],
+             step: int) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class RoundRobinScheduler(Scheduler):
+    """Runs each thread for ``quantum`` steps, cycling in tid order."""
+
+    def __init__(self, quantum: int = 50) -> None:
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self.quantum = quantum
+        self._remaining = quantum
+
+    def pick(self, runnable: Sequence[int], current: Optional[int],
+             step: int) -> int:
+        if current in runnable and self._remaining > 0:
+            self._remaining -= 1
+            return current  # type: ignore[return-value]
+        self._remaining = self.quantum - 1
+        if current is None or current not in runnable:
+            return runnable[0]
+        ordered = sorted(runnable)
+        for tid in ordered:
+            if tid > current:
+                return tid
+        return ordered[0]
+
+    def describe(self) -> str:
+        return f"round-robin(quantum={self.quantum})"
+
+
+class RandomScheduler(Scheduler):
+    """Seeded random preemption.
+
+    ``switch_prob`` is the per-step probability of a context switch; the
+    default (0.02) preempts every ~50 instructions, small enough that most
+    runs of a racy program succeed and a minority fail — the regime the
+    paper's cooperative setting assumes (rare in-production failures).
+    """
+
+    def __init__(self, seed: int, switch_prob: float = 0.02) -> None:
+        if not 0.0 <= switch_prob <= 1.0:
+            raise ValueError("switch_prob must be within [0, 1]")
+        self.seed = seed
+        self.switch_prob = switch_prob
+        self._rng = random.Random(seed)
+
+    def pick(self, runnable: Sequence[int], current: Optional[int],
+             step: int) -> int:
+        if current in runnable and self._rng.random() >= self.switch_prob:
+            return current  # type: ignore[return-value]
+        return runnable[self._rng.randrange(len(runnable))]
+
+    def describe(self) -> str:
+        return f"random(seed={self.seed}, p={self.switch_prob})"
+
+
+class PCTScheduler(Scheduler):
+    """Probabilistic Concurrency Testing (Burckhardt et al.; the approach
+    behind the paper's [47] CHESS/Heisenbugs line of work).
+
+    Threads get distinct random priorities; the scheduler always runs the
+    highest-priority runnable thread, except at ``depth - 1`` pre-chosen
+    *change points* where the current thread's priority drops below
+    everyone else's.  For a bug of depth d, a run finds it with probability
+    ≥ 1/(n · k^(d-1)) — much better than uniform random preemption for
+    rare orderings, which makes PCT a useful corpus-calibration tool.
+    """
+
+    def __init__(self, seed: int, depth: int = 3,
+                 expected_steps: int = 10_000, max_threads: int = 16) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.seed = seed
+        self.depth = depth
+        rng = random.Random(seed)
+        # Initial priorities: a random permutation band well above the
+        # change-point priorities (which are 0..depth-2, lower = weaker).
+        base = list(range(depth, depth + max_threads))
+        rng.shuffle(base)
+        self._priorities = {tid: base[tid % max_threads]
+                            for tid in range(max_threads)}
+        self._change_points = sorted(
+            rng.randrange(max(expected_steps, 1))
+            for _ in range(depth - 1))
+        self._next_change = 0
+        self._steps = 0
+        self._rng = rng
+
+    def _priority(self, tid: int) -> int:
+        if tid not in self._priorities:
+            self._priorities[tid] = self._rng.randrange(
+                self.depth, self.depth + 100)
+        return self._priorities[tid]
+
+    def pick(self, runnable: Sequence[int], current: Optional[int],
+             step: int) -> int:
+        self._steps += 1
+        chosen = max(runnable, key=self._priority)
+        if self._next_change < len(self._change_points) and \
+                self._steps >= self._change_points[self._next_change]:
+            # Demote the running thread to the next change-point priority.
+            self._priorities[chosen] = self._next_change
+            self._next_change += 1
+            chosen = max(runnable, key=self._priority)
+        return chosen
+
+    def describe(self) -> str:
+        return f"pct(seed={self.seed}, depth={self.depth})"
+
+
+class FixedScheduler(Scheduler):
+    """Replays an explicit interleaving.
+
+    The plan is a list of ``(tid, steps)`` pairs.  When the plan runs out —
+    or names a thread that is not currently runnable — the scheduler falls
+    back to the lowest runnable tid, so a plan only needs to pin down the
+    critical window of the interleaving, not the whole execution.
+    """
+
+    def __init__(self, plan: Sequence[Tuple[int, int]]) -> None:
+        self.plan: List[Tuple[int, int]] = [(t, n) for t, n in plan]
+        self._index = 0
+        self._used = 0
+
+    def pick(self, runnable: Sequence[int], current: Optional[int],
+             step: int) -> int:
+        while self._index < len(self.plan):
+            tid, steps = self.plan[self._index]
+            if self._used >= steps:
+                self._index += 1
+                self._used = 0
+                continue
+            if tid in runnable:
+                self._used += 1
+                return tid
+            # The planned thread can't run (blocked/finished): the plan's
+            # remaining quantum for it is abandoned.
+            self._index += 1
+            self._used = 0
+        return min(runnable)
+
+    def describe(self) -> str:
+        return f"fixed(plan={self.plan})"

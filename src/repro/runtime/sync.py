@@ -1,0 +1,83 @@
+"""Mutex bookkeeping for the interpreter.
+
+Mutexes are heap-allocated objects (``mutex_create`` mallocs one slot), so
+pointer bugs against them behave like the real thing: unlocking through a
+NULL ``f->mut`` segfaults (the Pbzip2 bug of Fig. 1) and locking a destroyed
+mutex is a use-after-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CondVar:
+    """A condition variable: heap-allocated like mutexes, so NULL/UAF
+    misuse faults exactly as pthreads objects backed by freed memory do."""
+
+    address: int
+    waiters: List[int] = field(default_factory=list)
+
+
+@dataclass
+class Mutex:
+    """A non-recursive mutex: owner thread plus FIFO-ish waiters."""
+    address: int
+    owner_tid: int = -1              # -1 = unlocked
+    waiters: List[int] = field(default_factory=list)
+    lock_count: int = 0              # non-recursive; count for diagnostics
+
+    @property
+    def locked(self) -> bool:
+        return self.owner_tid != -1
+
+
+class MutexTable:
+    """All live mutexes, keyed by their heap address."""
+
+    def __init__(self) -> None:
+        self._mutexes: Dict[int, Mutex] = {}
+
+    def create(self, address: int) -> Mutex:
+        mutex = Mutex(address=address)
+        self._mutexes[address] = mutex
+        return mutex
+
+    def get(self, address: int) -> Mutex:
+        """Look a mutex up; missing means the pointer never was a mutex
+        (caller is responsible for having validated the memory access)."""
+        mutex = self._mutexes.get(address)
+        if mutex is None:
+            # Treat an unknown-but-mapped address as an implicitly
+            # initialized mutex, like PTHREAD_MUTEX_INITIALIZER memory.
+            mutex = self.create(address)
+        return mutex
+
+    def destroy(self, address: int) -> None:
+        self._mutexes.pop(address, None)
+
+    def held_by(self, tid: int) -> List[Mutex]:
+        return [m for m in self._mutexes.values() if m.owner_tid == tid]
+
+
+class CondTable:
+    """All live condition variables, keyed by heap address."""
+
+    def __init__(self) -> None:
+        self._conds: Dict[int, CondVar] = {}
+
+    def create(self, address: int) -> CondVar:
+        cond = CondVar(address=address)
+        self._conds[address] = cond
+        return cond
+
+    def get(self, address: int) -> CondVar:
+        cond = self._conds.get(address)
+        if cond is None:
+            cond = self.create(address)  # PTHREAD_COND_INITIALIZER memory
+        return cond
+
+    def destroy(self, address: int) -> None:
+        self._conds.pop(address, None)

@@ -1,0 +1,170 @@
+"""CFG and dominator/postdominator tests."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.domtree import (
+    VIRTUAL_EXIT,
+    build_domtree,
+    build_postdomtree,
+)
+from repro.lang import compile_source
+
+DIAMOND = """
+int main(int x) {
+    int r = 0;
+    if (x > 0) {
+        r = 1;
+    } else {
+        r = 2;
+    }
+    return r;
+}
+"""
+
+LOOP = """
+int main(int n) {
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        s = s + i;
+        i = i + 1;
+    }
+    return s;
+}
+"""
+
+
+def cfg_of(source, func="main"):
+    module = compile_source(source)
+    return build_cfg(module.functions[func])
+
+
+class TestCFG:
+    def test_diamond_shape(self):
+        cfg = cfg_of(DIAMOND)
+        entry_succs = cfg.succs["entry"]
+        assert len(entry_succs) == 2
+        (join,) = [lbl for lbl, preds in cfg.preds.items()
+                   if len(preds) == 2]
+        assert set(cfg.preds[join]) == set(entry_succs)
+
+    def test_loop_back_edge(self):
+        cfg = cfg_of(LOOP)
+        head = next(lbl for lbl in cfg.succs if "while.head" in lbl)
+        body = next(lbl for lbl in cfg.succs if "while.body" in lbl)
+        assert head in cfg.succs[body]
+        assert body in cfg.succs[head]
+
+    def test_exit_blocks_end_in_ret(self):
+        cfg = cfg_of(DIAMOND)
+        exits = cfg.exit_blocks()
+        assert len(exits) >= 1
+        for label in exits:
+            assert cfg.block(label).terminator.opcode.value == "ret"
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = cfg_of(LOOP)
+        rpo = cfg.reverse_postorder()
+        assert rpo[0] == "entry"
+        assert set(rpo) == set(cfg.succs)
+
+    def test_rpo_respects_dominance_order(self):
+        cfg = cfg_of(DIAMOND)
+        rpo = cfg.reverse_postorder()
+        (join,) = [lbl for lbl, preds in cfg.preds.items()
+                   if len(preds) == 2]
+        for pred in cfg.preds[join]:
+            assert rpo.index(pred) < rpo.index(join)
+
+    def test_instr_successors_linear(self):
+        module = compile_source("int main() { int a = 1; return a; }")
+        cfg = build_cfg(module.functions["main"])
+        instrs = list(module.functions["main"].instructions())
+        for a, b in zip(instrs, instrs[1:]):
+            if not a.is_terminator():
+                assert cfg.instr_successors(a)[0].uid == b.uid
+
+    def test_instr_predecessors_across_branch(self):
+        cfg = cfg_of(DIAMOND)
+        module = cfg.function
+        (join,) = [lbl for lbl, preds in cfg.preds.items()
+                   if len(preds) == 2]
+        first = cfg.first_instr(join)
+        preds = cfg.instr_predecessors(first)
+        assert len(preds) == 2
+        assert all(p.is_terminator() for p in preds)
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        cfg = cfg_of(DIAMOND)
+        dom = build_domtree(cfg)
+        for label in cfg.succs:
+            assert dom.dominates("entry", label)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        cfg = cfg_of(DIAMOND)
+        dom = build_domtree(cfg)
+        (join,) = [lbl for lbl, preds in cfg.preds.items()
+                   if len(preds) == 2]
+        for arm in cfg.preds[join]:
+            assert not dom.dominates(arm, join)
+        assert dom.immediate(join) == "entry"
+
+    def test_strict_dominance_irreflexive(self):
+        cfg = cfg_of(LOOP)
+        dom = build_domtree(cfg)
+        for label in cfg.succs:
+            assert not dom.strictly_dominates(label, label)
+
+    def test_loop_head_dominates_body(self):
+        cfg = cfg_of(LOOP)
+        dom = build_domtree(cfg)
+        head = next(lbl for lbl in cfg.succs if "while.head" in lbl)
+        body = next(lbl for lbl in cfg.succs if "while.body" in lbl)
+        assert dom.strictly_dominates(head, body)
+        assert not dom.dominates(body, head)
+
+
+class TestPostdominators:
+    def test_exit_postdominates_all(self):
+        cfg = cfg_of(DIAMOND)
+        pdom = build_postdomtree(cfg)
+        (exit_label,) = cfg.exit_blocks()
+        for label in cfg.succs:
+            assert pdom.dominates(exit_label, label) or label == exit_label
+
+    def test_join_is_ipdom_of_branch_arms(self):
+        cfg = cfg_of(DIAMOND)
+        pdom = build_postdomtree(cfg)
+        (join,) = [lbl for lbl, preds in cfg.preds.items()
+                   if len(preds) == 2]
+        for arm in cfg.preds[join]:
+            assert pdom.immediate(arm) == join
+
+    def test_loop_body_ipdom_is_head(self):
+        cfg = cfg_of(LOOP)
+        pdom = build_postdomtree(cfg)
+        body = next(lbl for lbl in cfg.succs if "while.body" in lbl)
+        # Control from the body always flows back to the head first.
+        chain = []
+        node = pdom.immediate(body)
+        while node not in (None, VIRTUAL_EXIT):
+            chain.append(node)
+            node = pdom.immediate(node)
+        assert any("while.head" in lbl for lbl in chain)
+
+    def test_infinite_loop_gets_virtual_exit(self):
+        cfg = cfg_of("int main() { while (1) { } return 0; }")
+        pdom = build_postdomtree(cfg)
+        for label in cfg.succs:
+            # Every block has a defined postdominator chain ending at the
+            # virtual exit.
+            node = label
+            hops = 0
+            while node != VIRTUAL_EXIT:
+                node = pdom.immediate(node)
+                assert node is not None
+                hops += 1
+                assert hops < 100

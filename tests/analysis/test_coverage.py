@@ -1,0 +1,82 @@
+"""PT-based coverage reporting tests."""
+
+import pytest
+
+from repro.analysis.coverage import coverage_from_traces
+from repro.lang import compile_source
+from repro.pt import PTConfig, PTDecoder, PTEncoder
+from repro.runtime import Interpreter
+
+SRC = """
+int classify(int v) {
+    if (v > 10) {
+        return 2;
+    }
+    return 1;
+}
+
+int unused_helper(int v) {
+    return v * 99;
+}
+
+int main(int x) {
+    int r = classify(x);
+    print(r);
+    return r;
+}
+"""
+
+
+def traced_coverage(module, args_list):
+    decoder = PTDecoder(module)
+    traces = []
+    for args in args_list:
+        encoder = PTEncoder(PTConfig(), trace_on_start=True)
+        Interpreter(module, args=args, tracers=[encoder]).run()
+        traces.append(decoder.decode(encoder.raw_trace(0)))
+    return coverage_from_traces(module, traces)
+
+
+class TestStatementCoverage:
+    def test_unexecuted_function_uncovered(self):
+        module = compile_source(SRC)
+        report = traced_coverage(module, [[5]])
+        rows = {r.name: r for r in report.function_coverage()}
+        assert rows["unused_helper"].covered_statements == 0
+        assert rows["main"].statement_ratio == 1.0
+
+    def test_one_arm_then_both(self):
+        module = compile_source(SRC)
+        one = traced_coverage(module, [[5]])
+        rows = {r.name: r for r in one.function_coverage()}
+        assert rows["classify"].covered_branches == 0
+        assert rows["classify"].half_covered_branches == 1
+
+        both = traced_coverage(module, [[5], [50]])
+        rows = {r.name: r for r in both.function_coverage()}
+        assert rows["classify"].covered_branches == 1
+        assert rows["classify"].statement_ratio == 1.0
+
+    def test_covered_lines_are_source_lines(self):
+        module = compile_source(SRC)
+        report = traced_coverage(module, [[50]])
+        lines = report.covered_lines()
+        assert ("classify", 3) in lines or ("classify", 4) in lines
+        assert all(isinstance(f, str) and line > 0 for f, line in lines)
+
+
+class TestRendering:
+    def test_annotated_listing(self):
+        module = compile_source(SRC)
+        report = traced_coverage(module, [[5]])
+        text = report.format()
+        assert "classify:" in text
+        assert "#" in text  # covered marks
+        assert "-" in text  # uncovered marks (unused_helper)
+
+    def test_empty_report(self):
+        module = compile_source(SRC)
+        report = coverage_from_traces(module, [])
+        assert report.covered_lines() == set()
+        for row in report.function_coverage():
+            assert row.covered_statements == 0

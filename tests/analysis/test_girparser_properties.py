@@ -1,0 +1,33 @@
+"""Extra GIR round-trip properties over generated programs.
+
+Complements tests/lang/test_girparser.py with a hypothesis sweep reusing
+the MiniC program generator from tests/test_properties.py: for arbitrary
+generated programs, the assembly printer and parser must be exact inverses
+up to uid reassignment.
+"""
+
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from test_properties import programs  # noqa: E402
+
+from repro.lang import compile_source, parse_gir, verify  # noqa: E402
+
+
+@given(source=programs())
+@settings(max_examples=25, deadline=None)
+def test_format_parse_format_fixed_point(source):
+    module = compile_source(source)
+    text_once = parse_gir(module.format()).format()
+    text_twice = parse_gir(text_once).format()
+    assert text_once == text_twice
+
+
+@given(source=programs())
+@settings(max_examples=25, deadline=None)
+def test_parsed_module_always_verifies(source):
+    module = compile_source(source)
+    verify(parse_gir(module.format()))

@@ -1,0 +1,223 @@
+"""ICFG/TICFG, call graph, and dataflow framework tests."""
+
+import pytest
+
+from repro.analysis import (
+    build_callgraph,
+    build_cfg,
+    build_icfg,
+    build_ticfg,
+    compute_liveness,
+    compute_reaching_defs,
+)
+from repro.lang import Opcode, compile_source
+
+SRC = """
+int shared = 0;
+
+int helper(int v) {
+    if (v > 0) {
+        return v * 2;
+    }
+    return 0;
+}
+
+void worker(int n) {
+    shared = helper(n);
+}
+
+int main(int x) {
+    int t = thread_create(worker, x);
+    int direct = helper(x);
+    thread_join(t);
+    return direct + shared;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def module():
+    return compile_source(SRC)
+
+
+class TestCallGraph:
+    def test_direct_edges(self, module):
+        graph = build_callgraph(module)
+        assert "helper" in graph.callees["main"]
+        assert "helper" in graph.callees["worker"]
+        assert graph.callers["helper"] == {"main", "worker"}
+
+    def test_spawn_edges_flagged(self, module):
+        graph = build_callgraph(module)
+        spawns = graph.spawn_sites()
+        assert len(spawns) == 1
+        assert spawns[0].callee == "worker"
+        assert spawns[0].caller == "main"
+        assert "worker" in graph.callees["main"]
+
+    def test_call_sites_of(self, module):
+        graph = build_callgraph(module)
+        sites = graph.call_sites_of("helper")
+        assert {cs.caller for cs in sites} == {"main", "worker"}
+        assert all(not cs.is_spawn for cs in sites)
+
+    def test_reachability(self, module):
+        graph = build_callgraph(module)
+        assert graph.reachable_from("main") == {"main", "worker", "helper"}
+        assert graph.reachable_from("helper") == {"helper"}
+
+
+class TestICFG:
+    def test_call_and_return_edges(self, module):
+        icfg = build_icfg(module)
+        call = next(i for i in module.instructions()
+                    if i.opcode is Opcode.CALL and i.callee == "helper"
+                    and i.func_name == "main")
+        succs = icfg.successors(call.uid, kinds=["call"])
+        helper = module.functions["helper"]
+        entry_uid = helper.blocks[helper.entry].instrs[0].uid
+        assert succs == [entry_uid]
+        # Return edges: helper's rets flow to the instruction after call.
+        after = module.block_of(call).instrs[call.index_in_block + 1]
+        ret_preds = icfg.predecessors(after.uid, kinds=["return"])
+        ret_uids = [i.uid for i in helper.instructions()
+                    if i.opcode is Opcode.RET]
+        assert set(ret_preds) == set(ret_uids)
+
+    def test_icfg_has_no_thread_edges(self, module):
+        icfg = build_icfg(module)
+        kinds = {kind for edges in icfg.succs.values()
+                 for _dst, kind in edges}
+        assert "spawn" not in kinds
+        assert "join" not in kinds
+
+    def test_ticfg_spawn_edge(self, module):
+        ticfg = build_ticfg(module)
+        spawn = next(i for i in module.instructions()
+                     if i.opcode is Opcode.CALL
+                     and i.callee == "thread_create")
+        worker = module.functions["worker"]
+        entry_uid = worker.blocks[worker.entry].instrs[0].uid
+        assert entry_uid in ticfg.successors(spawn.uid, kinds=["spawn"])
+
+    def test_ticfg_join_edge(self, module):
+        ticfg = build_ticfg(module)
+        join = next(i for i in module.instructions()
+                    if i.opcode is Opcode.CALL and i.callee == "thread_join")
+        after = module.block_of(join).instrs[join.index_in_block + 1]
+        worker_rets = [i.uid for i in
+                       module.functions["worker"].instructions()
+                       if i.opcode is Opcode.RET]
+        join_preds = ticfg.predecessors(after.uid, kinds=["join"])
+        assert set(worker_rets) <= set(join_preds)
+
+    def test_backward_reachability_crosses_functions(self, module):
+        ticfg = build_ticfg(module)
+        # From the final return of main, everything is backward-reachable.
+        main = module.functions["main"]
+        last_ret = [i for i in main.instructions()
+                    if i.opcode is Opcode.RET][-1]
+        reach = ticfg.backward_reachable(last_ret.uid)
+        helper_uids = {i.uid for i in
+                       module.functions["helper"].instructions()}
+        assert helper_uids <= reach
+
+    def test_every_instruction_is_a_node(self, module):
+        icfg = build_icfg(module)
+        assert set(icfg.succs) == {i.uid for i in module.instructions()}
+
+
+class TestReachingDefs:
+    def test_linear_chain(self):
+        module = compile_source("""
+            int main() {
+                int a = 1;
+                a = 2;
+                int b = a;
+                return b;
+            }
+        """)
+        func = module.functions["main"]
+        rd = compute_reaching_defs(func)
+        # The load feeding b's store sees only the second store's value
+        # register definition chain.
+        loads = [i for i in func.instructions() if i.opcode is Opcode.LOAD]
+        for load in loads:
+            reg = load.operands[0].name
+            defs = rd.reaching_defs_of(load, reg)
+            assert len(defs) == 1
+
+    def test_branch_merges_defs(self):
+        module = compile_source("""
+            int main(int x) {
+                int r = 0;
+                if (x) { r = 1; } else { r = 2; }
+                return r;
+            }
+        """)
+        func = module.functions["main"]
+        rd = compute_reaching_defs(func)
+        ret = next(i for i in func.instructions()
+                   if i.opcode is Opcode.RET and i.operands)
+        reg = ret.operands[0].name
+        # The returned register's load: both branch stores write memory,
+        # but the *register* def of the ret operand is the single load.
+        defs = rd.reaching_defs_of(ret, reg)
+        assert len(defs) == 1
+
+    def test_param_pseudo_defs(self):
+        module = compile_source("int f(int p) { return p; } "
+                                "int main() { return f(1); }")
+        func = module.functions["f"]
+        rd = compute_reaching_defs(func)
+        store = next(i for i in func.instructions()
+                     if i.opcode is Opcode.STORE)
+        defs = rd.reaching_defs_of(store, "p")
+        assert defs == {-1}
+
+    def test_loop_carried_defs(self):
+        module = compile_source("""
+            int main(int n) {
+                int s = 0;
+                int i = 0;
+                while (i < n) { i = i + 1; }
+                return i;
+            }
+        """)
+        func = module.functions["main"]
+        rd = compute_reaching_defs(func)
+        # The loop condition's load of i sees both the init and the
+        # loop-carried store paths (memory), but register-wise each load
+        # defines a fresh temp; just check the analysis terminates with
+        # consistent in-sets.
+        for ins in func.instructions():
+            assert ins.uid in rd.reach_in
+
+
+class TestLiveness:
+    def test_dead_after_last_use(self):
+        module = compile_source("""
+            int main() {
+                int a = 5;
+                int b = a + 1;
+                return b;
+            }
+        """)
+        func = module.functions["main"]
+        live = compute_liveness(func)
+        ret = next(i for i in func.instructions() if i.opcode is Opcode.RET)
+        assert live[ret.uid] == frozenset()
+
+    def test_live_across_branch(self):
+        module = compile_source("""
+            int main(int x) {
+                int a = x + 1;
+                if (x) { print(a); }
+                return a;
+            }
+        """)
+        func = module.functions["main"]
+        live = compute_liveness(func)
+        br = next(i for i in func.instructions() if i.opcode is Opcode.BR)
+        # The alloca register holding a's slot is live across the branch.
+        assert live[br.uid], "something must be live across the branch"

@@ -1,0 +1,302 @@
+"""Backward slicing tests (Algorithm 1)."""
+
+import pytest
+
+from repro.analysis import (
+    BackwardSlicer,
+    build_callgraph,
+    build_icfg,
+    build_ticfg,
+    compute_slice,
+)
+from repro.lang import Opcode, compile_source
+
+
+def failing_uid(module, marker="assert"):
+    for ins in module.instructions():
+        if ins.opcode is Opcode.ASSERT:
+            return ins.uid
+    raise AssertionError("no assert in program")
+
+
+def slice_lines(slice_):
+    return {(ins.func_name, ins.line) for ins in slice_.instructions()}
+
+
+def line_of(source, fragment):
+    for i, text in enumerate(source.splitlines(), 1):
+        if fragment in text:
+            return i
+    raise AssertionError(f"{fragment!r} not in source")
+
+
+class TestIntraprocedural:
+    SRC = """
+int main(int x) {
+    int unrelated = 99;
+    int a = x + 1;
+    int b = a * 2;
+    unrelated = unrelated + 1;
+    assert(b < 100, "bound");
+    return unrelated;
+}
+"""
+
+    def test_data_chain_included(self):
+        module = compile_source(self.SRC)
+        sl = compute_slice(module, failing_uid(module))
+        lines = {line for _f, line in slice_lines(sl)}
+        assert line_of(self.SRC, "int a = x + 1") in lines
+        assert line_of(self.SRC, "int b = a * 2") in lines
+
+    def test_unrelated_statements_excluded(self):
+        module = compile_source(self.SRC)
+        sl = compute_slice(module, failing_uid(module))
+        lines = {line for _f, line in slice_lines(sl)}
+        assert line_of(self.SRC, "unrelated + 1") not in lines
+
+    def test_failing_statement_depth_zero(self):
+        module = compile_source(self.SRC)
+        uid = failing_uid(module)
+        sl = compute_slice(module, uid)
+        assert sl.depth[uid] == 0
+        assert all(d >= 0 for d in sl.depth.values())
+
+    def test_window_grows_monotonically(self):
+        module = compile_source(self.SRC)
+        sl = compute_slice(module, failing_uid(module))
+        w1 = sl.window(1)
+        w2 = sl.window(2)
+        w_all = sl.window(10_000)
+        assert w1 <= w2 <= w_all <= sl.uids
+        # The full window covers every non-header statement of the slice.
+        non_header = {u for u in sl.uids
+                      if module.instr(u).line !=
+                      module.functions[module.instr(u).func_name].line}
+        assert non_header <= w_all
+
+
+class TestControlDependence:
+    SRC = """
+int main(int x) {
+    int flag = 0;
+    if (x > 10) {
+        flag = 1;
+    }
+    if (flag) {
+        assert(0, "reached");
+    }
+    return 0;
+}
+"""
+
+    def test_governing_branches_included(self):
+        module = compile_source(self.SRC)
+        sl = compute_slice(module, failing_uid(module))
+        lines = {line for _f, line in slice_lines(sl)}
+        assert line_of(self.SRC, "if (flag)") in lines
+        # flag's definitions and their governing branch follow.
+        assert line_of(self.SRC, "flag = 1") in lines
+        assert line_of(self.SRC, "if (x > 10)") in lines
+
+    def test_without_control_deps(self):
+        module = compile_source(self.SRC)
+        slicer = BackwardSlicer(module)
+        sl = slicer.slice_from(failing_uid(module),
+                               include_control_deps=False)
+        lines = {line for _f, line in slice_lines(sl)}
+        assert line_of(self.SRC, "if (flag)") not in lines
+
+
+class TestInterprocedural:
+    SRC = """
+int scale(int v) {
+    return v * 3;
+}
+int main(int x) {
+    int y = scale(x + 1);
+    assert(y < 50, "limit");
+    return y;
+}
+"""
+
+    def test_return_values_linked(self):
+        module = compile_source(self.SRC)
+        sl = compute_slice(module, failing_uid(module))
+        lines = {(f, l) for f, l in slice_lines(sl)}
+        assert ("scale", line_of(self.SRC, "return v * 3")) in lines
+
+    def test_arguments_linked(self):
+        module = compile_source(self.SRC)
+        sl = compute_slice(module, failing_uid(module))
+        lines = {line for _f, line in slice_lines(sl)}
+        assert line_of(self.SRC, "int y = scale(x + 1)") in lines
+
+
+class TestMustAlias:
+    GLOBAL = """
+int shared = 0;
+void setter(int v) {
+    shared = v;
+}
+int main(int x) {
+    setter(x);
+    int got = shared;
+    assert(got == 0, "check");
+    return 0;
+}
+"""
+
+    def test_global_store_linked_to_load(self):
+        module = compile_source(self.GLOBAL)
+        sl = compute_slice(module, failing_uid(module))
+        lines = {(f, l) for f, l in slice_lines(sl)}
+        assert ("setter", line_of(self.GLOBAL, "shared = v")) in lines
+
+    FIELD = """
+struct box { int pad; int value; };
+struct box* b;
+void fill(int v) {
+    b->value = v;
+}
+int main(int x) {
+    b = malloc(sizeof(struct box));
+    fill(x);
+    assert(b->value == 0, "check");
+    return 0;
+}
+"""
+
+    def test_field_store_linked_across_functions(self):
+        module = compile_source(self.FIELD)
+        sl = compute_slice(module, failing_uid(module))
+        lines = {(f, l) for f, l in slice_lines(sl)}
+        assert ("fill", line_of(self.FIELD, "b->value = v")) in lines
+
+    PARAM = """
+struct box { int value; };
+void fill(struct box* p, int v) {
+    p->value = v;
+}
+int probe(struct box* p) {
+    return p->value;
+}
+int main(int x) {
+    struct box* local = malloc(sizeof(struct box));
+    fill(local, x);
+    int got = probe(local);
+    assert(got == 0, "check");
+    return 0;
+}
+"""
+
+    def test_param_unification_links_through_locals(self):
+        # fill() and probe() receive the same object through parameters;
+        # the store in fill must reach the load in probe.
+        module = compile_source(self.PARAM)
+        sl = compute_slice(module, failing_uid(module))
+        lines = {(f, l) for f, l in slice_lines(sl)}
+        assert ("fill", line_of(self.PARAM, "p->value = v")) in lines
+
+    DISTINCT = """
+struct box { int value; };
+int main(int x) {
+    struct box* a = malloc(sizeof(struct box));
+    struct box* b = malloc(sizeof(struct box));
+    a->value = x;
+    b->value = 7;
+    assert(a->value == 0, "check");
+    return 0;
+}
+"""
+
+    def test_distinct_objects_not_conflated(self):
+        module = compile_source(self.DISTINCT)
+        sl = compute_slice(module, failing_uid(module))
+        lines = {line for _f, line in slice_lines(sl)}
+        assert line_of(self.DISTINCT, "a->value = x") in lines
+        assert line_of(self.DISTINCT, "b->value = 7") not in lines
+
+
+class TestThreadAware:
+    SRC = """
+int shared = 0;
+void worker(int v) {
+    shared = v;
+}
+int main(int x) {
+    int t = thread_create(worker, x);
+    thread_join(t);
+    assert(shared == 0, "check");
+    return 0;
+}
+"""
+
+    def test_cross_thread_store_in_slice(self):
+        module = compile_source(self.SRC)
+        sl = compute_slice(module, failing_uid(module))
+        lines = {(f, l) for f, l in slice_lines(sl)}
+        assert ("worker", line_of(self.SRC, "shared = v")) in lines
+
+    def test_spawn_site_in_slice(self):
+        module = compile_source(self.SRC)
+        sl = compute_slice(module, failing_uid(module))
+        lines = {(f, l) for f, l in slice_lines(sl)}
+        assert ("main", line_of(self.SRC, "thread_create")) in lines
+
+
+class TestClobberCalls:
+    SRC = """
+struct q { void* mut; };
+struct q* fifo;
+void user(int x) {
+    mutex_unlock(fifo->mut);
+}
+int main(int x) {
+    fifo = malloc(sizeof(struct q));
+    fifo->mut = mutex_create();
+    int t = thread_create(user, 0);
+    mutex_destroy(fifo->mut);
+    fifo->mut = NULL;
+    thread_join(t);
+    assert(0, "force slice from here");
+    return 0;
+}
+"""
+
+    def test_destroy_linked_to_dangling_use(self):
+        module = compile_source(self.SRC)
+        # Slice from the unlock's argument load in user().
+        target = next(ins for ins in module.instructions()
+                      if ins.func_name == "user"
+                      and ins.opcode is Opcode.CALL
+                      and ins.callee == "mutex_unlock")
+        sl = compute_slice(module, target.uid)
+        lines = {(f, l) for f, l in slice_lines(sl)}
+        assert ("main", line_of(self.SRC, "mutex_destroy")) in lines
+        assert ("main", line_of(self.SRC, "fifo->mut = NULL")) in lines
+
+
+class TestSliceShape:
+    def test_sizes_consistent(self):
+        module = compile_source(TestInterprocedural.SRC)
+        sl = compute_slice(module, failing_uid(module))
+        assert sl.size_ir() == len(sl.uids)
+        assert sl.size_loc() == len({(i.func_name, i.line)
+                                     for i in sl.instructions()})
+        assert sl.size_loc() <= sl.size_ir()
+
+    def test_statements_ordered_by_depth(self):
+        module = compile_source(TestControlDependence.SRC)
+        sl = compute_slice(module, failing_uid(module))
+        stmts = sl.statements()
+        # The failing statement comes first.
+        failing = module.instr(sl.failing_uid)
+        assert stmts[0] == (failing.func_name, failing.line)
+
+    def test_format_is_printable(self):
+        module = compile_source(TestIntraprocedural.SRC)
+        sl = compute_slice(module, failing_uid(module))
+        text = sl.format()
+        assert "static slice" in text
+        assert str(sl.failing_uid) in text

@@ -1,0 +1,113 @@
+"""Accuracy metric tests (§5.2): relevance + Kendall-tau ordering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import IdealSketch, kendall_tau_distance, score
+from repro.core.accuracy import ordering_accuracy, relevance_accuracy
+from repro.core.sketch import FailureSketch, SketchStep
+
+
+def sketch_of(statements, access_order=()):
+    steps = [SketchStep(order=i + 1, tid=0, uid=i, func=f, line=l,
+                        source="") for i, (f, l) in enumerate(statements)]
+    return FailureSketch(
+        bug="t", failure_type="x", module_name="m", failing_uid=0,
+        steps=steps, access_order=list(access_order))
+
+
+def ideal_of(statements, access_order=()):
+    return IdealSketch(bug="t", statements=set(statements),
+                       access_order=list(access_order))
+
+
+class TestKendallTau:
+    def test_identical_orders(self):
+        assert kendall_tau_distance([1, 2, 3], [1, 2, 3]) == (0, 3)
+
+    def test_reversed_order(self):
+        d, total = kendall_tau_distance([1, 2, 3], [3, 2, 1])
+        assert (d, total) == (3, 3)
+
+    def test_paper_example(self):
+        # <A,B,C> vs <A,C,B>: one discordant pair.
+        d, total = kendall_tau_distance(["A", "B", "C"], ["A", "C", "B"])
+        assert d == 1
+        assert total == 3
+
+    def test_only_common_elements_count(self):
+        d, total = kendall_tau_distance([1, 9, 2], [2, 1, 7])
+        assert total == 1  # only the (1,2) pair is common
+        assert d == 1
+
+    def test_disjoint(self):
+        assert kendall_tau_distance([1], [2]) == (0, 0)
+
+    @given(st.permutations(list(range(6))))
+    @settings(max_examples=60, deadline=None)
+    def test_distance_bounds(self, perm):
+        d, total = kendall_tau_distance(list(range(6)), list(perm))
+        assert total == 15
+        assert 0 <= d <= total
+
+    @given(st.permutations(list(range(5))))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, perm):
+        a = list(range(5))
+        b = list(perm)
+        assert kendall_tau_distance(a, b)[0] == kendall_tau_distance(b, a)[0]
+
+
+class TestRelevance:
+    def test_perfect_match(self):
+        stmts = [("f", 1), ("f", 2)]
+        assert relevance_accuracy(sketch_of(stmts), ideal_of(stmts)) == 100.0
+
+    def test_jaccard_formula(self):
+        got = sketch_of([("f", 1), ("f", 2), ("f", 3)])
+        want = ideal_of([("f", 2), ("f", 3), ("f", 4)])
+        # intersection 2, union 4.
+        assert relevance_accuracy(got, want) == pytest.approx(50.0)
+
+    def test_empty_sketch_against_ideal(self):
+        assert relevance_accuracy(sketch_of([]), ideal_of([("f", 1)])) == 0.0
+
+    def test_extra_statements_penalized(self):
+        exact = relevance_accuracy(sketch_of([("f", 1)]),
+                                   ideal_of([("f", 1)]))
+        extra = relevance_accuracy(sketch_of([("f", 1), ("g", 9)]),
+                                   ideal_of([("f", 1)]))
+        assert extra < exact
+
+
+class TestOrdering:
+    def test_matching_access_order(self):
+        order = [("f", 1), ("g", 2), ("f", 3)]
+        got = sketch_of(order, access_order=order)
+        want = ideal_of(order, access_order=order)
+        assert ordering_accuracy(got, want) == 100.0
+
+    def test_swapped_pair(self):
+        got = sketch_of([], access_order=[("f", 1), ("g", 2)])
+        want = ideal_of([], access_order=[("g", 2), ("f", 1)])
+        assert ordering_accuracy(got, want) == 0.0
+
+    def test_insufficient_common_pairs_is_perfect(self):
+        got = sketch_of([], access_order=[("f", 1)])
+        want = ideal_of([], access_order=[("g", 2)])
+        assert ordering_accuracy(got, want) == 100.0
+
+    def test_extra_accesses_ignored(self):
+        got = sketch_of([], access_order=[("x", 9), ("f", 1), ("g", 2)])
+        want = ideal_of([], access_order=[("f", 1), ("g", 2)])
+        assert ordering_accuracy(got, want) == 100.0
+
+
+class TestOverall:
+    def test_overall_is_mean(self):
+        got = sketch_of([("f", 1), ("f", 2)],
+                        access_order=[("f", 1), ("f", 2)])
+        want = ideal_of([("f", 1)], access_order=[("f", 1), ("f", 2)])
+        report = score(got, want)
+        assert report.overall == pytest.approx(
+            (report.relevance + report.ordering) / 2)

@@ -1,0 +1,86 @@
+"""Adaptive Slice Tracking tests (§3.2.1)."""
+
+import pytest
+
+from repro.analysis import compute_slice
+from repro.core import AdaptiveSliceTracker, DEFAULT_SIGMA
+from repro.lang import Opcode, compile_source
+
+SRC = """
+int main(int x) {
+    int a = x + 1;
+    int b = a * 2;
+    int c = b - 3;
+    int d = c + a;
+    int e = d * b;
+    assert(e < 1000, "bound");
+    return e;
+}
+"""
+
+
+@pytest.fixture
+def slice_():
+    module = compile_source(SRC)
+    failing = next(i for i in module.instructions()
+                   if i.opcode is Opcode.ASSERT)
+    return compute_slice(module, failing.uid)
+
+
+class TestSigmaSchedule:
+    def test_default_sigma_is_two(self, slice_):
+        tracker = AdaptiveSliceTracker(slice_)
+        assert tracker.sigma == DEFAULT_SIGMA == 2
+
+    def test_multiplicative_increase(self, slice_):
+        tracker = AdaptiveSliceTracker(slice_, initial_sigma=2)
+        sigmas = [tracker.sigma]
+        while not tracker.exhausted:
+            tracker.grow()
+            sigmas.append(tracker.sigma)
+        # Doubling until the slice is covered (2, 4, ... capped at total).
+        for a, b in zip(sigmas, sigmas[1:]):
+            assert b == min(a * 2, tracker.total_statements)
+
+    def test_window_grows_with_sigma(self, slice_):
+        tracker = AdaptiveSliceTracker(slice_, initial_sigma=1)
+        prev = set()
+        for _ in range(6):
+            window = tracker.current_window()
+            assert prev <= window
+            prev = window
+            tracker.grow()
+
+    def test_exhausted_when_covering_slice(self, slice_):
+        total = len(slice_.statements())
+        tracker = AdaptiveSliceTracker(slice_, initial_sigma=total)
+        assert tracker.exhausted
+        window = tracker.current_window()
+        # Every statement's instructions are covered at full sigma.
+        assert window == slice_.window(total)
+
+    def test_invalid_sigma(self, slice_):
+        with pytest.raises(ValueError):
+            AdaptiveSliceTracker(slice_, initial_sigma=0)
+
+
+class TestIterationBookkeeping:
+    def test_iterations_recorded(self, slice_):
+        tracker = AdaptiveSliceTracker(slice_)
+        it1 = tracker.begin_iteration()
+        assert it1.number == 1
+        assert it1.sigma == 2
+        tracker.grow()
+        it2 = tracker.begin_iteration()
+        assert it2.number == 2
+        assert it2.sigma == 4
+        assert len(tracker.iterations) == 2
+
+    def test_failure_recurrence_accounting(self, slice_):
+        tracker = AdaptiveSliceTracker(slice_)
+        it = tracker.begin_iteration()
+        it.failing_runs_seen = 2
+        tracker.grow()
+        it = tracker.begin_iteration()
+        it.failing_runs_seen = 1
+        assert tracker.failure_recurrences_used() == 3

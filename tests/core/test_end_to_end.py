@@ -1,0 +1,135 @@
+"""End-to-end Gist pipeline tests on small purpose-built programs."""
+
+import pytest
+
+from repro.core import (
+    Gist,
+    Workload,
+    constant_factory,
+    mixed_factory,
+    render_compact,
+    render_sketch,
+)
+
+RACY = """
+struct q { void* mut; int data; };
+struct q* fifo;
+
+void cons(int unused) {
+    mutex_lock(fifo->mut);
+    fifo->data = fifo->data - 1;
+    mutex_unlock(fifo->mut);
+}
+
+int main(int n) {
+    fifo = malloc(sizeof(struct q));
+    fifo->mut = mutex_create();
+    fifo->data = n;
+    int t = thread_create(cons, 0);
+    mutex_destroy(fifo->mut);
+    fifo->mut = NULL;
+    thread_join(t);
+    free(fifo);
+    return 0;
+}
+"""
+
+SEQUENTIAL = """
+int total = 0;
+int classify(char* s) {
+    int n = strlen(s);
+    if (n > 3) { return 2; }
+    return 1;
+}
+int main(char* input, int reps) {
+    int i;
+    for (i = 0; i < reps; i++) {
+        total = total + classify(input);
+    }
+    assert(total < 40, "total small");
+    return total;
+}
+"""
+
+
+class TestConcurrencyDiagnosis:
+    @pytest.fixture(scope="class")
+    def result(self):
+        gist = Gist.from_source(RACY, bug="racy-teardown", endpoints=3)
+        return gist.diagnose(
+            constant_factory(Workload(args=(3,), switch_prob=0.05)),
+            max_iterations=3, max_runs_per_iteration=80)
+
+    def test_sketch_produced(self, result):
+        assert result.sketch is not None
+        assert result.failure_recurrences >= 2
+
+    def test_sketch_is_multithreaded(self, result):
+        assert len(result.sketch.threads) == 2
+        assert "Concurrency bug" in result.sketch.failure_type
+
+    def test_sketch_contains_the_null_store(self, result):
+        sources = [s.source for s in result.sketch.steps]
+        assert any("fifo->mut = NULL" in s for s in sources)
+
+    def test_predictors_present(self, result):
+        kinds = set(result.sketch.predictors)
+        assert "value" in kinds or "order" in kinds
+
+    def test_rendering(self, result):
+        text = render_sketch(result.sketch)
+        assert "Failure Sketch" in text
+        assert "Thread T" in text
+        compact = render_compact(result.sketch)
+        assert compact.strip()
+
+
+class TestSequentialDiagnosis:
+    def test_input_dependent_bug(self):
+        gist = Gist.from_source(SEQUENTIAL, bug="seq-total", endpoints=2)
+        workloads = [
+            Workload(args=("ab", 10)),      # adds 10
+            Workload(args=("abcdef", 25)),  # adds 50 -> fails
+            Workload(args=("xy", 12)),
+        ]
+        result = gist.diagnose(mixed_factory(workloads),
+                               max_iterations=4,
+                               max_runs_per_iteration=60)
+        assert result.sketch is not None
+        assert "Sequential bug" in result.sketch.failure_type
+        assert result.sketch.threads == [0]
+
+    def test_never_failing_program_yields_no_sketch(self):
+        gist = Gist.from_source(
+            "int main() { return 0; }", bug="healthy", endpoints=2)
+        deployment_result = gist.diagnose(
+            constant_factory(Workload(args=())),
+            max_iterations=2)
+        # wait_for_failure exhausts its budget; no sketch possible.
+        assert deployment_result.sketch is None
+        assert not deployment_result.found
+
+
+class TestDiagnosisDeterminismKnobs:
+    def test_stop_when_callback_controls_latency(self):
+        gist = Gist.from_source(RACY, bug="racy", endpoints=3)
+        calls = []
+
+        def stop(sketch):
+            calls.append(sketch)
+            return True  # first sketch is good enough
+
+        result = gist.diagnose(
+            constant_factory(Workload(args=(3,), switch_prob=0.05)),
+            stop_when=stop, max_iterations=5,
+            max_runs_per_iteration=80)
+        assert result.found
+        assert len(calls) >= 1
+        assert result.stats.iterations == 1
+
+    def test_overhead_reported(self):
+        gist = Gist.from_source(RACY, bug="racy", endpoints=2)
+        result = gist.diagnose(
+            constant_factory(Workload(args=(3,), switch_prob=0.05)),
+            max_iterations=2, max_runs_per_iteration=60)
+        assert result.stats.avg_overhead_percent > 0.0

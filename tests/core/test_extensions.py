@@ -1,0 +1,261 @@
+"""Tests for the §6 future-work extensions: range predicates, privacy,
+clustering, serialization, HTML export."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Anonymizer,
+    FailureClusterer,
+    MonitoredRun,
+    Predictor,
+    PredictorRanker,
+    PredictorStats,
+    ValuePolicy,
+    extract_range_predictors,
+    information_shipped,
+    render_html,
+    sketch_from_json,
+    sketch_to_json,
+)
+from repro.core.privacy import bucket_value, hash_value
+from repro.core.sketch import FailureSketch, SketchStep
+from repro.hw.watchpoints import TrapRecord
+from repro.runtime.failures import FailureKind, FailureReport, StackFrameInfo
+
+
+def trap(seq, tid, pc, value, addr=0x1000, write=False):
+    return TrapRecord(seq=seq, tid=tid, pc=pc, address=addr,
+                      is_write=write, value=value, slot=0)
+
+
+class TestRangePredictors:
+    def test_relations_emitted(self):
+        run = MonitoredRun(run_id=0, traps=[trap(1, 0, 10, value=-4)])
+        details = {p.detail for p in extract_range_predictors(run)}
+        assert (10, "< 0") in details
+        assert (10, "even") in details
+        assert (10, "> 0") not in details
+
+    def test_zero_matches_zero_and_even(self):
+        run = MonitoredRun(run_id=0, traps=[trap(1, 0, 10, value=0)])
+        details = {p.detail for p in extract_range_predictors(run)}
+        assert (10, "== 0") in details
+        assert (10, "even") in details
+        assert (10, "odd") not in details
+
+    def test_parity_predicate_generalizes_across_values(self):
+        # The sqlite scenario: failing runs see odd versions (3, 5, 9...);
+        # exact-value predictors fragment, the parity predicate does not.
+        ranker = PredictorRanker()
+        for v in (3, 5, 9):
+            run = MonitoredRun(run_id=v, traps=[trap(1, 0, 10, value=v)])
+            ranker.add_run(extract_range_predictors(run), failed=True)
+        for v in (2, 4):
+            run = MonitoredRun(run_id=v, traps=[trap(1, 0, 10, value=v)])
+            ranker.add_run(extract_range_predictors(run), failed=False)
+        best = ranker.best("vrange")
+        assert best.predictor.detail == (10, "odd")
+        assert best.f_measure == pytest.approx(1.0)
+
+    def test_describe(self):
+        p = Predictor("vrange", (7, "odd"))
+        assert "odd" in p.describe()
+
+
+class TestPrivacy:
+    def test_raw_policy_is_identity(self):
+        run = MonitoredRun(run_id=0, traps=[trap(1, 0, 10, value=1234)])
+        out = Anonymizer(ValuePolicy.RAW).anonymize_run(run)
+        assert out is run
+
+    def test_bucket_preserves_zero_and_sign(self):
+        assert bucket_value(0) == 0
+        assert bucket_value(5) == 1
+        assert bucket_value(-5) == -1
+        assert bucket_value(50) == 2
+        assert bucket_value(12345) == 4
+        assert bucket_value(10**9) == 5
+
+    def test_bucket_deterministic_across_endpoints(self):
+        a = Anonymizer(ValuePolicy.BUCKET)
+        b = Anonymizer(ValuePolicy.BUCKET)
+        assert a.anonymize_value(777) == b.anonymize_value(777)
+
+    def test_hash_hides_value_but_keeps_equality(self):
+        anon = Anonymizer(ValuePolicy.HASH, salt=b"s1")
+        h1 = anon.anonymize_value(42)
+        h2 = anon.anonymize_value(42)
+        h3 = anon.anonymize_value(43)
+        assert h1 == h2 != h3
+        assert h1 != 42
+
+    def test_hash_zero_distinguished(self):
+        anon = Anonymizer(ValuePolicy.HASH)
+        assert anon.anonymize_value(0) == 0
+        assert hash_value(1, b"x") != 0
+
+    def test_different_salts_differ(self):
+        assert hash_value(42, b"a") != hash_value(42, b"b")
+
+    def test_run_structure_preserved(self):
+        failure = FailureReport(kind=FailureKind.SEGFAULT, pc=5, tid=1)
+        run = MonitoredRun(run_id=3, failed=True, failure=failure,
+                           executed={0: [1, 2]},
+                           traps=[trap(7, 0, 2, value=99)])
+        out = Anonymizer(ValuePolicy.BUCKET).anonymize_run(run)
+        assert out.failed and out.failure is failure
+        assert out.executed == run.executed
+        assert out.traps[0].seq == 7
+        assert out.traps[0].value == bucket_value(99)
+
+    def test_information_quantification_shrinks(self):
+        traps = [trap(i, 0, 10, value=1000 + i) for i in range(8)]
+        run = MonitoredRun(run_id=0, traps=traps)
+        raw_bits = information_shipped(run)
+        bucketed = Anonymizer(ValuePolicy.BUCKET).anonymize_run(run)
+        assert information_shipped(bucketed) < raw_bits
+
+
+class TestClustering:
+    def _report(self, pc, stack=("main",), kind=FailureKind.SEGFAULT):
+        frames = tuple(StackFrameInfo(f, pc) for f in stack)
+        return FailureReport(kind=kind, pc=pc, tid=0, stack=frames)
+
+    def test_same_site_one_bucket(self):
+        clusterer = FailureClusterer()
+        clusterer.add(self._report(10))
+        bucket = clusterer.add(self._report(10))
+        assert bucket.count == 2
+        assert len(clusterer.buckets()) == 1
+
+    def test_call_path_variants_merge_by_site(self):
+        # The apache-21285 situation: one failing statement, two callers.
+        clusterer = FailureClusterer()
+        clusterer.add(self._report(10, stack=("release", "worker")))
+        bucket = clusterer.add(self._report(10, stack=("release", "main")))
+        assert bucket.count == 2
+        assert bucket.call_path_variants == 2
+        assert len(clusterer.buckets()) == 1
+
+    def test_different_sites_different_buckets(self):
+        clusterer = FailureClusterer()
+        clusterer.add(self._report(10))
+        clusterer.add(self._report(20))
+        assert len(clusterer.buckets()) == 2
+
+    def test_triage_order_by_hits(self):
+        clusterer = FailureClusterer()
+        for _ in range(3):
+            clusterer.add(self._report(20))
+        clusterer.add(self._report(10))
+        assert clusterer.buckets()[0].pc == 20
+
+    def test_next_to_diagnose_skips_done(self):
+        clusterer = FailureClusterer()
+        for _ in range(3):
+            clusterer.add(self._report(20))
+        clusterer.add(self._report(10))
+        top = clusterer.next_to_diagnose()
+        assert top.pc == 20
+        second = clusterer.next_to_diagnose(already_diagnosed=(top.key,))
+        assert second.pc == 10
+        assert clusterer.next_to_diagnose(
+            already_diagnosed=(top.key, second.key)) is None
+
+    def test_summary(self):
+        clusterer = FailureClusterer()
+        clusterer.add(self._report(10))
+        text = clusterer.summary()
+        assert "1 reports in 1 buckets" in text
+
+
+def _demo_sketch():
+    steps = [
+        SketchStep(order=1, tid=0, uid=5, func="main", line=3,
+                   source="x = compute();", values=[("x", 7)],
+                   anchored=True),
+        SketchStep(order=2, tid=1, uid=9, func="worker", line=8,
+                   source="use(x);", highlight=True),
+    ]
+    predictors = {
+        "value": PredictorStats(Predictor("value", (9, 0)),
+                                failing_with=3, successful_with=0,
+                                precision=1.0, recall=1.0, f_measure=1.0),
+        "order": PredictorStats(Predictor("order", ("WR", (5, 9))),
+                                failing_with=3, successful_with=1,
+                                precision=0.75, recall=1.0,
+                                f_measure=0.79),
+    }
+    return FailureSketch(
+        bug="demo", failure_type="Concurrency bug, segfault",
+        module_name="m", failing_uid=9, threads=[0, 1], steps=steps,
+        statement_uids={5, 9}, access_order=[("main", 3), ("worker", 8)],
+        predictors=predictors, sigma=4, iterations=2,
+        failure_recurrences=3)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self):
+        sketch = _demo_sketch()
+        restored = sketch_from_json(sketch_to_json(sketch))
+        assert restored.bug == sketch.bug
+        assert restored.threads == sketch.threads
+        assert restored.statement_uids == sketch.statement_uids
+        assert restored.access_order == sketch.access_order
+        assert len(restored.steps) == len(sketch.steps)
+        assert restored.steps[0].values == [("x", 7)]
+        assert restored.predictors["order"].predictor.detail == \
+            ("WR", (5, 9))
+        assert restored.predictors["value"].f_measure == 1.0
+        assert restored.failure_recurrences == 3
+
+    def test_json_is_valid_and_versioned(self):
+        payload = json.loads(sketch_to_json(_demo_sketch()))
+        assert payload["version"] == 1
+
+    def test_unknown_version_rejected(self):
+        payload = json.loads(sketch_to_json(_demo_sketch()))
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            sketch_from_json(json.dumps(payload))
+
+
+class TestHtmlExport:
+    def test_structure(self):
+        html = render_html(_demo_sketch())
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Thread T0" in html and "Thread T1" in html
+        assert "x = compute();" in html
+        assert 'class="highlight"' in html
+        assert "x=7" in html
+        assert "WR(5 -&gt; 9)" in html or "WR(5 -> 9)" in html
+
+    def test_escaping(self):
+        sketch = _demo_sketch()
+        sketch.steps[0].source = "if (a < b && c) { }"
+        html = render_html(sketch)
+        assert "a &lt; b &amp;&amp; c" in html
+
+
+class TestExtendedPredicatesEndToEnd:
+    def test_parity_predicate_surfaces_in_campaign(self):
+        # sqlite's failing runs see odd schema versions that differ run to
+        # run; the extended ranker surfaces the generalizing predicate.
+        from repro.core import CooperativeDeployment
+        from repro.corpus import get_bug
+
+        spec = get_bug("sqlite-1672")
+        deployment = CooperativeDeployment(
+            spec.module(), spec.workload_factory, endpoints=4,
+            bug=spec.bug_id, extended_predicates=True)
+        stats = deployment.run_campaign(stop_when=spec.sketch_has_root,
+                                        max_iterations=5)
+        assert stats.sketch is not None
+        vrange = stats.sketch.predictors.get("vrange")
+        assert vrange is not None
+        uid, relation = vrange.predictor.detail
+        assert relation == "odd"
+        ins = spec.module().instr(uid)
+        assert "db->version" in spec.module().source_line(ins.line)

@@ -1,0 +1,108 @@
+"""Failure predictor extraction tests (Figs. 5 and 6)."""
+
+import pytest
+
+from repro.core import (
+    ATOMICITY_PATTERNS,
+    MonitoredRun,
+    RACE_PATTERNS,
+    extract_order_predictors,
+    extract_value_predictors,
+)
+from repro.hw.watchpoints import TrapRecord
+
+
+def trap(seq, tid, pc, addr=0x1000, write=False, value=0):
+    return TrapRecord(seq=seq, tid=tid, pc=pc, address=addr,
+                      is_write=write, value=value, slot=0)
+
+
+def run_with(traps):
+    return MonitoredRun(run_id=0, traps=list(traps))
+
+
+class TestOrderPatterns:
+    def test_fig6_execution(self):
+        # Fig. 6(a): T1 reads x, T2 writes x, T1 reads twice.
+        traps = [
+            trap(1, tid=1, pc=10),                   # R by T1
+            trap(2, tid=2, pc=20, write=True),       # W by T2
+            trap(3, tid=1, pc=11),                   # R by T1
+            trap(4, tid=1, pc=12),                   # R by T1
+        ]
+        preds = extract_order_predictors(run_with(traps))
+        details = {p.detail for p in preds}
+        # The RWR atomicity violation of Fig. 6(b):
+        assert ("RWR", (10, 20, 11)) in details
+        # The WR data race of Fig. 6(c)/(d):
+        assert ("RW", (10, 20)) in details
+        assert ("WR", (20, 11)) in details
+
+    def test_rr_is_not_a_race(self):
+        traps = [trap(1, 1, 10), trap(2, 2, 20)]  # two reads
+        preds = extract_order_predictors(run_with(traps))
+        assert preds == set()
+
+    def test_ww_race(self):
+        traps = [trap(1, 1, 10, write=True), trap(2, 2, 20, write=True)]
+        preds = extract_order_predictors(run_with(traps))
+        assert {p.detail for p in preds} == {("WW", (10, 20))}
+
+    @pytest.mark.parametrize("pattern", ATOMICITY_PATTERNS)
+    def test_all_four_atomicity_patterns(self, pattern):
+        kinds = [c == "W" for c in pattern]
+        traps = [
+            trap(1, tid=1, pc=10, write=kinds[0]),
+            trap(2, tid=2, pc=20, write=kinds[1]),
+            trap(3, tid=1, pc=30, write=kinds[2]),
+        ]
+        preds = extract_order_predictors(run_with(traps))
+        assert (pattern, (10, 20, 30)) in {p.detail for p in preds}
+
+    def test_same_thread_triple_not_a_violation(self):
+        traps = [trap(1, 1, 10), trap(2, 1, 20, write=True),
+                 trap(3, 1, 30)]
+        preds = extract_order_predictors(run_with(traps))
+        assert preds == set()
+
+    def test_different_addresses_independent(self):
+        traps = [
+            trap(1, 1, 10, addr=0x1000),
+            trap(2, 2, 20, addr=0x2000, write=True),
+        ]
+        preds = extract_order_predictors(run_with(traps))
+        assert preds == set()
+
+    def test_rxr_with_no_write_excluded(self):
+        # R-R-R across threads matches no pattern from Fig. 5.
+        traps = [trap(1, 1, 10), trap(2, 2, 20), trap(3, 1, 30)]
+        preds = extract_order_predictors(run_with(traps))
+        triples = {p.detail for p in preds if len(p.detail[1]) == 3}
+        assert triples == set()
+
+    def test_patterns_identified_by_pcs_not_addresses(self):
+        # The same code pattern on different heap addresses in two runs
+        # must produce identical predictors (cross-run aggregation).
+        a = extract_order_predictors(run_with([
+            trap(1, 1, 10, addr=0x100000, write=True),
+            trap(2, 2, 20, addr=0x100000)]))
+        b = extract_order_predictors(run_with([
+            trap(5, 1, 10, addr=0x200000, write=True),
+            trap(6, 2, 20, addr=0x200000)]))
+        assert a == b
+
+
+class TestValuePredictors:
+    def test_values_extracted(self):
+        traps = [trap(1, 0, 10, value=0), trap(2, 0, 11, value=7)]
+        preds = extract_value_predictors(run_with(traps))
+        assert {p.detail for p in preds} == {(10, 0), (11, 7)}
+
+    def test_set_semantics_within_run(self):
+        traps = [trap(1, 0, 10, value=3), trap(2, 0, 10, value=3)]
+        preds = extract_value_predictors(run_with(traps))
+        assert len(preds) == 1
+
+    def test_describe_mentions_value(self):
+        (p,) = extract_value_predictors(run_with([trap(1, 0, 10, value=0)]))
+        assert "== 0" in p.describe()

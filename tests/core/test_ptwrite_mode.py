@@ -1,0 +1,122 @@
+"""Tests for the §6 future-hardware (PTWRITE) mode.
+
+The paper: "if Intel Processor Trace also captured a trace of the data
+addresses and values along with the control-flow, we could eliminate the
+need for hardware watchpoints and the complexity of a cooperative
+approach."  These tests check exactly those two eliminations, plus parity
+with the watchpoint-based pipeline.
+"""
+
+import pytest
+
+from repro.core import GistClient, GistServer
+from repro.corpus import get_bug
+from repro.corpus.evaluation import evaluate_bug
+from repro.lang import compile_source
+from repro.pt import PTConfig, PTDecoder, PTEncoder
+from repro.runtime import Interpreter
+
+
+class TestPtwPackets:
+    def test_full_trace_carries_all_accesses(self):
+        module = compile_source("""
+            int g = 0;
+            int main(int n) {
+                int i;
+                for (i = 0; i < n; i++) { g = g + i; }
+                return g;
+            }
+        """)
+        encoder = PTEncoder(PTConfig(ptwrite=True), trace_on_start=True)
+        Interpreter(module, args=[5], tracers=[encoder]).run()
+        trace = PTDecoder(module).decode(encoder.raw_trace(0))
+        events = trace.mem_events()
+        assert events, "no PTW packets decoded"
+        # g is written 5 times (loop) and read 6 times (loop + return).
+        g_events = [e for e in events
+                    if module.instr(e.uid).text == "g"]
+        assert sum(1 for e in g_events if e.is_write) == 5
+        assert sum(1 for e in g_events if not e.is_write) == 6
+        # Values ride along: the final write stores 0+1+2+3+4.
+        assert [e.value for e in g_events if e.is_write][-1] == 10
+
+    def test_tsc_gives_total_order(self):
+        module = compile_source("""
+            int a = 0;
+            void w(int n) { a = a + n; }
+            int main() {
+                int t = thread_create(w, 5);
+                a = a + 1;
+                thread_join(t);
+                return a;
+            }
+        """)
+        encoder = PTEncoder(PTConfig(ptwrite=True), trace_on_start=True)
+        Interpreter(module, tracers=[encoder]).run()
+        decoder = PTDecoder(module)
+        stamps = []
+        for tid in sorted(encoder.buffers):
+            for event in decoder.decode(encoder.raw_trace(tid)).mem_events():
+                stamps.append(event.tsc)
+        assert len(stamps) == len(set(stamps)), "TSC stamps must be unique"
+
+    def test_ptwrite_off_means_no_mem_events(self):
+        module = compile_source("int g = 0; int main() { g = 1; return g; }")
+        encoder = PTEncoder(PTConfig(ptwrite=False), trace_on_start=True)
+        Interpreter(module, tracers=[encoder]).run()
+        trace = PTDecoder(module).decode(encoder.raw_trace(0))
+        assert trace.mem_events() == []
+
+
+class TestPtwClient:
+    def _campaign_run(self, ptwrite):
+        spec = get_bug("transmission-1818")
+        module = spec.module()
+        client = GistClient(module, ptwrite=ptwrite)
+        report = None
+        for i in range(200):
+            out = client.run(spec.workload_factory(i)).outcome
+            if out.failed:
+                report = out.failure
+                break
+        server = GistServer(module)
+        campaign = server.handle_failure_report(spec.bug_id, report,
+                                                initial_sigma=4)
+        campaign.begin_iteration()
+        patches = campaign.make_patches(1)
+        for i in range(300):
+            res = client.run(spec.workload_factory(500 + i),
+                             patch=patches[0])
+            if res.monitored.failed:
+                return res.monitored
+        raise AssertionError("no failing monitored run")
+
+    def test_no_watchpoints_armed(self):
+        spec = get_bug("transmission-1818")
+        module = spec.module()
+        client = GistClient(module, ptwrite=True)
+        # Any monitored run: zero debug registers used.
+        server_probe = client.run(spec.workload_factory(0))
+        assert server_probe.monitored is None  # no patch, no monitoring
+        run = self._campaign_run(ptwrite=True)
+        assert run.traps, "PTW mode must still observe data flow"
+        assert all(t.slot == -1 for t in run.traps), \
+            "no trap may come from a debug register in PTW mode"
+
+    def test_values_match_watchpoint_mode(self):
+        wp = self._campaign_run(ptwrite=False)
+        ptw = self._campaign_run(ptwrite=True)
+        # Both modes observe the failure-relevant zero read of bandwidth.
+        def zero_reads(run):
+            return [t for t in run.traps if t.value == 0 and not t.is_write]
+        assert zero_reads(wp) and zero_reads(ptw)
+
+
+class TestPtwEvaluation:
+    def test_ptw_mode_diagnoses_like_full(self):
+        spec = get_bug("transmission-1818")
+        full = evaluate_bug(spec, mode="full", max_iterations=3)
+        ptw = evaluate_bug(spec, mode="ptw", max_iterations=3)
+        assert ptw.found, "PTW mode must find the root cause"
+        assert ptw.ordering >= full.ordering - 1e-9
+        assert abs(ptw.overall_accuracy - full.overall_accuracy) <= 25.0

@@ -1,0 +1,70 @@
+"""Renderer detail tests: separators, clipping, value columns."""
+
+from repro.core.render import _cell, _clip, render_sketch
+from repro.core.sketch import FailureSketch, SketchStep
+
+
+def sketch_with(steps):
+    return FailureSketch(bug="r", failure_type="t", module_name="m",
+                         failing_uid=0,
+                         threads=sorted({s.tid for s in steps}),
+                         steps=steps)
+
+
+class TestClipping:
+    def test_short_text_untouched(self):
+        assert _clip("abc", 10) == "abc"
+
+    def test_long_text_ellipsized(self):
+        out = _clip("x" * 100, 10)
+        assert len(out) == 10
+        assert out.endswith("…")
+
+    def test_highlight_cell_wraps(self):
+        step = SketchStep(order=1, tid=0, uid=0, func="f", line=1,
+                          source="code();", highlight=True)
+        assert _cell(step, 40) == "[[ code(); ]]"
+
+    def test_missing_source_falls_back_to_location(self):
+        step = SketchStep(order=1, tid=0, uid=0, func="f", line=12,
+                          source="")
+        assert "f:12" in _cell(step, 40)
+
+
+class TestLayout:
+    def test_function_change_draws_separator(self):
+        steps = [
+            SketchStep(order=1, tid=0, uid=0, func="alpha", line=1,
+                       source="a();"),
+            SketchStep(order=2, tid=0, uid=1, func="beta", line=9,
+                       source="b();"),
+        ]
+        text = render_sketch(sketch_with(steps))
+        assert "~~~~~~~~" in text  # the Fig.-7-style horizontal rule
+
+    def test_same_function_no_separator(self):
+        steps = [
+            SketchStep(order=1, tid=0, uid=0, func="alpha", line=1,
+                       source="a();"),
+            SketchStep(order=2, tid=0, uid=1, func="alpha", line=2,
+                       source="b();"),
+        ]
+        assert "~~~~~~~~" not in render_sketch(sketch_with(steps))
+
+    def test_values_column(self):
+        steps = [SketchStep(order=1, tid=0, uid=0, func="f", line=1,
+                            source="x = y;", values=[("y", 42)])]
+        assert "y=42" in render_sketch(sketch_with(steps))
+
+    def test_each_thread_gets_a_column(self):
+        steps = [
+            SketchStep(order=1, tid=0, uid=0, func="f", line=1, source="a"),
+            SketchStep(order=2, tid=3, uid=1, func="g", line=2, source="b"),
+        ]
+        text = render_sketch(sketch_with(steps))
+        assert "Thread T0" in text
+        assert "Thread T3" in text
+
+    def test_empty_sketch_renders(self):
+        text = render_sketch(sketch_with([]))
+        assert "Failure Sketch" in text

@@ -1,0 +1,140 @@
+"""Predictor statistics and F-measure ranking tests (§3.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DEFAULT_BETA, Predictor, PredictorRanker, f_measure
+
+
+def P(kind="value", detail=(1, 0)):
+    return Predictor(kind, detail)
+
+
+class TestFMeasure:
+    def test_perfect_predictor(self):
+        assert f_measure(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_zero_cases(self):
+        assert f_measure(0.0, 0.0) == 0.0
+        assert f_measure(0.0, 1.0) == 0.0
+        assert f_measure(1.0, 0.0) == 0.0
+
+    def test_beta_half_favours_precision(self):
+        precise = f_measure(1.0, 0.5, beta=0.5)
+        recallful = f_measure(0.5, 1.0, beta=0.5)
+        assert precise > recallful
+
+    def test_beta_two_favours_recall(self):
+        precise = f_measure(1.0, 0.5, beta=2.0)
+        recallful = f_measure(0.5, 1.0, beta=2.0)
+        assert recallful > precise
+
+    def test_beta_one_is_harmonic_mean(self):
+        assert f_measure(0.5, 1.0, beta=1.0) == pytest.approx(2 / 3)
+
+    @given(st.floats(0.01, 1.0), st.floats(0.01, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_max_component(self, p, r):
+        f = f_measure(p, r)
+        assert 0.0 <= f <= max(p, r) + 1e-9
+
+    def test_paper_formula(self):
+        # F_beta = (1+b^2) P R / (b^2 P + R)
+        p, r, b = 0.8, 0.4, 0.5
+        expected = (1 + b * b) * p * r / (b * b * p + r)
+        assert f_measure(p, r, b) == pytest.approx(expected)
+
+
+class TestRanker:
+    def test_precision_recall_counts(self):
+        ranker = PredictorRanker()
+        good = P(detail=(10, 0))
+        noisy = P(detail=(20, 1))
+        ranker.add_run({good, noisy}, failed=True)
+        ranker.add_run({good}, failed=True)
+        ranker.add_run({noisy}, failed=False)
+        s_good = ranker.stats_for(good)
+        assert s_good.precision == 1.0
+        assert s_good.recall == 1.0
+        s_noisy = ranker.stats_for(noisy)
+        assert s_noisy.precision == 0.5
+        assert s_noisy.recall == 0.5
+
+    def test_ranking_prefers_correlated(self):
+        ranker = PredictorRanker()
+        good = P(detail=(10, 0))
+        bad = P(detail=(20, 1))
+        for _ in range(5):
+            ranker.add_run({good, bad}, failed=True)
+        for _ in range(5):
+            ranker.add_run({bad}, failed=False)
+        assert ranker.best().predictor == good
+
+    def test_best_per_kind(self):
+        ranker = PredictorRanker()
+        value = P("value", (5, 0))
+        order = P("order", ("WR", (3, 4)))
+        ranker.add_run({value, order}, failed=True)
+        ranker.add_run(set(), failed=False)
+        best = ranker.best_per_kind()
+        assert best["value"].predictor == value
+        assert best["order"].predictor == order
+        assert "branch" not in best
+
+    def test_failure_proximity_tiebreak(self):
+        # Two equally correlated predictors: the one nearest the failure
+        # pc wins (the paper's locality assumption).
+        ranker = PredictorRanker(failure_pc=100)
+        near = P("value", (99, 0))
+        far = P("value", (10, 0))
+        for _ in range(3):
+            ranker.add_run({near, far}, failed=True)
+        ranker.add_run(set(), failed=False)
+        assert ranker.best("value").predictor == near
+
+    def test_beta_ablation_flips_ranking(self):
+        # precise-but-partial vs recallful-but-noisy: beta decides.
+        def build(beta):
+            ranker = PredictorRanker(beta=beta)
+            precise = P("value", (1, 0))   # fires in 1 of 2 failures, never
+            noisy = P("value", (2, 0))     # fires everywhere
+            ranker.add_run({precise, noisy}, failed=True)
+            ranker.add_run({noisy}, failed=True)
+            ranker.add_run({noisy}, failed=False)
+            return ranker, precise, noisy
+
+        ranker, precise, noisy = build(beta=0.5)
+        assert ranker.best("value").predictor == precise
+        ranker, precise, noisy = build(beta=2.0)
+        assert ranker.best("value").predictor == noisy
+
+    def test_deterministic_order(self):
+        def build():
+            ranker = PredictorRanker()
+            for i in range(6):
+                ranker.add_run({P("value", (i, 0))}, failed=True)
+            return [s.predictor for s in ranker.ranked()]
+
+        assert build() == build()
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            PredictorRanker(beta=0)
+
+    def test_empty_ranker(self):
+        ranker = PredictorRanker()
+        assert ranker.best() is None
+        assert ranker.best_per_kind() == {}
+
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.sets(st.integers(0, 5), max_size=4)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_precision_recall_bounds(self, runs):
+        ranker = PredictorRanker()
+        for failed, uids in runs:
+            ranker.add_run({P("value", (u, 0)) for u in uids}, failed)
+        for stats in ranker.ranked():
+            assert 0.0 <= stats.precision <= 1.0
+            assert 0.0 <= stats.recall <= 1.0
+            assert 0.0 <= stats.f_measure <= 1.0

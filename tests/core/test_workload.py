@@ -1,0 +1,53 @@
+"""Workload description tests."""
+
+import pytest
+
+from repro.core import Workload, constant_factory, mixed_factory
+from repro.runtime.scheduler import FixedScheduler, RandomScheduler
+
+
+class TestWorkload:
+    def test_default_scheduler_is_seeded_random(self):
+        w = Workload(args=(1,), seed=9, switch_prob=0.1)
+        sched = w.make_scheduler()
+        assert isinstance(sched, RandomScheduler)
+        assert sched.seed == 9
+        assert sched.switch_prob == 0.1
+
+    def test_fixed_schedule_override(self):
+        w = Workload(args=(), schedule=((0, 5), (1, 2)))
+        sched = w.make_scheduler()
+        assert isinstance(sched, FixedScheduler)
+        assert sched.plan == [(0, 5), (1, 2)]
+
+    def test_workload_is_hashable_and_frozen(self):
+        w = Workload(args=(1, "x"))
+        assert hash(w)
+        with pytest.raises(Exception):
+            w.seed = 5  # type: ignore[misc]
+
+
+class TestFactories:
+    def test_constant_factory_varies_seed_only(self):
+        base = Workload(args=(3,), seed=100, switch_prob=0.2)
+        factory = constant_factory(base)
+        a, b = factory(0), factory(7)
+        assert a.args == b.args == (3,)
+        assert a.seed == 100 and b.seed == 107
+        assert a.switch_prob == b.switch_prob == 0.2
+
+    def test_mixed_factory_cycles(self):
+        ws = [Workload(args=("a",)), Workload(args=("b",)),
+              Workload(args=("c",))]
+        factory = mixed_factory(ws)
+        picked = [factory(i).args[0] for i in range(6)]
+        assert picked == ["a", "b", "c", "a", "b", "c"]
+
+    def test_mixed_factory_reseeds(self):
+        ws = [Workload(args=("a",), seed=5)]
+        factory = mixed_factory(ws)
+        assert factory(0).seed != factory(1).seed
+
+    def test_mixed_factory_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mixed_factory([])

@@ -1,0 +1,121 @@
+"""Evaluation-harness tests (small budgets; the benches do the full runs)."""
+
+import pytest
+
+from repro.corpus import get_bug
+from repro.corpus.evaluation import (
+    BugEvaluation,
+    IterationScore,
+    _select_best,
+    evaluate_bug,
+    full_tracing_overheads,
+    overhead_for_sigma,
+    strip_watch_hooks,
+)
+from repro.instrument.patch import Patch
+from repro.instrument.planner import HookSpec
+
+
+class TestEvaluateBug:
+    @pytest.fixture(scope="class")
+    def evaluation(self):
+        return evaluate_bug(get_bug("transmission-1818"), max_iterations=3)
+
+    def test_finds_root_cause(self, evaluation):
+        assert evaluation.found
+        assert evaluation.best is not None
+        assert evaluation.recurrences >= 2
+
+    def test_sizes_populated(self, evaluation):
+        assert evaluation.slice_loc > 0
+        assert evaluation.slice_ir >= evaluation.slice_loc
+        assert evaluation.sketch_loc > 0
+        assert evaluation.ideal_loc > 0
+
+    def test_accuracy_bounds(self, evaluation):
+        assert 0 <= evaluation.relevance <= 100
+        assert 0 <= evaluation.ordering <= 100
+        assert evaluation.overall_accuracy == pytest.approx(
+            (evaluation.relevance + evaluation.ordering) / 2)
+
+    def test_per_iteration_monotone_recurrences(self, evaluation):
+        recs = [it.recurrences_so_far for it in evaluation.per_iteration]
+        assert recs == sorted(recs)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_bug(get_bug("curl-965"), mode="bogus")
+
+
+class TestModes:
+    def test_static_mode_single_threaded_sketch(self):
+        ev = evaluate_bug(get_bug("curl-965"), mode="static",
+                          max_iterations=2)
+        assert ev.best is not None
+        sketch = ev.best.sketch
+        assert sketch.threads == [0]
+        assert "static slice" in sketch.failure_type
+
+    def test_cf_mode_has_no_traps(self):
+        ev = evaluate_bug(get_bug("curl-965"), mode="cf", max_iterations=2)
+        assert ev.best is not None
+        # Without data-flow tracking there are no value predictors.
+        assert "value" not in ev.best.sketch.predictors
+
+    def test_strip_watch_hooks(self):
+        patch = Patch(program="p", hooks=(
+            HookSpec(1, "pt_start"), HookSpec(2, "watch"),
+            HookSpec(3, "pt_stop")))
+        stripped = strip_watch_hooks(patch)
+        assert {h.action for h in stripped.hooks} == {"pt_start", "pt_stop"}
+
+
+class TestSelectBest:
+    def _score(self, iteration, overall, root, recurrences):
+        from repro.core.accuracy import AccuracyReport
+        from repro.core.sketch import FailureSketch
+
+        return IterationScore(
+            iteration=iteration, sigma=2 ** iteration,
+            recurrences_so_far=recurrences,
+            accuracy=AccuracyReport(relevance=overall, ordering=overall),
+            root_found=root,
+            sketch=FailureSketch(bug="b", failure_type="t",
+                                 module_name="m", failing_uid=0))
+
+    def test_prefers_root_found(self):
+        best = _select_best([
+            self._score(1, overall=90, root=False, recurrences=2),
+            self._score(2, overall=50, root=True, recurrences=3),
+        ])
+        assert best.iteration == 2
+
+    def test_then_prefers_accuracy(self):
+        best = _select_best([
+            self._score(1, overall=60, root=True, recurrences=2),
+            self._score(2, overall=80, root=True, recurrences=3),
+        ])
+        assert best.iteration == 2
+
+    def test_then_prefers_low_latency(self):
+        best = _select_best([
+            self._score(1, overall=80, root=True, recurrences=2),
+            self._score(2, overall=80, root=True, recurrences=5),
+        ])
+        assert best.iteration == 1
+
+    def test_empty(self):
+        assert _select_best([]) is None
+
+
+class TestOverheadHelpers:
+    def test_overhead_for_sigma_positive(self):
+        value = overhead_for_sigma(get_bug("transmission-1818"), sigma=2,
+                                   runs=3)
+        assert value > 0.0
+
+    def test_full_tracing_ordering(self):
+        row = full_tracing_overheads(get_bug("transmission-1818"), runs=2)
+        assert row.rr_percent > row.software_pt_percent \
+            > row.intel_pt_percent > 0
+        assert row.rr_over_pt > 1.0

@@ -1,0 +1,53 @@
+"""Extension-corpus tests (bugs beyond the paper's Table 1)."""
+
+import pytest
+
+from repro.corpus import all_bug_ids, get_bug
+from repro.corpus.workloads import calibrate, in_production_regime
+from repro.lang import verify
+from repro.runtime import run_program
+
+
+class TestRegistryExtras:
+    def test_extras_hidden_by_default(self):
+        assert "pbzip2-cv" not in all_bug_ids()
+        assert "pbzip2-cv" in all_bug_ids(include_extra=True)
+
+    def test_paper_corpus_stays_eleven(self):
+        assert len(all_bug_ids()) == 11
+        assert len(all_bug_ids(include_extra=True)) >= 12
+
+    def test_extra_flag(self):
+        assert get_bug("pbzip2-cv").extra
+        assert not get_bug("pbzip2-1").extra
+
+
+class TestCondvarBug:
+    def test_compiles_and_uses_condvars(self):
+        spec = get_bug("pbzip2-cv")
+        module = spec.module()
+        verify(module)
+        callees = {ins.callee for ins in module.instructions()
+                   if ins.is_call()}
+        assert {"cond_create", "cond_wait", "cond_signal",
+                "cond_broadcast", "cond_destroy"} <= callees
+
+    def test_in_production_regime(self):
+        result = calibrate(get_bug("pbzip2-cv"), runs=25)
+        assert result.failures >= 1
+        assert result.failures < result.runs
+
+    def test_failure_is_condvar_uaf(self):
+        spec = get_bug("pbzip2-cv")
+        module = spec.module()
+        for i in range(60):
+            w = spec.workload_factory(i)
+            out = run_program(module, args=list(w.args),
+                              scheduler=w.make_scheduler(),
+                              max_steps=w.max_steps)
+            if out.failed:
+                assert out.failure.kind is spec.failure_kind
+                line = module.instr(out.failure.pc).line
+                assert "cond_wait" in module.source_line(line)
+                return
+        pytest.fail("condvar UAF never manifested")

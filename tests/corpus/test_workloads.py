@@ -1,0 +1,64 @@
+"""Workload calibration tests: the corpus stays in the in-production
+regime the paper's cooperative setting assumes."""
+
+import pytest
+
+from repro.corpus import get_bug
+from repro.corpus.workloads import (
+    CalibrationResult,
+    calibrate,
+    in_production_regime,
+)
+
+#: Bugs with fast runs get bigger samples; slow ones keep the test quick.
+SAMPLES = {
+    "pbzip2-1": 14,
+    "curl-965": 18,
+    "apache-21287": 30,
+    "apache-21285": 30,
+    "apache-45605": 40,
+    "apache-25520": 14,
+    "sqlite-1672": 30,
+    "transmission-1818": 30,
+    "memcached-127": 14,
+    "cppcheck-3238": 14,
+    "cppcheck-2782": 12,
+}
+
+
+@pytest.mark.parametrize("bug_id", sorted(SAMPLES))
+def test_bug_is_in_production_regime(bug_id):
+    result = calibrate(get_bug(bug_id), runs=SAMPLES[bug_id])
+    assert result.failures >= 1, f"{bug_id} never failed:\n{result.format()}"
+    assert result.failures < result.runs, \
+        f"{bug_id} always fails:\n{result.format()}"
+    # A single failing statement dominates (one bug = one failure site).
+    assert len(result.failing_pcs) == 1
+
+
+def test_calibration_result_accessors():
+    result = CalibrationResult(bug_id="x", runs=10, failures=3,
+                               outcomes={"ok": 7, "segfault": 3},
+                               failing_pcs={42: 3})
+    assert result.failure_rate == pytest.approx(0.3)
+    assert result.dominant_failure_pc() == 42
+    assert in_production_regime(result)
+    assert "3/10" in result.format()
+
+
+def test_regime_bounds():
+    never = CalibrationResult(bug_id="x", runs=50, failures=0)
+    always = CalibrationResult(bug_id="x", runs=50, failures=50)
+    rare = CalibrationResult(bug_id="x", runs=50, failures=5)
+    assert not in_production_regime(never)
+    assert not in_production_regime(always)
+    assert in_production_regime(rare)
+
+
+def test_calibration_report_renders():
+    from repro.corpus import get_bug
+    from repro.corpus.workloads import calibration_report
+
+    text = calibration_report([get_bug("transmission-1818")], runs=10)
+    assert "transmission-1818" in text
+    assert "failing" in text

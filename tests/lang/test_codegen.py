@@ -1,0 +1,350 @@
+"""Codegen tests: compile MiniC and execute to validate semantics.
+
+These are end-to-end language semantics tests: each compiles a program,
+runs it on the interpreter, and checks observable behaviour (exit value,
+stdout).  The interpreter is deterministic for single-threaded programs, so
+assertions are exact.
+"""
+
+import pytest
+
+from repro.lang import compile_source, verify
+from repro.lang.codegen import CodegenError
+from repro.runtime import run_program
+
+
+def run(source, args=()):
+    module = compile_source(source)
+    verify(module)
+    return run_program(module, args=args)
+
+
+def exit_value(source, args=()):
+    out = run(source, args)
+    assert not out.failed, out.failure.format() if out.failure else ""
+    return out.exit_value
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert exit_value("int main() { return 2 + 3 * 4; }") == 14
+
+    def test_division_truncates_toward_zero(self):
+        assert exit_value("int main() { return -7 / 2; }") == -3
+        assert exit_value("int main() { return 7 / 2; }") == 3
+
+    def test_modulo_c_semantics(self):
+        assert exit_value("int main() { return -7 % 2; }") == -1
+        assert exit_value("int main() { return 7 % -2; }") == 1
+
+    def test_bitwise(self):
+        assert exit_value("int main() { return (12 & 10) | (1 ^ 3); }") == 10
+        assert exit_value("int main() { return 1 << 4; }") == 16
+        assert exit_value("int main() { return 256 >> 3; }") == 32
+
+    def test_comparisons_produce_01(self):
+        assert exit_value("int main() { return (3 < 4) + (4 <= 4) + "
+                          "(5 > 4) + (4 >= 5) + (1 == 1) + (1 != 1); }") == 4
+
+    def test_unary(self):
+        assert exit_value("int main() { return -(-5); }") == 5
+        assert exit_value("int main() { return !0 + !7; }") == 1
+        assert exit_value("int main() { return ~0; }") == -1
+
+    def test_division_by_zero_fails(self):
+        out = run("int main(int d) { return 5 / d; }", args=[0])
+        assert out.failed
+        assert out.failure.kind.value == "division by zero"
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "int main(int x) { if (x > 2) { return 1; } return 0; }"
+        assert exit_value(src, [5]) == 1
+        assert exit_value(src, [1]) == 0
+
+    def test_while_loop(self):
+        assert exit_value("""
+            int main() {
+                int s = 0;
+                int i = 0;
+                while (i < 5) { s = s + i; i = i + 1; }
+                return s;
+            }
+        """) == 10
+
+    def test_for_loop_with_break_continue(self):
+        assert exit_value("""
+            int main() {
+                int s = 0;
+                int i;
+                for (i = 0; i < 10; i++) {
+                    if (i == 3) { continue; }
+                    if (i == 6) { break; }
+                    s = s + i;
+                }
+                return s;
+            }
+        """) == 0 + 1 + 2 + 4 + 5
+
+    def test_short_circuit_and(self):
+        # The right side would fault (null deref) if evaluated.
+        assert exit_value("""
+            int main() {
+                int* p = NULL;
+                if (p != NULL && *p == 1) { return 1; }
+                return 2;
+            }
+        """) == 2
+
+    def test_short_circuit_or(self):
+        assert exit_value("""
+            int main() {
+                int* p = NULL;
+                if (p == NULL || *p == 1) { return 1; }
+                return 2;
+            }
+        """) == 1
+
+    def test_nested_loops(self):
+        assert exit_value("""
+            int main() {
+                int total = 0;
+                int i;
+                for (i = 0; i < 3; i++) {
+                    int j;
+                    for (j = 0; j < 4; j++) { total = total + 1; }
+                }
+                return total;
+            }
+        """) == 12
+
+
+class TestFunctions:
+    def test_call_and_return(self):
+        assert exit_value("""
+            int square(int x) { return x * x; }
+            int main() { return square(7); }
+        """) == 49
+
+    def test_recursion(self):
+        assert exit_value("""
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() { return fib(10); }
+        """) == 55
+
+    def test_void_function(self):
+        assert exit_value("""
+            int g = 0;
+            void bump(int by) { g = g + by; }
+            int main() { bump(3); bump(4); return g; }
+        """) == 7
+
+    def test_arguments_evaluated_left_to_right(self):
+        assert exit_value("""
+            int g = 0;
+            int next() { g = g + 1; return g; }
+            int sub(int a, int b) { return a - b; }
+            int main() { return sub(next(), next()); }
+        """) == -1
+
+    def test_implicit_void_return(self):
+        assert exit_value("""
+            void noop(int x) { if (x) { return; } }
+            int main() { noop(1); noop(0); return 9; }
+        """) == 9
+
+
+class TestPointersAndMemory:
+    def test_malloc_store_load(self):
+        assert exit_value("""
+            int main() {
+                int* p = malloc(4);
+                p[0] = 10; p[1] = 20; p[3] = 30;
+                return p[0] + p[1] + p[2] + p[3];
+            }
+        """) == 60
+
+    def test_pointer_arithmetic(self):
+        assert exit_value("""
+            int main() {
+                int* p = malloc(4);
+                *p = 5;
+                int* q = p + 3;
+                *q = 7;
+                return p[3] + *p;
+            }
+        """) == 12
+
+    def test_address_of_local(self):
+        assert exit_value("""
+            int main() {
+                int x = 4;
+                int* p = &x;
+                *p = 11;
+                return x;
+            }
+        """) == 11
+
+    def test_struct_field_access(self):
+        assert exit_value("""
+            struct pair { int a; int b; };
+            int main() {
+                struct pair* p = malloc(sizeof(struct pair));
+                p->a = 3; p->b = 4;
+                return p->a * 10 + p->b;
+            }
+        """) == 34
+
+    def test_struct_value_field_access(self):
+        assert exit_value("""
+            struct pair { int a; int b; };
+            int main() {
+                struct pair v;
+                v.a = 6; v.b = 2;
+                return v.a - v.b;
+            }
+        """) == 4
+
+    def test_struct_array_field(self):
+        assert exit_value("""
+            struct buf { int n; int data[4]; };
+            int main() {
+                struct buf* b = malloc(sizeof(struct buf));
+                int i;
+                for (i = 0; i < 4; i++) { b->data[i] = i * i; }
+                return b->data[3];
+            }
+        """) == 9
+
+    def test_local_array(self):
+        assert exit_value("""
+            int main() {
+                int a[5];
+                a[0] = 1; a[4] = 9;
+                return a[0] + a[4];
+            }
+        """) == 10
+
+    def test_global_array(self):
+        assert exit_value("""
+            int table[4];
+            int main() { table[2] = 7; return table[2]; }
+        """) == 7
+
+    def test_pointer_through_function(self):
+        assert exit_value("""
+            void put(int* slot, int v) { *slot = v; }
+            int main() {
+                int x = 0;
+                put(&x, 42);
+                return x;
+            }
+        """) == 42
+
+    def test_sizeof_struct_in_slots(self):
+        assert exit_value("""
+            struct s { int a; int b[3]; void* p; };
+            int main() { return sizeof(struct s); }
+        """) == 5
+
+
+class TestStringsAndBuiltins:
+    def test_strlen(self):
+        assert exit_value('int main() { return strlen("hello"); }') == 5
+
+    def test_strlen_of_arg(self):
+        assert exit_value("int main(char* s) { return strlen(s); }",
+                          ["{}{"]) == 3
+
+    def test_strcmp(self):
+        assert exit_value('int main() { return strcmp("a", "a"); }') == 0
+        assert exit_value('int main() { return strcmp("b", "a"); }') == 1
+
+    def test_string_indexing(self):
+        assert exit_value("int main(char* s) { return s[1]; }",
+                          ["abc"]) == ord("b")
+
+    def test_atoi(self):
+        assert exit_value('int main() { return atoi("123"); }') == 123
+        assert exit_value('int main() { return atoi("-45"); }') == -45
+        assert exit_value('int main() { return atoi("9x"); }') == 9
+        assert exit_value('int main() { return atoi(""); }') == 0
+
+    def test_memset(self):
+        assert exit_value("""
+            int main() {
+                int* p = malloc(3);
+                memset(p, 9, 3);
+                return p[0] + p[1] + p[2];
+            }
+        """) == 27
+
+    def test_strcpy(self):
+        assert exit_value("""
+            int main(char* s) {
+                char* dst = malloc(16);
+                strcpy(dst, s);
+                return strlen(dst);
+            }
+        """, ["four"]) == 4
+
+    def test_print_to_stdout(self):
+        out = run("int main() { print(42); print_str(\"done\"); return 0; }")
+        assert out.stdout == ["42", "done"]
+
+    def test_exit_builtin(self):
+        out = run("int main() { exit(3); return 9; }")
+        assert out.exit_value == 3
+
+
+class TestIncDecAndCompound:
+    def test_postfix_increment_statement(self):
+        assert exit_value("""
+            int main() {
+                int i = 5;
+                i++;
+                i++;
+                i--;
+                return i;
+            }
+        """) == 6
+
+    def test_compound_assign(self):
+        assert exit_value("""
+            int main() {
+                int x = 10;
+                x += 5;
+                x -= 3;
+                return x;
+            }
+        """) == 12
+
+    def test_pointer_compound_assign(self):
+        assert exit_value("""
+            int main() {
+                int* p = malloc(4);
+                p[2] = 77;
+                p += 2;
+                return *p;
+            }
+        """) == 77
+
+
+class TestDebugInfo:
+    def test_every_instruction_has_line(self):
+        module = compile_source("""
+            int add(int a, int b) { return a + b; }
+            int main() { return add(1, 2); }
+        """)
+        missing = [i for i in module.instructions() if i.line <= 0]
+        assert missing == []
+
+    def test_source_attached_to_module(self):
+        src = "int main() { return 1; }"
+        module = compile_source(src)
+        assert module.source == src
+        assert module.source_line(1) == src

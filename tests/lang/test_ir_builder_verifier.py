@@ -1,0 +1,190 @@
+"""GIR data model, builder, and verifier tests."""
+
+import pytest
+
+from repro.lang import (
+    ConstInt,
+    FuncRef,
+    GlobalRef,
+    Module,
+    ModuleBuilder,
+    Opcode,
+    Register,
+    VerifyError,
+    verify,
+)
+from repro.lang.ir import GlobalVar, Instr
+
+
+def tiny_module():
+    mb = ModuleBuilder("m")
+    fb = mb.function("main")
+    a = fb.const(1)
+    b = fb.const(2)
+    fb.ret(fb.binop("+", a, b))
+    return mb.build()
+
+
+class TestModule:
+    def test_finalize_assigns_uids(self):
+        module = tiny_module()
+        uids = [ins.uid for ins in module.instructions()]
+        assert uids == sorted(uids)
+        assert uids == list(range(len(uids)))
+
+    def test_instr_lookup_by_uid(self):
+        module = tiny_module()
+        for ins in module.instructions():
+            assert module.instr(ins.uid) is ins
+
+    def test_backrefs_set(self):
+        module = tiny_module()
+        for ins in module.instructions():
+            assert ins.func_name == "main"
+            bb = module.block_of(ins)
+            assert bb.instrs[ins.index_in_block] is ins
+
+    def test_unfinalized_module_rejects_queries(self):
+        module = Module("m")
+        with pytest.raises(RuntimeError):
+            module.instr(0)
+
+    def test_duplicate_function_rejected(self):
+        mb = ModuleBuilder("m")
+        fb = mb.function("f")
+        fb.ret()
+        with pytest.raises(ValueError):
+            mb.function("f")
+
+    def test_duplicate_global_rejected(self):
+        mb = ModuleBuilder("m")
+        mb.global_var("g")
+        with pytest.raises(ValueError):
+            mb.global_var("g")
+
+    def test_string_interning_dedupes(self):
+        mb = ModuleBuilder("m")
+        a = mb.string("hello")
+        b = mb.string("hello")
+        c = mb.string("other")
+        assert a == b
+        assert a != c
+        assert mb.module.strings == ["hello", "other"]
+
+    def test_format_mentions_everything(self):
+        mb = ModuleBuilder("m")
+        mb.global_var("counter", init=(3,))
+        mb.string("txt")
+        fb = mb.function("main")
+        fb.ret(fb.const(0))
+        text = mb.build().format()
+        assert "@counter" in text
+        assert "'txt'" in text
+        assert "def main" in text
+
+    def test_thread_entry_detection(self):
+        mb = ModuleBuilder("m")
+        wb = mb.function("worker", ["arg"])
+        wb.ret()
+        fb = mb.function("main")
+        fb.call("thread_create", [FuncRef("worker"), ConstInt(0)])
+        fb.ret()
+        module = mb.build()
+        assert module.thread_entry_functions() == ["worker"]
+
+
+class TestBuilder:
+    def test_fresh_names_unique(self):
+        mb = ModuleBuilder("m")
+        fb = mb.function("f")
+        regs = {fb.fresh_reg().name for _ in range(20)}
+        labels = {fb.fresh_label() for _ in range(20)}
+        fb.ret()
+        assert len(regs) == 20
+        assert len(labels) == 20
+
+    def test_emit_after_terminator_opens_dead_block(self):
+        mb = ModuleBuilder("m")
+        fb = mb.function("f")
+        fb.ret()
+        fb.const(1)  # would be dead code
+        fb.ret()
+        module = mb.build()
+        assert len(module.functions["f"].blocks) == 2
+
+    def test_operand_coercion(self):
+        mb = ModuleBuilder("m")
+        fb = mb.function("f")
+        ins = fb.binop("+", 1, "x")
+        assert isinstance(ins, Register)
+        fb.ret()
+        module = mb.build()
+        binop = next(i for i in module.instructions()
+                     if i.opcode is Opcode.BINOP)
+        assert isinstance(binop.operands[0], ConstInt)
+        assert isinstance(binop.operands[1], Register)
+
+
+class TestVerifier:
+    def test_accepts_well_formed(self):
+        verify(tiny_module())
+
+    def _module_with(self, mutate):
+        module = tiny_module()
+        mutate(module)
+        module.finalize()
+        return module
+
+    def test_rejects_missing_terminator(self):
+        def strip_ret(module):
+            bb = module.functions["main"].blocks["entry"]
+            bb.instrs.pop()
+
+        with pytest.raises(VerifyError) as err:
+            verify(self._module_with(strip_ret))
+        assert "terminator" in str(err.value)
+
+    def test_rejects_branch_to_unknown_block(self):
+        mb = ModuleBuilder("m")
+        fb = mb.function("f")
+        fb.jmp("nowhere")
+        with pytest.raises(VerifyError):
+            verify(mb.build())
+
+    def test_rejects_unknown_callee(self):
+        mb = ModuleBuilder("m")
+        fb = mb.function("f")
+        fb.call("no_such_function", [])
+        fb.ret()
+        with pytest.raises(VerifyError) as err:
+            verify(mb.build())
+        assert "unknown function" in str(err.value)
+
+    def test_rejects_mid_block_terminator(self):
+        def inject(module):
+            bb = module.functions["main"].blocks["entry"]
+            bb.instrs.insert(0, Instr(Opcode.RET))
+
+        with pytest.raises(VerifyError):
+            verify(self._module_with(inject))
+
+    def test_rejects_bad_thread_create(self):
+        mb = ModuleBuilder("m")
+        fb = mb.function("f")
+        fb.call("thread_create", [ConstInt(1), ConstInt(2)])
+        fb.ret()
+        with pytest.raises(VerifyError):
+            verify(mb.build())
+
+    def test_rejects_oversized_initializer(self):
+        mb = ModuleBuilder("m")
+        mb.module.add_global(GlobalVar("g", size=1, init=(1, 2, 3)))
+        fb = mb.function("f")
+        fb.ret()
+        with pytest.raises(VerifyError):
+            verify(mb.build())
+
+    def test_rejects_unfinalized(self):
+        module = Module("m")
+        with pytest.raises(VerifyError):
+            verify(module)

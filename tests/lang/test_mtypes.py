@@ -1,0 +1,99 @@
+"""Semantic type-system unit tests (slot sizes, struct layout)."""
+
+import pytest
+
+from repro.lang.mtypes import (
+    ArrayType,
+    BUILTIN_SIGS,
+    CHAR,
+    CHAR_PTR,
+    INT,
+    PointerType,
+    StructType,
+    VOID,
+    VOID_PTR,
+    make_pointer,
+)
+
+
+class TestScalarSizes:
+    def test_word_sized_scalars(self):
+        assert INT.size() == 1
+        assert CHAR.size() == 1
+        assert PointerType(INT).size() == 1
+        assert VOID.size() == 0
+
+    def test_pointer_predicates(self):
+        assert VOID_PTR.is_pointer()
+        assert CHAR_PTR.is_pointer()
+        assert not INT.is_pointer()
+
+    def test_make_pointer_depth(self):
+        t = make_pointer(INT, 3)
+        assert str(t) == "int***"
+        assert t.is_pointer()
+        assert make_pointer(INT, 0) is INT
+
+
+class TestArrays:
+    def test_array_size(self):
+        assert ArrayType(INT, 8).size() == 8
+        assert ArrayType(PointerType(CHAR), 16).size() == 16
+
+    def test_array_not_scalar(self):
+        assert not ArrayType(INT, 4).is_scalar()
+
+    def test_str(self):
+        assert str(ArrayType(INT, 4)) == "int[4]"
+
+
+class TestStructLayout:
+    def test_offsets_accumulate(self):
+        st = StructType("s")
+        st.add_field("a", INT)
+        st.add_field("b", PointerType(VOID))
+        st.add_field("c", INT)
+        assert st.field_named("a").offset == 0
+        assert st.field_named("b").offset == 1
+        assert st.field_named("c").offset == 2
+        assert st.size() == 3
+
+    def test_array_field_consumes_slots(self):
+        st = StructType("s")
+        st.add_field("n", INT)
+        st.add_field("data", ArrayType(INT, 8))
+        st.add_field("tail", INT)
+        assert st.field_named("tail").offset == 9
+        assert st.size() == 10
+
+    def test_duplicate_field_rejected(self):
+        st = StructType("s")
+        st.add_field("a", INT)
+        with pytest.raises(TypeError):
+            st.add_field("a", INT)
+
+    def test_unknown_field_rejected(self):
+        st = StructType("s")
+        with pytest.raises(TypeError):
+            st.field_named("missing")
+
+    def test_nominal_equality(self):
+        a = StructType("same")
+        b = StructType("same")
+        c = StructType("other")
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+
+class TestBuiltinSignatures:
+    def test_every_ir_builtin_has_a_signature(self):
+        from repro.lang.ir import BUILTINS
+
+        assert set(BUILTIN_SIGS) == set(BUILTINS)
+
+    def test_polymorphic_params_marked_none(self):
+        ret, params = BUILTIN_SIGS["free"]
+        assert params == [None]
+        ret, params = BUILTIN_SIGS["thread_create"]
+        assert params == [None, None]

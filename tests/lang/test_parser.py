@@ -1,0 +1,224 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang.parser import ParseError, parse
+
+
+def parse_expr(text):
+    prog = parse(f"int main() {{ int sink = {text}; return 0; }}")
+    decl = prog.functions[0].body.stmts[0]
+    return decl.init
+
+
+def parse_stmts(body):
+    prog = parse(f"int main() {{ {body} }}")
+    return prog.functions[0].body.stmts
+
+
+class TestTopLevel:
+    def test_empty_program(self):
+        prog = parse("")
+        assert prog.functions == []
+        assert prog.globals == []
+
+    def test_function_with_params(self):
+        prog = parse("int add(int a, int b) { return a + b; }")
+        func = prog.functions[0]
+        assert func.name == "add"
+        assert [p.name for p in func.params] == ["a", "b"]
+
+    def test_void_param_list(self):
+        prog = parse("int f(void) { return 1; }")
+        assert prog.functions[0].params == []
+
+    def test_global_scalar(self):
+        prog = parse("int counter = 0;")
+        g = prog.globals[0]
+        assert g.name == "counter"
+        assert isinstance(g.init, A.IntLit)
+
+    def test_global_array(self):
+        prog = parse("int table[32];")
+        assert prog.globals[0].array_size == 32
+
+    def test_struct_declaration(self):
+        prog = parse("""
+            struct point { int x; int y; };
+        """)
+        st = prog.structs[0]
+        assert st.name == "point"
+        assert [f.name for f in st.fields] == ["x", "y"]
+
+    def test_struct_with_array_field(self):
+        prog = parse("struct buf { int data[8]; int len; };")
+        assert prog.structs[0].fields[0].array_size == 8
+
+    def test_struct_with_pointer_fields(self):
+        prog = parse("struct node { struct node* next; void* payload; };")
+        fields = prog.structs[0].fields
+        assert fields[0].type_expr.pointer_depth == 1
+        assert fields[0].type_expr.struct_name == "node"
+
+    def test_pointer_return_type(self):
+        prog = parse("char* f() { return NULL; }")
+        assert prog.functions[0].return_type.pointer_depth == 1
+
+
+class TestStatements:
+    def test_if_else(self):
+        (stmt,) = parse_stmts("if (1) { return 1; } else { return 2; }")
+        assert isinstance(stmt, A.If)
+        assert stmt.else_body is not None
+
+    def test_if_without_braces(self):
+        (stmt,) = parse_stmts("if (1) return 1;")
+        assert isinstance(stmt, A.If)
+        assert isinstance(stmt.then_body, A.Block)
+
+    def test_dangling_else_binds_inner(self):
+        (stmt,) = parse_stmts("if (1) if (2) return 1; else return 2;")
+        assert stmt.else_body is None
+        inner = stmt.then_body.stmts[0]
+        assert inner.else_body is not None
+
+    def test_while(self):
+        (stmt,) = parse_stmts("while (x < 3) { x = x + 1; }")
+        assert isinstance(stmt, A.While)
+
+    def test_for_full(self):
+        (stmt,) = parse_stmts("for (int i = 0; i < 4; i++) { }")
+        assert isinstance(stmt, A.For)
+        assert isinstance(stmt.init, A.VarDecl)
+        assert stmt.cond is not None
+        assert stmt.step is not None
+
+    def test_for_empty_clauses(self):
+        (stmt,) = parse_stmts("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_break_continue(self):
+        stmts = parse_stmts("while (1) { break; } while (1) { continue; }")
+        assert isinstance(stmts[0].body.stmts[0], A.Break)
+        assert isinstance(stmts[1].body.stmts[0], A.Continue)
+
+    def test_return_void(self):
+        (stmt,) = parse_stmts("return;")
+        assert stmt.value is None
+
+    def test_assert_with_message(self):
+        (stmt,) = parse_stmts('assert(x == 1, "x must be one");')
+        assert isinstance(stmt, A.AssertStmt)
+        assert stmt.message == "x must be one"
+
+    def test_assert_without_message(self):
+        (stmt,) = parse_stmts("assert(1);")
+        assert stmt.message == ""
+
+    def test_local_array_declaration(self):
+        (stmt,) = parse_stmts("int buf[16];")
+        assert stmt.array_size == 16
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_precedence_comparison_over_logic(self):
+        e = parse_expr("a < b && c > d")
+        assert e.op == "&&"
+        assert e.left.op == "<"
+
+    def test_left_associativity(self):
+        e = parse_expr("10 - 4 - 3")
+        assert e.op == "-"
+        assert e.left.op == "-"
+        assert e.right.value == 3
+
+    def test_parentheses_override(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_unary_chain(self):
+        e = parse_expr("!!x")
+        assert e.op == "!"
+        assert e.operand.op == "!"
+
+    def test_deref_and_address(self):
+        e = parse_expr("*p + 0")
+        assert e.left.op == "*"
+        e = parse_expr("&x")
+        assert e.op == "&"
+
+    def test_arrow_chain(self):
+        e = parse_expr("a->b->c")
+        assert isinstance(e, A.Field) and e.arrow
+        assert e.name == "c"
+        assert e.base.name == "b"
+
+    def test_index_of_field(self):
+        e = parse_expr("s->items[2]")
+        assert isinstance(e, A.Index)
+        assert isinstance(e.base, A.Field)
+
+    def test_call_with_args(self):
+        e = parse_expr("f(1, x, g(2))")
+        assert isinstance(e, A.Call)
+        assert len(e.args) == 3
+        assert isinstance(e.args[2], A.Call)
+
+    def test_assignment_right_associative(self):
+        stmts = parse_stmts("a = b = 1;")
+        expr = stmts[0].expr
+        assert isinstance(expr, A.Assign)
+        assert isinstance(expr.value, A.Assign)
+
+    def test_compound_assignment(self):
+        stmts = parse_stmts("x += 2; y -= 3;")
+        assert stmts[0].expr.op == "+"
+        assert stmts[1].expr.op == "-"
+
+    def test_postfix_increment(self):
+        stmts = parse_stmts("i++;")
+        assert isinstance(stmts[0].expr, A.IncDec)
+        assert stmts[0].expr.op == "++"
+
+    def test_sizeof(self):
+        e = parse_expr("sizeof(struct urlset)")
+        assert isinstance(e, A.SizeOf)
+        assert e.type_expr.struct_name == "urlset"
+
+    def test_null_literal(self):
+        e = parse_expr("NULL")
+        assert isinstance(e, A.NullLit)
+
+    def test_char_in_comparison(self):
+        e = parse_expr("c == '{'")
+        assert isinstance(e.right, A.CharLit)
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int main() { int x = 1 }")
+
+    def test_missing_closing_brace(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 0;")
+
+    def test_bad_expression(self):
+        with pytest.raises(ParseError):
+            parse("int main() { x = ; }")
+
+    def test_struct_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("struct s { int x; }")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as err:
+            parse("int main() {\n  return +;\n}")
+        assert "2:" in str(err.value)

@@ -1,0 +1,119 @@
+"""Record/replay baseline tests (the Fig. 13 comparator)."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.replay import (
+    RecordLog,
+    ReplayDivergence,
+    record,
+    replay,
+)
+from repro.runtime import RandomScheduler
+
+RACY = """
+int counter = 0;
+void bump(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        int v = counter;
+        counter = v + 1;
+    }
+}
+int main() {
+    int t1 = thread_create(bump, 20);
+    int t2 = thread_create(bump, 20);
+    thread_join(t1);
+    thread_join(t2);
+    print(counter);
+    return counter;
+}
+"""
+
+FAILING = """
+int main(int x) {
+    int* p = NULL;
+    if (x > 2) { return *p; }
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def module():
+    return compile_source(RACY)
+
+
+class TestRecording:
+    def test_outcome_matches_unrecorded_run(self, module):
+        out, log = record(module, scheduler=RandomScheduler(3, 0.1))
+        assert log.total_steps() == out.steps
+        assert log.digest.exit_value == out.exit_value
+
+    def test_recording_is_expensive(self, module):
+        out, _log = record(module, scheduler=RandomScheduler(3, 0.1))
+        # The paper's Fig. 13: record/replay costs ~10x (984%) on average.
+        assert out.overhead > 3.0
+
+    def test_memory_events_counted(self, module):
+        _out, log = record(module)
+        assert log.mem_events > 0
+        assert log.sync_events > 0
+
+
+class TestReplay:
+    def test_faithful_replay_of_racy_run(self, module):
+        for seed in range(6):
+            out, log = record(module, scheduler=RandomScheduler(seed, 0.25))
+            result = replay(module, log)
+            assert result.matched
+            assert result.outcome.exit_value == out.exit_value
+            assert result.outcome.steps == out.steps
+
+    def test_replays_failing_run(self):
+        module = compile_source(FAILING)
+        out, log = record(module, args=[5])
+        assert out.failed
+        result = replay(module, log)
+        assert result.outcome.failed
+        assert result.outcome.failure.identity() == out.failure.identity()
+
+    def test_detects_divergence(self, module):
+        out, log = record(module, scheduler=RandomScheduler(1, 0.25))
+        log.digest.steps += 1  # corrupt the digest
+        with pytest.raises(ReplayDivergence):
+            replay(module, log)
+
+    def test_wrong_program_rejected(self, module):
+        _out, log = record(module)
+        other = compile_source("int main() { return 0; }", "other")
+        with pytest.raises(ReplayDivergence):
+            replay(other, log)
+
+    def test_replay_without_verification(self, module):
+        _out, log = record(module)
+        log.digest = None
+        result = replay(module, log)
+        assert result.matched
+
+
+class TestLogSerialization:
+    def test_json_roundtrip(self, module):
+        out, log = record(module, scheduler=RandomScheduler(9, 0.2))
+        restored = RecordLog.from_json(log.to_json())
+        assert restored.schedule == log.schedule
+        assert restored.digest.stdout_hash == log.digest.stdout_hash
+        result = replay(module, restored)
+        assert result.matched
+
+    def test_rle_schedule_compact(self, module):
+        out, log = record(module)
+        # RLE length is far below the step count for bursty scheduling.
+        assert len(log.schedule) < out.steps / 2
+
+    def test_string_args_roundtrip(self):
+        module = compile_source(
+            "int main(char* s) { return strlen(s); }")
+        out, log = record(module, args=["hello"])
+        restored = RecordLog.from_json(log.to_json())
+        assert replay(module, restored).outcome.exit_value == 5

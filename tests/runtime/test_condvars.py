@@ -1,0 +1,201 @@
+"""Condition variable tests (the pthreads substrate pbzip2 really uses)."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.runtime import (
+    FailureKind,
+    RandomScheduler,
+    RoundRobinScheduler,
+    run_program,
+)
+
+PRODUCER_CONSUMER = """
+void* m;
+void* nonempty;
+int queue = 0;
+int consumed = 0;
+
+void consumer(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        mutex_lock(m);
+        while (queue == 0) {
+            cond_wait(nonempty, m);
+        }
+        queue = queue - 1;
+        consumed = consumed + 1;
+        mutex_unlock(m);
+    }
+}
+
+int main(int n) {
+    m = mutex_create();
+    nonempty = cond_create();
+    int t = thread_create(consumer, n);
+    int i;
+    for (i = 0; i < n; i++) {
+        mutex_lock(m);
+        queue = queue + 1;
+        cond_signal(nonempty);
+        mutex_unlock(m);
+    }
+    thread_join(t);
+    return consumed;
+}
+"""
+
+
+class TestProducerConsumer:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_items_consumed_any_schedule(self, seed):
+        module = compile_source(PRODUCER_CONSUMER)
+        out = run_program(module, args=[6],
+                          scheduler=RandomScheduler(seed, 0.15))
+        assert not out.failed, out.failure.format()
+        assert out.exit_value == 6
+
+    def test_mutex_reacquired_after_wait(self):
+        # The consumer mutates queue under the mutex after waking; lost
+        # updates would show as consumed != n.
+        module = compile_source(PRODUCER_CONSUMER)
+        out = run_program(module, args=[10],
+                          scheduler=RoundRobinScheduler(quantum=3))
+        assert out.exit_value == 10
+
+
+class TestBroadcast:
+    SRC = """
+        void* m;
+        void* go;
+        int released = 0;
+
+        void waiter(int unused) {
+            mutex_lock(m);
+            while (released == 0) {
+                cond_wait(go, m);
+            }
+            mutex_unlock(m);
+        }
+
+        int main(int nthreads) {
+            m = mutex_create();
+            go = cond_create();
+            int t1 = thread_create(waiter, 0);
+            int t2 = thread_create(waiter, 0);
+            int t3 = thread_create(waiter, 0);
+            int i;
+            for (i = 0; i < 200; i++) { }
+            mutex_lock(m);
+            released = 1;
+            cond_broadcast(go);
+            mutex_unlock(m);
+            thread_join(t1);
+            thread_join(t2);
+            thread_join(t3);
+            return 1;
+        }
+    """
+
+    def test_broadcast_wakes_all(self):
+        module = compile_source(self.SRC)
+        for seed in range(5):
+            out = run_program(module, args=[3],
+                              scheduler=RandomScheduler(seed, 0.1),
+                              max_steps=100_000)
+            assert not out.failed, out.failure.format()
+            assert out.exit_value == 1
+
+    def test_signal_wakes_exactly_one(self):
+        # With signal instead of broadcast + no re-signal, two waiters
+        # stay blocked forever: a deadlock the detector must catch.
+        src = self.SRC.replace("cond_broadcast(go);", "cond_signal(go);")
+        module = compile_source(src)
+        out = run_program(module, args=[3],
+                          scheduler=RoundRobinScheduler(quantum=5),
+                          max_steps=100_000)
+        assert out.failed
+        assert out.failure.kind is FailureKind.DEADLOCK
+
+
+class TestLostWakeup:
+    # The classic bug: signaling before the waiter waits loses the wakeup.
+    SRC = """
+        void* m;
+        void* c;
+        int ready = 0;
+
+        void waiter(int slow) {
+            int i;
+            for (i = 0; i < slow; i++) { }
+            mutex_lock(m);
+            // BUG: no predicate loop; if the signal already fired, this
+            // wait blocks forever.
+            cond_wait(c, m);
+            mutex_unlock(m);
+        }
+
+        int main(int slow) {
+            m = mutex_create();
+            c = cond_create();
+            int t = thread_create(waiter, slow);
+            mutex_lock(m);
+            ready = 1;
+            cond_signal(c);
+            mutex_unlock(m);
+            thread_join(t);
+            return ready;
+        }
+    """
+
+    def test_lost_wakeup_deadlocks(self):
+        module = compile_source(self.SRC)
+        out = run_program(module, args=[500],
+                          scheduler=RandomScheduler(0, 0.0),
+                          max_steps=100_000)
+        assert out.failed
+        assert out.failure.kind is FailureKind.DEADLOCK
+
+
+class TestMisuse:
+    def test_wait_on_null_condvar_segfaults(self):
+        module = compile_source("""
+            int main() {
+                void* m = mutex_create();
+                mutex_lock(m);
+                cond_wait(NULL, m);
+                return 0;
+            }
+        """)
+        out = run_program(module)
+        assert out.failed
+        assert out.failure.kind is FailureKind.SEGFAULT
+
+    def test_wait_on_destroyed_condvar_is_uaf(self):
+        module = compile_source("""
+            int main() {
+                void* m = mutex_create();
+                void* c = cond_create();
+                cond_destroy(c);
+                mutex_lock(m);
+                cond_wait(c, m);
+                return 0;
+            }
+        """)
+        out = run_program(module)
+        assert out.failed
+        assert out.failure.kind is FailureKind.USE_AFTER_FREE
+
+    def test_signal_with_no_waiters_is_noop(self):
+        module = compile_source("""
+            int main() {
+                void* c = cond_create();
+                cond_signal(c);
+                cond_broadcast(c);
+                cond_destroy(c);
+                return 7;
+            }
+        """)
+        out = run_program(module)
+        assert not out.failed
+        assert out.exit_value == 7

@@ -1,0 +1,80 @@
+"""FailureReport and RunOutcome unit tests."""
+
+import pytest
+
+from repro.runtime.failures import (
+    FailureKind,
+    FailureReport,
+    RunOutcome,
+    StackFrameInfo,
+)
+
+
+def report(kind=FailureKind.SEGFAULT, pc=10, tid=0,
+           stack=("main",), message=""):
+    frames = tuple(StackFrameInfo(f, pc, line=i + 1)
+                   for i, f in enumerate(stack))
+    return FailureReport(kind=kind, pc=pc, tid=tid, message=message,
+                         stack=frames)
+
+
+class TestIdentity:
+    def test_same_inputs_same_identity(self):
+        assert report().identity() == report().identity()
+
+    def test_kind_matters(self):
+        assert report(kind=FailureKind.SEGFAULT).identity() != \
+            report(kind=FailureKind.DOUBLE_FREE).identity()
+
+    def test_pc_matters(self):
+        assert report(pc=10).identity() != report(pc=11).identity()
+
+    def test_stack_functions_matter(self):
+        assert report(stack=("a", "main")).identity() != \
+            report(stack=("b", "main")).identity()
+
+    def test_tid_and_message_do_not_matter(self):
+        # Thread ids and messages vary legitimately between recurrences.
+        a = report(tid=1, message="x")
+        b = report(tid=2, message="y")
+        assert a.identity() == b.identity()
+
+    def test_identity_is_short_hex(self):
+        ident = report().identity()
+        assert len(ident) == 16
+        int(ident, 16)  # parses as hex
+
+
+class TestFormatting:
+    def test_format_contains_essentials(self):
+        text = report(kind=FailureKind.ASSERTION, pc=42,
+                      stack=("inner", "outer"),
+                      message="boom").format()
+        assert "assertion failure" in text
+        assert "pc=42" in text
+        assert "boom" in text
+        assert "inner" in text and "outer" in text
+
+    def test_format_with_address(self):
+        rep = FailureReport(kind=FailureKind.SEGFAULT, pc=1, tid=0,
+                            address=0x1000)
+        assert "0x1000" in rep.format()
+
+    def test_frame_str(self):
+        frame = StackFrameInfo("f", 7, line=3)
+        assert "f@7" in str(frame)
+        assert "line 3" in str(frame)
+
+
+class TestRunOutcome:
+    def test_overhead_fraction(self):
+        out = RunOutcome(failed=False, base_cost=200, extra_cost=30)
+        assert out.overhead == pytest.approx(0.15)
+
+    def test_zero_base_cost(self):
+        out = RunOutcome(failed=False, base_cost=0, extra_cost=10)
+        assert out.overhead == 0.0
+
+    def test_all_failure_kinds_have_distinct_labels(self):
+        labels = [k.value for k in FailureKind]
+        assert len(labels) == len(set(labels))

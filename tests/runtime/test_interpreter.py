@@ -1,0 +1,303 @@
+"""Interpreter tests: threading, synchronization, failures, determinism."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.runtime import (
+    FailureKind,
+    FixedScheduler,
+    Interpreter,
+    RandomScheduler,
+    RoundRobinScheduler,
+    run_program,
+)
+
+
+def run(source, args=(), scheduler=None, max_steps=200_000):
+    return run_program(compile_source(source), args=args,
+                       scheduler=scheduler, max_steps=max_steps)
+
+
+class TestThreading:
+    SRC = """
+        int total = 0;
+        void worker(int n) { total = total + n; }
+        int main() {
+            int t1 = thread_create(worker, 5);
+            int t2 = thread_create(worker, 7);
+            thread_join(t1);
+            thread_join(t2);
+            return total;
+        }
+    """
+
+    def test_threads_run_and_join(self):
+        out = run(self.SRC)
+        assert not out.failed
+        assert out.exit_value == 12
+
+    def test_join_finished_thread(self):
+        out = run("""
+            void w(int x) { }
+            int main() {
+                int t = thread_create(w, 0);
+                int i;
+                for (i = 0; i < 100; i++) { }
+                thread_join(t);
+                return 1;
+            }
+        """)
+        assert out.exit_value == 1
+
+    def test_tids_are_unique(self):
+        out = run("""
+            void w(int x) { }
+            int main() {
+                int a = thread_create(w, 0);
+                int b = thread_create(w, 0);
+                return (a != b) + (a != 0) + (b != 0);
+            }
+        """)
+        assert out.exit_value == 3
+
+    def test_main_return_terminates_other_threads(self):
+        out = run("""
+            void spin(int x) { while (1) { usleep(1); } }
+            int main() {
+                thread_create(spin, 0);
+                return 5;
+            }
+        """)
+        assert not out.failed
+        assert out.exit_value == 5
+
+
+class TestMutexes:
+    def test_lock_provides_mutual_exclusion(self):
+        src = """
+            void* m;
+            int counter = 0;
+            void bump(int n) {
+                int i;
+                for (i = 0; i < n; i++) {
+                    mutex_lock(m);
+                    int v = counter;
+                    counter = v + 1;
+                    mutex_unlock(m);
+                }
+            }
+            int main() {
+                m = mutex_create();
+                int t1 = thread_create(bump, 50);
+                int t2 = thread_create(bump, 50);
+                thread_join(t1);
+                thread_join(t2);
+                return counter;
+            }
+        """
+        for seed in range(5):
+            out = run(src, scheduler=RandomScheduler(seed, 0.2))
+            assert not out.failed
+            assert out.exit_value == 100
+
+    def test_unlocked_counter_can_lose_updates(self):
+        src = """
+            int counter = 0;
+            void bump(int n) {
+                int i;
+                for (i = 0; i < n; i++) {
+                    int v = counter;
+                    counter = v + 1;
+                }
+            }
+            int main() {
+                int t1 = thread_create(bump, 50);
+                int t2 = thread_create(bump, 50);
+                thread_join(t1);
+                thread_join(t2);
+                return counter;
+            }
+        """
+        results = {run(src, scheduler=RandomScheduler(s, 0.3)).exit_value
+                   for s in range(20)}
+        assert any(v < 100 for v in results), \
+            "expected at least one lost update across seeds"
+
+    def test_lock_null_mutex_segfaults(self):
+        out = run("""
+            int main() {
+                mutex_lock(NULL);
+                return 0;
+            }
+        """)
+        assert out.failed
+        assert out.failure.kind is FailureKind.SEGFAULT
+
+    def test_unlock_destroyed_mutex_is_uaf(self):
+        out = run("""
+            int main() {
+                void* m = mutex_create();
+                mutex_lock(m);
+                mutex_destroy(m);
+                mutex_unlock(m);
+                return 0;
+            }
+        """)
+        assert out.failed
+        assert out.failure.kind is FailureKind.USE_AFTER_FREE
+
+    def test_self_deadlock_detected(self):
+        out = run("""
+            int main() {
+                void* m = mutex_create();
+                mutex_lock(m);
+                mutex_lock(m);
+                return 0;
+            }
+        """)
+        assert out.failed
+        assert out.failure.kind is FailureKind.DEADLOCK
+
+    def test_abba_deadlock_detected(self):
+        out = run("""
+            void* a;
+            void* b;
+            void w(int x) {
+                mutex_lock(b);
+                usleep(50);
+                mutex_lock(a);
+                mutex_unlock(a);
+                mutex_unlock(b);
+            }
+            int main() {
+                a = mutex_create();
+                b = mutex_create();
+                int t = thread_create(w, 0);
+                mutex_lock(a);
+                usleep(50);
+                mutex_lock(b);
+                mutex_unlock(b);
+                mutex_unlock(a);
+                thread_join(t);
+                return 0;
+            }
+        """, scheduler=RoundRobinScheduler(quantum=2))
+        assert out.failed
+        assert out.failure.kind is FailureKind.DEADLOCK
+
+
+class TestFailures:
+    def test_assertion_failure_report(self):
+        out = run('int main(int x) { assert(x == 1, "x is one"); return 0; }',
+                  args=[2])
+        assert out.failed
+        rep = out.failure
+        assert rep.kind is FailureKind.ASSERTION
+        assert rep.message == "x is one"
+        assert rep.stack[0].function == "main"
+
+    def test_stack_trace_spans_calls(self):
+        out = run("""
+            void inner(int x) { assert(x, "boom"); }
+            void outer(int x) { inner(x); }
+            int main() { outer(0); return 0; }
+        """)
+        funcs = [f.function for f in out.failure.stack]
+        assert funcs == ["inner", "outer", "main"]
+
+    def test_hang_detection(self):
+        out = run("int main() { while (1) { } return 0; }", max_steps=2_000)
+        assert out.failed
+        assert out.failure.kind is FailureKind.HANG
+
+    def test_failure_identity_stable_across_runs(self):
+        src = "int main(int x) { assert(x, \"m\"); return 0; }"
+        a = run(src, args=[0]).failure
+        b = run(src, args=[0]).failure
+        assert a.identity() == b.identity()
+
+    def test_failure_identity_differs_by_site(self):
+        a = run('int main() { assert(0, "a"); return 0; }').failure
+        b = run('int main() { int y = 1; assert(0, "a"); return 0; }').failure
+        assert a.identity() != b.identity()
+
+    def test_abort(self):
+        out = run("int main() { abort(); return 0; }")
+        assert out.failure.kind is FailureKind.ABORT
+
+
+class TestDeterminism:
+    SRC = """
+        int acc = 0;
+        void w(int n) {
+            int i;
+            for (i = 0; i < n; i++) { acc = acc + i; }
+        }
+        int main() {
+            int t = thread_create(w, 20);
+            int j;
+            for (j = 0; j < 30; j++) { acc = acc + 1; }
+            thread_join(t);
+            return acc;
+        }
+    """
+
+    def test_same_seed_identical_execution(self):
+        outs = [run(self.SRC, scheduler=RandomScheduler(9, 0.2))
+                for _ in range(3)]
+        assert len({o.exit_value for o in outs}) == 1
+        assert len({o.steps for o in outs}) == 1
+        assert len({o.base_cost for o in outs}) == 1
+
+    def test_fixed_schedule_reproducible(self):
+        plan = [(0, 40), (1, 25), (0, 10)]
+        a = run(self.SRC, scheduler=FixedScheduler(plan))
+        b = run(self.SRC, scheduler=FixedScheduler(plan))
+        assert a.exit_value == b.exit_value
+        assert a.steps == b.steps
+
+
+class TestCostModel:
+    def test_cost_scales_with_work(self):
+        src = """
+            int main(int n) {
+                int s = 0;
+                int i;
+                for (i = 0; i < n; i++) { s = s + i; }
+                return s;
+            }
+        """
+        small = run(src, args=[10])
+        big = run(src, args=[100])
+        assert big.base_cost > small.base_cost * 5
+
+    def test_no_tracers_means_no_extra_cost(self):
+        out = run("int main() { return 1; }")
+        assert out.extra_cost == 0
+        assert out.overhead == 0.0
+
+
+class TestUsleep:
+    def test_usleep_allows_other_thread_progress(self):
+        out = run("""
+            int order = 0;
+            void w(int x) { order = order * 10 + 2; }
+            int main() {
+                order = order * 10 + 1;
+                int t = thread_create(w, 0);
+                usleep(200);
+                order = order * 10 + 3;
+                thread_join(t);
+                return order;
+            }
+        """, scheduler=RandomScheduler(0, 0.0))
+        assert out.exit_value == 123
+
+    def test_all_sleeping_advances_time(self):
+        out = run("""
+            int main() {
+                usleep(500);
+                return 7;
+            }
+        """)
+        assert out.exit_value == 7
