@@ -19,11 +19,22 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.analysis.context import AnalysisContext
 from repro.corpus import all_bug_ids, get_bug
 from repro.corpus.evaluation import BugEvaluation, evaluate_bug
 
 _FULL_EVALS: Optional[Dict[str, BugEvaluation]] = None
 _MODE_EVALS: Dict[str, Dict[str, BugEvaluation]] = {}
+_CONTEXTS: Dict[str, AnalysisContext] = {}
+
+
+def shared_context(bug_id: str) -> AnalysisContext:
+    """One AnalysisContext per corpus bug, shared by every bench in the
+    session: slices, CFGs, and dominator trees are computed once no matter
+    how many tables/figures consume the bug."""
+    if bug_id not in _CONTEXTS:
+        _CONTEXTS[bug_id] = AnalysisContext(get_bug(bug_id).module())
+    return _CONTEXTS[bug_id]
 
 
 def bench_bug_ids() -> List[str]:
@@ -46,7 +57,8 @@ def full_evaluations() -> Dict[str, BugEvaluation]:
     if _FULL_EVALS is None:
         _FULL_EVALS = {
             bug_id: evaluate_bug(get_bug(bug_id), mode="full",
-                                 max_iterations=6)
+                                 max_iterations=6,
+                                 context=shared_context(bug_id))
             for bug_id in bench_bug_ids()
         }
     return _FULL_EVALS
@@ -59,7 +71,8 @@ def mode_evaluations(mode: str) -> Dict[str, BugEvaluation]:
     if mode not in _MODE_EVALS:
         _MODE_EVALS[mode] = {
             bug_id: evaluate_bug(get_bug(bug_id), mode=mode,
-                                 max_iterations=6)
+                                 max_iterations=6,
+                                 context=shared_context(bug_id))
             for bug_id in bench_bug_ids()
         }
     return _MODE_EVALS[mode]

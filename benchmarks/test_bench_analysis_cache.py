@@ -1,0 +1,168 @@
+"""Micro-benchmark for the shared analysis-artifact layer.
+
+Measures, per corpus bug:
+
+- cold vs warm *diagnosis* wall-time: the same campaign run twice against
+  one :class:`AnalysisContext` — the second run serves every CFG,
+  dominator tree, reaching-defs table, and slice from cache;
+- cold vs warm *analysis-phase* time in isolation (slice + plan artifacts
+  only, no fleet runs), plus the disk-cache path a fresh process would hit;
+- the context's hit rate and counter snapshot.
+
+Emits ``BENCH_analysis_cache.json`` at the repo root.
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.context import AnalysisContext
+from repro.core import CooperativeDeployment
+from repro.corpus import get_bug
+
+from _shared import bench_bug_ids, emit
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUT = REPO_ROOT / "BENCH_analysis_cache.json"
+
+
+def _campaign(spec, context):
+    deployment = CooperativeDeployment(
+        spec.module(), spec.workload_factory,
+        endpoints=4, bug=spec.bug_id, context=context)
+    return deployment.run_campaign(stop_when=spec.sketch_has_root,
+                                   max_iterations=4)
+
+
+def _analysis_phase(context, failing_uid):
+    """The pure offline-analysis work of a diagnosis: slice + plan inputs."""
+    slice_ = context.slice_from(failing_uid)
+    planner = context.planner()
+    for func in context.module.functions.values():
+        planner.context.postdomtree(func.name)
+    return slice_
+
+
+def _measure_bug(bug_id: str) -> dict:
+    spec = get_bug(bug_id)
+    module = spec.module()
+
+    context = AnalysisContext(module)
+    t0 = time.perf_counter()
+    cold_stats = _campaign(spec, context)
+    cold_diag = time.perf_counter() - t0
+    after_cold = context.stats.snapshot()
+
+    t0 = time.perf_counter()
+    warm_stats = _campaign(spec, context)
+    warm_diag = time.perf_counter() - t0
+
+    # Zero-redundant-work check: the warm campaign built nothing new.
+    after_warm = context.stats.snapshot()
+    new_builds = {
+        k: (after_warm["by_kind"][k]["misses"]
+            - after_cold["by_kind"].get(k, {}).get("misses", 0))
+        for k in after_warm["by_kind"]}
+    assert warm_stats.found == cold_stats.found
+
+    failing_uid = context.cached_slice_uids()[0]
+
+    # Analysis phase in isolation, cold (fresh context on the same module).
+    fresh = AnalysisContext(module)
+    t0 = time.perf_counter()
+    _analysis_phase(fresh, failing_uid)
+    cold_analysis = time.perf_counter() - t0
+
+    # ... warm (every artifact already in memory).
+    t0 = time.perf_counter()
+    _analysis_phase(context, failing_uid)
+    warm_analysis = time.perf_counter() - t0
+
+    # ... and disk-warm (what a *new process* pays with --cache-dir).
+    with tempfile.TemporaryDirectory() as tmp:
+        saver = AnalysisContext(module, cache_dir=tmp)
+        _analysis_phase(saver, failing_uid)
+        saver.save()
+        loader = AnalysisContext(module, cache_dir=tmp)
+        t0 = time.perf_counter()
+        _analysis_phase(loader, failing_uid)
+        disk_analysis = time.perf_counter() - t0
+        disk_hits = loader.stats.disk_hits
+
+    return {
+        "cold_diagnosis_s": round(cold_diag, 4),
+        "warm_diagnosis_s": round(warm_diag, 4),
+        "diagnosis_speedup": round(cold_diag / max(warm_diag, 1e-9), 2),
+        "cold_analysis_s": round(cold_analysis, 6),
+        "warm_analysis_s": round(warm_analysis, 6),
+        "disk_warm_analysis_s": round(disk_analysis, 6),
+        "analysis_speedup": round(
+            cold_analysis / max(warm_analysis, 1e-9), 1),
+        "hit_rate": round(context.stats.hit_rate, 4),
+        "hits": context.stats.hits,
+        "misses": context.stats.misses,
+        "disk_hits_fresh_process": disk_hits,
+        "warm_campaign_new_builds": {
+            k: v for k, v in new_builds.items() if v},
+    }
+
+
+def _compute() -> dict:
+    bugs = {bug_id: _measure_bug(bug_id) for bug_id in bench_bug_ids()}
+    totals = {
+        key: round(sum(row[key] for row in bugs.values()), 4)
+        for key in ("cold_diagnosis_s", "warm_diagnosis_s",
+                    "cold_analysis_s", "warm_analysis_s",
+                    "disk_warm_analysis_s")
+    }
+    totals["mean_hit_rate"] = round(
+        sum(row["hit_rate"] for row in bugs.values()) / len(bugs), 4)
+    return {"benchmark": "analysis_cache", "bugs": bugs, "totals": totals}
+
+
+def _render(data: dict) -> str:
+    lines = ["Analysis-artifact cache: cold vs warm diagnosis",
+             "=" * 78,
+             f"{'Bug':<18} {'cold(s)':>8} {'warm(s)':>8} {'speedup':>8} "
+             f"{'analysis cold/warm (ms)':>24} {'hit rate':>9}"]
+    for bug_id, row in data["bugs"].items():
+        lines.append(
+            f"{bug_id:<18} {row['cold_diagnosis_s']:>8.3f} "
+            f"{row['warm_diagnosis_s']:>8.3f} "
+            f"{row['diagnosis_speedup']:>7.2f}x "
+            f"{1e3 * row['cold_analysis_s']:>11.2f} /"
+            f"{1e3 * row['warm_analysis_s']:>9.3f} "
+            f"{100 * row['hit_rate']:>8.1f}%")
+    t = data["totals"]
+    lines.append("-" * 78)
+    lines.append(f"{'TOTAL':<18} {t['cold_diagnosis_s']:>8.3f} "
+                 f"{t['warm_diagnosis_s']:>8.3f}")
+    lines.append("")
+    lines.append(f"mean hit rate: {100 * t['mean_hit_rate']:.1f}%   "
+                 f"analysis phase: {1e3 * t['cold_analysis_s']:.1f}ms cold "
+                 f"-> {1e3 * t['warm_analysis_s']:.2f}ms warm")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="analysis_cache")
+def test_bench_analysis_cache(benchmark):
+    data = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    emit("analysis_cache", _render(data))
+    OUT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")
+
+    totals = data["totals"]
+    # Warm-cache diagnosis is measurably faster than cold: the second
+    # campaign is the identical deterministic workload minus all analysis.
+    assert totals["warm_diagnosis_s"] < totals["cold_diagnosis_s"]
+    # The isolated analysis phase collapses by orders of magnitude.
+    assert totals["warm_analysis_s"] < totals["cold_analysis_s"] / 5
+    for bug_id, row in data["bugs"].items():
+        assert row["hit_rate"] > 0.5, (bug_id, row)
+        # A warm campaign rebuilds none of the core artifacts.
+        for kind in ("cfg", "postdomtree", "reaching_defs", "slice"):
+            assert kind not in row["warm_campaign_new_builds"], (bug_id, row)
+        assert row["disk_hits_fresh_process"] > 0, (bug_id, row)

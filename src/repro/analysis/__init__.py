@@ -7,6 +7,12 @@ starts and stops.
 
 from .callgraph import CallGraph, CallSite, build_callgraph
 from .cfg import FunctionCFG, build_all_cfgs, build_cfg
+from .context import (
+    AnalysisContext,
+    CacheStats,
+    fingerprint_function,
+    fingerprint_module,
+)
 from .dataflow import (
     ReachingDefs,
     compute_liveness,
@@ -17,7 +23,9 @@ from .icfg import ICFG, build_icfg, build_ticfg
 from .slicing import BackwardSlicer, StaticSlice, compute_slice
 
 __all__ = [
+    "AnalysisContext",
     "BackwardSlicer",
+    "CacheStats",
     "CallGraph",
     "CallSite",
     "DomTree",
@@ -36,4 +44,6 @@ __all__ = [
     "compute_liveness",
     "compute_reaching_defs",
     "compute_slice",
+    "fingerprint_function",
+    "fingerprint_module",
 ]

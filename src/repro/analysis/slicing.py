@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..lang.ir import (
     ConstInt,
@@ -43,10 +43,13 @@ from ..lang.ir import (
     Register,
     StrConst,
 )
-from .callgraph import CallGraph, build_callgraph
-from .cfg import FunctionCFG, build_cfg
-from .dataflow import ReachingDefs, compute_reaching_defs
-from .domtree import DomTree, build_postdomtree
+from .callgraph import CallGraph
+from .cfg import FunctionCFG
+from .dataflow import ReachingDefs
+from .domtree import DomTree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .context import AnalysisContext
 
 # A symbolic memory location: nested tuples of strings/ints.  Examples:
 #   ("global", "fifo", 0)           the global itself
@@ -145,8 +148,12 @@ class _UseItem:
 class BackwardSlicer:
     """Implements Algorithm 1 over GIR.
 
-    One slicer can serve many slice requests on the same module; per-function
-    CFGs, reaching definitions, and postdominator trees are cached.
+    One slicer can serve many slice requests on the same module.  All
+    per-function artifacts (CFGs, reaching definitions, postdominator
+    trees) and module-wide indexes live in a shared
+    :class:`~repro.analysis.context.AnalysisContext`, so every consumer of
+    the same context — other slicers, the instrumentation planner, the Gist
+    server — reuses one copy of each.
     """
 
     #: Safety valve against pathological recursion in address resolution.
@@ -154,37 +161,37 @@ class BackwardSlicer:
 
     def __init__(self, module: Module,
                  callgraph: Optional[CallGraph] = None,
-                 use_must_alias: bool = True) -> None:
+                 use_must_alias: bool = True,
+                 context: Optional["AnalysisContext"] = None) -> None:
         if not module.finalized:
             raise ValueError("module must be finalized")
+        if context is None:
+            from .context import AnalysisContext
+            context = AnalysisContext(module)
+        if context.module is not module:
+            raise ValueError("context belongs to a different module")
         self.module = module
-        self.callgraph = callgraph or build_callgraph(module)
+        self.context = context
+        self._explicit_callgraph = callgraph
         #: Ablation knob: disable the syntactic must-alias store linking
         #: to see what pure no-alias slicing misses (everything the
         #: runtime watchpoints must then discover).
         self.use_must_alias = use_must_alias
-        self._cfgs: Dict[str, FunctionCFG] = {}
-        self._rds: Dict[str, ReachingDefs] = {}
-        self._postdoms: Dict[str, DomTree] = {}
-        self._store_symbols: Optional[List[Tuple[Instr, Symbol]]] = None
 
-    # -- caches ----------------------------------------------------------------
+    # -- shared artifacts (all served by the context) --------------------------
+
+    @property
+    def callgraph(self) -> CallGraph:
+        return self._explicit_callgraph or self.context.callgraph()
 
     def _cfg(self, func: str) -> FunctionCFG:
-        if func not in self._cfgs:
-            self._cfgs[func] = build_cfg(self.module.functions[func])
-        return self._cfgs[func]
+        return self.context.cfg(func)
 
     def _rd(self, func: str) -> ReachingDefs:
-        if func not in self._rds:
-            self._rds[func] = compute_reaching_defs(
-                self.module.functions[func], self._cfg(func))
-        return self._rds[func]
+        return self.context.reaching_defs(func)
 
     def _postdom(self, func: str) -> DomTree:
-        if func not in self._postdoms:
-            self._postdoms[func] = build_postdomtree(self._cfg(func))
-        return self._postdoms[func]
+        return self.context.postdomtree(func)
 
     # -- address symbols ---------------------------------------------------------
 
@@ -308,15 +315,7 @@ class BackwardSlicer:
         return self._resolve_operand(func, store.uid, value, fuel - 1)
 
     def _stores_in_function(self, func: str) -> List[Instr]:
-        if not hasattr(self, "_func_store_cache"):
-            self._func_store_cache: Dict[str, List[Instr]] = {}
-        cached = self._func_store_cache.get(func)
-        if cached is None:
-            cached = [ins for ins
-                      in self.module.functions[func].instructions()
-                      if ins.opcode == Opcode.STORE]
-            self._func_store_cache[func] = cached
-        return cached
+        return self.context.stores_in(func)
 
     def _resolve_operand(self, func: str, uid: int, operand,
                          fuel: int) -> Optional[Symbol]:
@@ -337,15 +336,7 @@ class BackwardSlicer:
                                      self.MAX_RESOLVE_DEPTH)
 
     def _all_store_symbols(self) -> List[Tuple[Instr, Symbol]]:
-        if self._store_symbols is None:
-            out = []
-            for ins in self.module.instructions():
-                if ins.opcode == Opcode.STORE:
-                    sym = self.access_symbol(ins)
-                    if sym is not None:
-                        out.append((ins, sym))
-            self._store_symbols = out
-        return self._store_symbols
+        return self.context.store_symbols()
 
     # -- the main algorithm ---------------------------------------------------------
 

@@ -153,7 +153,9 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     """``repro diagnose``: run a full Gist campaign on a program."""
     module = _load_module(args.program)
     gist = Gist(module, bug=args.bug or args.program,
-                endpoints=args.endpoints, ptwrite=args.ptwrite)
+                endpoints=args.endpoints, ptwrite=args.ptwrite,
+                fleet_workers=args.fleet_workers,
+                analysis_cache_dir=args.cache_dir)
     workload = Workload(args=tuple(_parse_args_values(args.args)),
                         switch_prob=args.switch_prob,
                         max_steps=args.max_steps)
@@ -190,12 +192,18 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         return 0
 
     if args.corpus_command == "diagnose":
+        from .analysis.context import AnalysisContext
+
+        module = spec.module()
+        context = AnalysisContext(module, cache_dir=args.cache_dir)
         deployment = CooperativeDeployment(
-            spec.module(), spec.workload_factory,
-            endpoints=args.endpoints, bug=spec.bug_id)
+            module, spec.workload_factory,
+            endpoints=args.endpoints, bug=spec.bug_id,
+            context=context, fleet_workers=args.fleet_workers)
         stats = deployment.run_campaign(
             stop_when=spec.sketch_has_root,
             max_iterations=args.max_iterations)
+        context.save()
         if stats.sketch is None:
             print("failure never recurred", file=sys.stderr)
             return 1
@@ -269,12 +277,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("uid", type=int)
     p.set_defaults(func=cmd_slice)
 
+    def positive_int(value: str) -> int:
+        n = int(value)
+        if n < 1:
+            raise argparse.ArgumentTypeError("must be a positive integer")
+        return n
+
+    def fleet_flags(p):
+        p.add_argument("--fleet-workers", type=positive_int, default=1,
+                       help="concurrent client runs per fleet batch "
+                            "(results are deterministic for any value)")
+        p.add_argument("--cache-dir", default=None,
+                       help="directory for the on-disk analysis-artifact "
+                            "cache (repeat invocations skip cold analysis)")
+
     p = sub.add_parser("diagnose",
                        help="run a full Gist campaign on a program")
     p.add_argument("program")
     common_run_flags(p)
     p.add_argument("--bug", default=None, help="bug name for the sketch")
     p.add_argument("--endpoints", type=int, default=4)
+    fleet_flags(p)
     p.add_argument("--sigma", type=int, default=2,
                    help="initial AsT window (paper default: 2)")
     p.add_argument("--max-iterations", type=int, default=6)
@@ -298,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--max-iterations", type=int, default=6)
     cp.add_argument("--html", default=None)
     cp.add_argument("--json", default=None)
+    fleet_flags(cp)
     cp.set_defaults(func=cmd_corpus)
 
     return parser

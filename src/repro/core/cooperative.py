@@ -6,14 +6,28 @@ endpoints executes a stream of workloads; failures bootstrap a server-side
 campaign; instrumentation patches go out; monitored runs come back;
 Adaptive Slice Tracking iterates until the sketch satisfies the stop
 criterion or the slice is exhausted.
+
+Client workloads are embarrassingly parallel — each run gets its own
+interpreter, PT driver, and watchpoint unit, and all static analysis lives
+in an immutable shared :class:`~repro.analysis.context.AnalysisContext` —
+so the fleet executes them in batches of ``fleet_workers`` on a thread
+pool.  Determinism is preserved by construction: batch results are
+aggregated strictly in run-id order on the server thread, the server stops
+consuming at exactly the run where the sequential loop would have stopped,
+and any in-flight surplus runs of the final batch are discarded before
+they touch campaign state (a real fleet also keeps executing after the
+server has what it needs).  ``fleet_workers=1`` and ``fleet_workers=N``
+therefore produce byte-identical campaign statistics.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..analysis.context import AnalysisContext
 from ..lang.ir import Module
 from ..runtime.failures import FailureReport
 from .adaptive import DEFAULT_SIGMA
@@ -53,17 +67,25 @@ class CooperativeDeployment:
     def __init__(self, module: Module, workload_factory: WorkloadFactory,
                  endpoints: int = 8, bug: str = "bug",
                  ptwrite: bool = False,
-                 extended_predicates: bool = False) -> None:
+                 extended_predicates: bool = False,
+                 context: Optional[AnalysisContext] = None,
+                 fleet_workers: int = 1) -> None:
         if endpoints < 1:
             raise ValueError("need at least one endpoint")
+        if fleet_workers < 1:
+            raise ValueError("need at least one fleet worker")
         self.module = module
         self.workload_factory = workload_factory
         self.bug = bug
         self.server = GistServer(module,
-                                 extended_predicates=extended_predicates)
+                                 extended_predicates=extended_predicates,
+                                 context=context)
         self.clients = [GistClient(module, endpoint_id=i, ptwrite=ptwrite)
                         for i in range(endpoints)]
+        #: Client runs executed concurrently per batch (1 = sequential).
+        self.fleet_workers = fleet_workers
         self._next_run = 0
+        self._pool: Optional[ThreadPoolExecutor] = None
 
     # -- plumbing ------------------------------------------------------------
 
@@ -74,16 +96,75 @@ class CooperativeDeployment:
         workload = self.workload_factory(run_id)
         return client, workload, run_id
 
+    def _rewind(self, next_run_id: int) -> None:
+        """Reset the run stream to ``next_run_id``.
+
+        Called after the server stops consuming mid-batch: surplus in-flight
+        results are discarded and their run ids handed out again, so the
+        consumed stream is identical to the sequential one (workload
+        factories are pure functions of the run id).
+        """
+        self._next_run = next_run_id
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.fleet_workers,
+                thread_name_prefix="gist-fleet")
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "CooperativeDeployment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _execute_batch(
+        self, size: int, patches: Optional[Sequence] = None,
+    ) -> List[Tuple[Tuple[GistClient, Workload, int], object]]:
+        """Draw and execute up to ``size`` runs, concurrently when
+        ``fleet_workers > 1``; results come back in run-id order."""
+        drawn = [self._draw() for _ in range(size)]
+
+        def one(item: Tuple[GistClient, Workload, int]):
+            client, workload, run_id = item
+            patch = None
+            if patches:
+                patch = patches[client.endpoint_id % len(patches)]
+            return client.run(workload, patch=patch, run_id=run_id)
+
+        if self.fleet_workers <= 1 or len(drawn) <= 1:
+            results = [one(item) for item in drawn]
+        else:
+            results = list(self._ensure_pool().map(one, drawn))
+        return list(zip(drawn, results))
+
     # -- phase 0: wait for the first failure ----------------------------------
 
     def wait_for_failure(self, max_runs: int = 10_000
                          ) -> Tuple[Optional[FailureReport], int]:
-        """Run the fleet uninstrumented until some run fails."""
-        for _ in range(max_runs):
-            client, workload, run_id = self._draw()
-            result = client.run(workload, patch=None, run_id=run_id)
-            if result.outcome.failed:
-                return result.outcome.failure, run_id + 1
+        """Run the fleet uninstrumented until some run fails.
+
+        Returns the first failure in run-id order; with ``fleet_workers >
+        1`` later runs of the failing batch may already have executed, but
+        they are discarded and re-drawn, keeping the consumed run stream
+        identical to sequential execution.
+        """
+        consumed = 0
+        while consumed < max_runs:
+            size = min(self.fleet_workers, max_runs - consumed)
+            for (client, workload, run_id), result \
+                    in self._execute_batch(size):
+                consumed += 1
+                if result.outcome.failed:
+                    self._rewind(run_id + 1)
+                    return result.outcome.failure, consumed
         return None, max_runs
 
     # -- the AsT campaign ---------------------------------------------------------
@@ -101,12 +182,30 @@ class CooperativeDeployment:
         """Full pipeline: bootstrap failure → AsT iterations → sketch."""
         stats = CampaignStats(bug=self.bug)
         t0 = time.perf_counter()
+        try:
+            return self._run_campaign(
+                stats, initial_sigma, stop_when, max_iterations,
+                min_failing_per_iteration, min_successful_per_iteration,
+                max_runs_per_iteration, max_bootstrap_runs)
+        finally:
+            stats.wall_seconds = time.perf_counter() - t0
+            self.close()
 
+    def _run_campaign(
+        self,
+        stats: CampaignStats,
+        initial_sigma: int,
+        stop_when: Optional[StopPredicate],
+        max_iterations: int,
+        min_failing_per_iteration: int,
+        min_successful_per_iteration: int,
+        max_runs_per_iteration: int,
+        max_bootstrap_runs: int,
+    ) -> CampaignStats:
         report, bootstrap_runs = self.wait_for_failure(max_bootstrap_runs)
         stats.bootstrap_runs = bootstrap_runs
         stats.total_runs += bootstrap_runs
         if report is None:
-            stats.wall_seconds = time.perf_counter() - t0
             return stats
 
         campaign = self.server.handle_failure_report(
@@ -118,21 +217,29 @@ class CooperativeDeployment:
             patches = campaign.make_patches(len(self.clients))
             failing = 0
             successful = 0
-            for attempt in range(max_runs_per_iteration):
-                client, workload, run_id = self._draw()
-                patch = patches[client.endpoint_id % len(patches)]
-                result = client.run(workload, patch=patch, run_id=run_id)
-                stats.total_runs += 1
-                stats.monitored_runs += 1
-                assert result.monitored is not None
-                overheads.append(result.monitored.overhead)
-                if campaign.ingest(result.monitored):
-                    failing += 1
-                elif not result.outcome.failed:
-                    successful += 1
-                if failing >= min_failing_per_iteration and \
-                        successful >= min_successful_per_iteration:
-                    break
+            attempts = 0
+            satisfied = False
+            # Monitored runs execute in concurrent batches; aggregation
+            # below stays on this (server) thread, in run-id order.
+            while attempts < max_runs_per_iteration and not satisfied:
+                size = min(self.fleet_workers,
+                           max_runs_per_iteration - attempts)
+                for (client, workload, run_id), result \
+                        in self._execute_batch(size, patches=patches):
+                    attempts += 1
+                    stats.total_runs += 1
+                    stats.monitored_runs += 1
+                    assert result.monitored is not None
+                    overheads.append(result.monitored.overhead)
+                    if campaign.ingest(result.monitored):
+                        failing += 1
+                    elif not result.outcome.failed:
+                        successful += 1
+                    if failing >= min_failing_per_iteration and \
+                            successful >= min_successful_per_iteration:
+                        self._rewind(run_id + 1)
+                        satisfied = True
+                        break
             iteration = campaign.finish_iteration()
             stats.iteration_results.append(iteration)
             stats.iterations = iteration.iteration
@@ -151,5 +258,4 @@ class CooperativeDeployment:
             stats.avg_overhead_percent = 100.0 * sum(overheads) / len(overheads)
             stats.max_overhead_percent = 100.0 * max(overheads)
         stats.offline_seconds = self.server.offline_analysis_seconds
-        stats.wall_seconds = time.perf_counter() - t0
         return stats

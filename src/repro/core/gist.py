@@ -15,9 +15,11 @@ ranking, and sketch construction — over a simulated cooperative fleet.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
+from ..analysis.context import AnalysisContext
 from ..lang.codegen import compile_source
 from ..lang.ir import Module
 from .accuracy import AccuracyReport, IdealSketch, score
@@ -63,7 +65,10 @@ class Gist:
 
     def __init__(self, module: Module, bug: str = "bug",
                  endpoints: int = 8, ptwrite: bool = False,
-                 extended_predicates: bool = False) -> None:
+                 extended_predicates: bool = False,
+                 context: Optional[AnalysisContext] = None,
+                 analysis_cache_dir: Optional[os.PathLike] = None,
+                 fleet_workers: int = 1) -> None:
         self.module = module
         self.bug = bug
         self.endpoints = endpoints
@@ -71,14 +76,21 @@ class Gist:
         self.ptwrite = ptwrite
         #: §6 future work: also rank range/inequality value predicates.
         self.extended_predicates = extended_predicates
+        #: Shared analysis artifacts: every diagnosis on this Gist (and
+        #: anything else handed this context) reuses one copy of each CFG,
+        #: dominator tree, reaching-defs table, call graph, and slice.
+        self.context = context or AnalysisContext(
+            module, cache_dir=analysis_cache_dir)
+        #: Concurrent client runs per fleet batch (1 = sequential).
+        self.fleet_workers = fleet_workers
 
     @classmethod
     def from_source(cls, source: str, bug: str = "bug",
                     endpoints: int = 8, module_name: str = "program",
-                    ptwrite: bool = False) -> "Gist":
+                    ptwrite: bool = False, **kwargs) -> "Gist":
         """Compile MiniC source and build a Gist for it."""
         return cls(compile_source(source, module_name), bug=bug,
-                   endpoints=endpoints, ptwrite=ptwrite)
+                   endpoints=endpoints, ptwrite=ptwrite, **kwargs)
 
     def diagnose(
         self,
@@ -97,7 +109,8 @@ class Gist:
         deployment = CooperativeDeployment(
             self.module, workload_factory,
             endpoints=self.endpoints, bug=self.bug, ptwrite=self.ptwrite,
-            extended_predicates=self.extended_predicates)
+            extended_predicates=self.extended_predicates,
+            context=self.context, fleet_workers=self.fleet_workers)
         stats = deployment.run_campaign(
             initial_sigma=initial_sigma,
             stop_when=stop_when,
@@ -105,6 +118,7 @@ class Gist:
             max_runs_per_iteration=max_runs_per_iteration,
             min_successful_per_iteration=min_successful_per_iteration,
         )
+        self.context.save()
         return DiagnosisResult(stats=stats)
 
     def diagnose_workload(self, workload: Workload,

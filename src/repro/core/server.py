@@ -20,7 +20,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..analysis.slicing import BackwardSlicer, StaticSlice
+from ..analysis.context import AnalysisContext
+from ..analysis.slicing import StaticSlice
 from ..hw.watchpoints import NUM_DEBUG_REGISTERS
 from ..instrument.patch import Patch
 from ..instrument.planner import InstrumentationPlan, InstrumentationPlanner
@@ -56,7 +57,9 @@ class DiagnosisCampaign:
         self.bug = bug
         self.first_report = first_report
         self.identity = first_report.identity()
-        self.slice: StaticSlice = server.slicer.slice_from(first_report.pc)
+        # Served by the shared context: a second campaign (or a second
+        # whole diagnosis) for the same failing pc reuses the slice.
+        self.slice: StaticSlice = server.context.slice_from(first_report.pc)
         self.tracker = AdaptiveSliceTracker(self.slice, initial_sigma)
         self.iterations: List[IterationResult] = []
         self.total_failure_recurrences = 1  # the bootstrap failure
@@ -168,10 +171,14 @@ class GistServer:
     """The centralized (or distributable) analysis side of Gist."""
 
     def __init__(self, module: Module,
-                 extended_predicates: bool = False) -> None:
+                 extended_predicates: bool = False,
+                 context: Optional[AnalysisContext] = None) -> None:
         self.module = module
-        self.slicer = BackwardSlicer(module)
-        self.planner = InstrumentationPlanner(module, self.slicer)
+        #: All static artifacts live here; pass one context to many servers
+        #: (or many diagnoses) and nothing is ever rebuilt.
+        self.context = context or AnalysisContext(module)
+        self.slicer = self.context.slicer()
+        self.planner = self.context.planner()
         self.campaigns: Dict[str, DiagnosisCampaign] = {}
         self.offline_analysis_seconds = 0.0
         #: §6 future work: also rank range/inequality value predicates.

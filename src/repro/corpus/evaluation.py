@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..analysis.context import AnalysisContext
 from ..analysis.slicing import StaticSlice
 from ..core.accuracy import AccuracyReport, score
 from ..core.client import GistClient
@@ -137,6 +138,8 @@ def evaluate_bug(
     max_runs_per_iteration: int = 120,
     min_successful_per_iteration: int = 3,
     max_bootstrap_runs: int = 400,
+    context: Optional["AnalysisContext"] = None,
+    fleet_workers: int = 1,
 ) -> BugEvaluation:
     """Run one diagnosis campaign and score it against the ideal sketch.
 
@@ -154,7 +157,9 @@ def evaluate_bug(
     t0 = time.perf_counter()
 
     deployment = CooperativeDeployment(module, spec.workload_factory,
-                                       endpoints=endpoints, bug=spec.bug_id)
+                                       endpoints=endpoints, bug=spec.bug_id,
+                                       context=context,
+                                       fleet_workers=fleet_workers)
     if mode in ("cf", "ptw"):
         deployment.clients = [_ModeClient(module, i, mode)
                               for i in range(endpoints)]

@@ -33,14 +33,16 @@ Data flow (hardware watchpoints):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
-from ..analysis.callgraph import CallGraph, build_callgraph
-from ..analysis.cfg import FunctionCFG, build_cfg
-from ..analysis.domtree import DomTree, VIRTUAL_EXIT, build_domtree, \
-    build_postdomtree
+from ..analysis.callgraph import CallGraph
+from ..analysis.cfg import FunctionCFG
+from ..analysis.domtree import DomTree, VIRTUAL_EXIT
 from ..analysis.slicing import BackwardSlicer, StaticSlice
 from ..lang.ir import Instr, Module
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.context import AnalysisContext
 
 
 @dataclass(frozen=True)
@@ -82,30 +84,34 @@ class InstrumentationPlanner:
     """Computes :class:`InstrumentationPlan` objects for slice windows."""
 
     def __init__(self, module: Module, slicer: Optional[BackwardSlicer] = None,
-                 callgraph: Optional[CallGraph] = None) -> None:
+                 callgraph: Optional[CallGraph] = None,
+                 context: Optional["AnalysisContext"] = None) -> None:
         self.module = module
-        self.callgraph = callgraph or build_callgraph(module)
-        self.slicer = slicer or BackwardSlicer(module, self.callgraph)
-        self._cfgs: Dict[str, FunctionCFG] = {}
-        self._doms: Dict[str, DomTree] = {}
-        self._postdoms: Dict[str, DomTree] = {}
+        if context is None:
+            context = slicer.context if slicer is not None else None
+        if context is None:
+            from ..analysis.context import AnalysisContext
+            context = AnalysisContext(module)
+        if context.module is not module:
+            raise ValueError("context belongs to a different module")
+        self.context = context
+        self._explicit_callgraph = callgraph
+        self.slicer = slicer or context.slicer()
 
-    # -- caches -------------------------------------------------------------
+    # -- shared artifacts (all served by the context) -----------------------
+
+    @property
+    def callgraph(self) -> CallGraph:
+        return self._explicit_callgraph or self.context.callgraph()
 
     def _cfg(self, func: str) -> FunctionCFG:
-        if func not in self._cfgs:
-            self._cfgs[func] = build_cfg(self.module.functions[func])
-        return self._cfgs[func]
+        return self.context.cfg(func)
 
     def _dom(self, func: str) -> DomTree:
-        if func not in self._doms:
-            self._doms[func] = build_domtree(self._cfg(func))
-        return self._doms[func]
+        return self.context.domtree(func)
 
     def _postdom(self, func: str) -> DomTree:
-        if func not in self._postdoms:
-            self._postdoms[func] = build_postdomtree(self._cfg(func))
-        return self._postdoms[func]
+        return self.context.postdomtree(func)
 
     # -- main entry ---------------------------------------------------------------
 

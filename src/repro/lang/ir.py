@@ -289,6 +289,7 @@ class Module:
         self.source: str = ""
         self._finalized = False
         self._by_uid: List[Instr] = []
+        self._analysis_epoch = 0
 
     # -- construction ------------------------------------------------------
 
@@ -328,6 +329,7 @@ class Module:
                     self._by_uid.append(ins)
                     uid += 1
         self._finalized = True
+        self._analysis_epoch += 1
         return self
 
     # -- queries -----------------------------------------------------------
@@ -335,6 +337,16 @@ class Module:
     @property
     def finalized(self) -> bool:
         return self._finalized
+
+    @property
+    def analysis_epoch(self) -> int:
+        """Monotonic counter bumped by every :meth:`finalize`.
+
+        Analysis caches (:mod:`repro.analysis.context`) use it as a cheap
+        staleness probe: an unchanged epoch guarantees uids and backrefs have
+        not been reassigned, so fingerprints need not be recomputed.
+        """
+        return self._analysis_epoch
 
     def instr(self, uid: int) -> Instr:
         """Look an instruction up by uid (the runtime program counter)."""

@@ -534,7 +534,16 @@ class Interpreter:
         elif name == "free":
             self.memory.free(arg(0), ins.uid)
         elif name == "print":
-            self.stdout.append(str(arg(0)))
+            value = arg(0)
+            try:
+                rendered = str(value)
+            except ValueError:
+                # CPython >= 3.11 refuses int->str beyond ~4300 digits.
+                # Simulated programs can legitimately grow such values
+                # (unbounded ints stand in for machine words); render an
+                # order-of-magnitude placeholder instead of crashing.
+                rendered = f"<bigint {value.bit_length()} bits>"
+            self.stdout.append(rendered)
         elif name == "print_str":
             self.stdout.append(self.memory.read_cstring(arg(0)))
         elif name == "strlen":

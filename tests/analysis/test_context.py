@@ -1,0 +1,239 @@
+"""AnalysisContext: memoization, fingerprints, invalidation, disk cache."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisContext,
+    BackwardSlicer,
+    build_callgraph,
+    build_cfg,
+    build_icfg,
+    build_postdomtree,
+    compute_reaching_defs,
+    fingerprint_function,
+    fingerprint_module,
+)
+from repro.instrument.planner import InstrumentationPlanner
+from repro.lang import compile_source
+from repro.lang.ir import Opcode
+
+RACY = """
+struct q { void* mut; int data; };
+struct q* fifo;
+
+void cons(int unused) {
+    mutex_lock(fifo->mut);
+    fifo->data = fifo->data - 1;
+    mutex_unlock(fifo->mut);
+}
+
+int main(int n) {
+    fifo = malloc(sizeof(struct q));
+    fifo->mut = mutex_create();
+    fifo->data = n;
+    int t = thread_create(cons, 0);
+    mutex_destroy(fifo->mut);
+    fifo->mut = NULL;
+    thread_join(t);
+    free(fifo);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def module():
+    return compile_source(RACY, "racy")
+
+
+def failing_uid(module):
+    """A LOAD late in the program, a realistic failure pc."""
+    return [ins.uid for ins in module.instructions()
+            if ins.opcode == Opcode.LOAD][-1]
+
+
+class TestCounters:
+    def test_function_artifacts_hit_after_first_build(self, module):
+        ctx = AnalysisContext(module)
+        assert ctx.cfg("main") is ctx.cfg("main")
+        assert ctx.stats.by_kind["cfg"] == {
+            "hits": 1, "misses": 1, "evictions": 0, "disk_hits": 0}
+        ctx.reaching_defs("main")
+        ctx.reaching_defs("main")
+        assert ctx.stats.builds("reaching_defs") == 1
+        assert ctx.stats.by_kind["reaching_defs"]["hits"] == 1
+
+    def test_module_artifacts_hit_after_first_build(self, module):
+        ctx = AnalysisContext(module)
+        assert ctx.callgraph() is ctx.callgraph()
+        assert ctx.icfg() is ctx.icfg()
+        assert ctx.ticfg() is ctx.ticfg()
+        for kind in ("callgraph", "icfg", "ticfg"):
+            assert ctx.stats.builds(kind) == 1
+
+    def test_slice_memoized(self, module):
+        ctx = AnalysisContext(module)
+        uid = failing_uid(module)
+        assert ctx.slice_from(uid) is ctx.slice_from(uid)
+        assert ctx.stats.by_kind["slice"]["misses"] == 1
+        assert ctx.stats.by_kind["slice"]["hits"] == 1
+
+    def test_hit_rate(self, module):
+        ctx = AnalysisContext(module)
+        ctx.cfg("main")
+        assert ctx.stats.hit_rate < 1.0
+        for _ in range(20):
+            ctx.cfg("main")
+        assert ctx.stats.hit_rate > 0.9
+
+    def test_domtrees_share_the_cfg(self, module):
+        ctx = AnalysisContext(module)
+        ctx.domtree("main")
+        ctx.postdomtree("main")
+        ctx.reaching_defs("main")
+        # Three consumers, one CFG build.
+        assert ctx.stats.builds("cfg") == 1
+
+    def test_clear_counts_evictions(self, module):
+        ctx = AnalysisContext(module)
+        ctx.cfg("main")
+        ctx.callgraph()
+        ctx.slice_from(failing_uid(module))
+        before = ctx.stats.evictions
+        builds_before = ctx.stats.builds("cfg")
+        ctx.clear()
+        assert ctx.stats.evictions >= before + 3
+        ctx.cfg("main")  # rebuilt, not an error
+        assert ctx.stats.builds("cfg") == builds_before + 1
+
+
+class TestFingerprints:
+    def test_identical_sources_share_fingerprints(self):
+        a = compile_source(RACY, "a")
+        b = compile_source(RACY, "b")
+        # Content-addressed: the module *name* does not matter.
+        assert fingerprint_module(a) == fingerprint_module(b)
+        assert fingerprint_function(a.functions["main"]) == \
+            fingerprint_function(b.functions["main"])
+
+    def test_body_change_invalidates(self, module):
+        ctx = AnalysisContext(module)
+        cfg_before = ctx.cfg("cons")
+        rd_before = ctx.reaching_defs("cons")
+        print_before = ctx.function_fingerprint("cons")
+
+        # Edit a BINOP in cons ("data - 1" becomes "data + 1") and
+        # re-finalize, as a recompile-after-patch would.
+        target = next(ins for ins in module.functions["cons"].instructions()
+                      if ins.opcode == Opcode.BINOP)
+        target.op = "+"
+        module.finalize()
+
+        assert ctx.function_fingerprint("cons") != print_before
+        evictions_before_access = ctx.stats.evictions
+        assert evictions_before_access > 0
+        assert ctx.cfg("cons") is not cfg_before
+        assert ctx.reaching_defs("cons") is not rd_before
+        assert ctx.stats.builds("cfg") >= 2
+
+    def test_unrelated_refinalize_keeps_artifacts(self, module):
+        ctx = AnalysisContext(module)
+        cfg_before = ctx.cfg("main")
+        module.finalize()  # no content change: uids are reassigned equal
+        assert ctx.cfg("main") is cfg_before
+        assert ctx.stats.by_kind["cfg"]["evictions"] == 0
+
+
+class TestEquivalence:
+    """Artifacts served by a context are byte-identical to self-built ones."""
+
+    def test_slice_identical_with_and_without_context(self, module):
+        uid = failing_uid(module)
+        standalone = BackwardSlicer(module).slice_from(uid)
+        via_context = AnalysisContext(module).slice_from(uid)
+        assert standalone.depth == via_context.depth
+        assert standalone.statements() == via_context.statements()
+
+    def test_plan_identical_with_and_without_context(self, module):
+        uid = failing_uid(module)
+        ctx = AnalysisContext(module)
+        slice_ = ctx.slice_from(uid)
+        window = slice_.window(4)
+
+        fresh = InstrumentationPlanner(module).plan_window(slice_, window)
+        shared = ctx.planner().plan_window(slice_, window)
+        assert fresh.hooks == shared.hooks
+        assert fresh.watch_candidates == shared.watch_candidates
+        assert fresh.window_uids == shared.window_uids
+
+    def test_raw_builders_agree_with_context(self, module):
+        ctx = AnalysisContext(module)
+        raw_cfg = build_cfg(module.functions["main"])
+        assert ctx.cfg("main").succs == raw_cfg.succs
+        assert ctx.postdomtree("main").idom == \
+            build_postdomtree(raw_cfg).idom
+        raw_rd = compute_reaching_defs(module.functions["main"], raw_cfg)
+        assert ctx.reaching_defs("main").reach_in == raw_rd.reach_in
+        assert ctx.icfg().succs == build_icfg(module).succs
+        raw_cg = build_callgraph(module)
+        assert {(c.caller, c.instr.uid, c.callee, c.is_spawn)
+                for c in ctx.callgraph().call_sites} == \
+               {(c.caller, c.instr.uid, c.callee, c.is_spawn)
+                for c in raw_cg.call_sites}
+
+    def test_context_module_mismatch_rejected(self, module):
+        other = compile_source(RACY, "other")
+        ctx = AnalysisContext(other)
+        with pytest.raises(ValueError):
+            BackwardSlicer(module, context=ctx)
+        with pytest.raises(ValueError):
+            InstrumentationPlanner(module, context=ctx)
+
+
+class TestDiskCache:
+    def test_roundtrip_serves_from_disk(self, module, tmp_path):
+        uid = failing_uid(module)
+        cold = AnalysisContext(module, cache_dir=tmp_path)
+        expected = cold.slice_from(uid)
+        cold.callgraph()
+        cold.cfg("main")
+        cold.reaching_defs("main")
+        cold.postdomtree("main")
+        path = cold.save()
+        assert path is not None and path.exists()
+
+        fresh_module = compile_source(RACY, "racy")  # new-process stand-in
+        warm = AnalysisContext(fresh_module, cache_dir=tmp_path)
+        got = warm.slice_from(uid)
+        assert got.depth == expected.depth
+        assert warm.stats.by_kind["slice"]["disk_hits"] == 1
+        assert warm.stats.by_kind["slice"]["misses"] == 0
+        warm.cfg("main")
+        warm.reaching_defs("main")
+        assert warm.stats.misses == 0
+        # Decoded artifacts are bound to the *fresh* module's objects.
+        assert warm.cfg("main").function is fresh_module.functions["main"]
+
+    def test_corrupt_cache_is_a_cold_start(self, module, tmp_path):
+        ctx = AnalysisContext(module, cache_dir=tmp_path)
+        ctx.slice_from(failing_uid(module))
+        path = ctx.save()
+        path.write_bytes(b"not a pickle")
+        again = AnalysisContext(compile_source(RACY, "racy"),
+                                cache_dir=tmp_path)
+        sliced = again.slice_from(failing_uid(module))
+        assert sliced.depth  # computed, not crashed
+        assert again.stats.by_kind["slice"]["misses"] == 1
+
+    def test_save_without_cache_dir_is_noop(self, module):
+        assert AnalysisContext(module).save() is None
+
+    def test_content_change_misses_disk(self, module, tmp_path):
+        ctx = AnalysisContext(module, cache_dir=tmp_path)
+        ctx.cfg("main")
+        ctx.save()
+        changed = compile_source(RACY.replace("- 1", "- 2"), "racy")
+        other = AnalysisContext(changed, cache_dir=tmp_path)
+        other.cfg("main")
+        assert other.stats.disk_hits == 0
+        assert other.stats.builds("cfg") == 1

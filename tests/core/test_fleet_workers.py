@@ -1,0 +1,73 @@
+"""Concurrent fleet batches must not change campaign results.
+
+The cooperative deployment draws run descriptors sequentially, executes a
+batch (possibly on a thread pool), then ingests results in run-id order and
+rewinds surplus runs — so any ``fleet_workers`` value must produce the
+same campaign, bit for bit.
+"""
+
+import pytest
+
+from repro.core import CooperativeDeployment, render_sketch
+from repro.corpus import get_bug
+
+
+def run_campaign(workers: int):
+    spec = get_bug("pbzip2-1")
+    deployment = CooperativeDeployment(
+        spec.module(), spec.workload_factory,
+        endpoints=4, bug=spec.bug_id, fleet_workers=workers)
+    stats = deployment.run_campaign(stop_when=spec.sketch_has_root,
+                                    max_iterations=4)
+    return stats
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return run_campaign(1)
+
+
+@pytest.fixture(scope="module")
+def concurrent():
+    return run_campaign(4)
+
+
+def test_campaign_stats_identical(sequential, concurrent):
+    assert concurrent.found == sequential.found
+    assert concurrent.iterations == sequential.iterations
+    assert concurrent.failure_recurrences == sequential.failure_recurrences
+    assert concurrent.total_runs == sequential.total_runs
+    assert concurrent.monitored_runs == sequential.monitored_runs
+
+
+def test_per_iteration_trajectory_identical(sequential, concurrent):
+    seq = [(it.iteration, it.sigma, it.failing_runs, it.successful_runs)
+           for it in sequential.iteration_results]
+    con = [(it.iteration, it.sigma, it.failing_runs, it.successful_runs)
+           for it in concurrent.iteration_results]
+    assert con == seq
+
+
+def test_sketch_byte_identical(sequential, concurrent):
+    assert sequential.sketch is not None
+    assert concurrent.sketch is not None
+    assert render_sketch(concurrent.sketch) == \
+        render_sketch(sequential.sketch)
+
+
+def test_invalid_worker_count_rejected():
+    spec = get_bug("pbzip2-1")
+    with pytest.raises(ValueError):
+        CooperativeDeployment(spec.module(), spec.workload_factory,
+                              bug=spec.bug_id, fleet_workers=0)
+
+
+def test_deployment_is_a_context_manager():
+    spec = get_bug("pbzip2-1")
+    with CooperativeDeployment(spec.module(), spec.workload_factory,
+                               endpoints=2, bug=spec.bug_id,
+                               fleet_workers=2) as deployment:
+        failure, runs = deployment.wait_for_failure(max_runs=50)
+    assert failure is not None
+    assert runs >= 1
+    assert deployment._pool is None  # closed on exit
