@@ -53,7 +53,7 @@ _DISK_VERSION = 1
 
 #: Artifact kinds tracked by :class:`CacheStats`.
 KINDS = ("cfg", "domtree", "postdomtree", "reaching_defs", "stores",
-         "callgraph", "icfg", "ticfg", "store_symbols", "slice")
+         "callgraph", "icfg", "ticfg", "store_symbols", "slice", "decoded")
 
 
 # ---------------------------------------------------------------------------
@@ -300,6 +300,23 @@ class AnalysisContext:
     def ticfg(self) -> ICFG:
         return self._module_artifact("ticfg",
                                      lambda: build_ticfg(self.module))
+
+    def decoded_program(self):
+        """The module's pre-decoded instruction stream (the interpreter hot
+        path's step-record lists; see :mod:`repro.runtime.decoded`).
+
+        Delegates to the module-identity weak cache that every
+        ``Interpreter`` construction consults, so a campaign that touches
+        the context first and then runs thousands of interpreters still
+        performs exactly one decode — the context adds its hit/miss
+        accounting on top.  Closure streams are never persisted to disk
+        (``_encode_module_artifact`` returns None for unknown kinds):
+        rebuilding from the in-process module is cheaper than any codec.
+        """
+        from ..runtime.decoded import decoded_program as _decoded
+
+        return self._module_artifact(
+            "decoded", lambda: _decoded(self.module))
 
     def store_symbols(self) -> List[Tuple[Instr, Tuple]]:
         """Every STORE with a resolvable symbolic location (module-wide),

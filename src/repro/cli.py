@@ -76,16 +76,37 @@ def cmd_run(args: argparse.Namespace) -> int:
     scheduler = (RandomScheduler(args.seed, args.switch_prob)
                  if args.seed is not None else None)
     interp = Interpreter(module, args=_parse_args_values(args.args),
-                         scheduler=scheduler, max_steps=args.max_steps)
+                         scheduler=scheduler, max_steps=args.max_steps,
+                         strict_dispatch=(True if args.strict_dispatch
+                                          else None),
+                         profile=args.profile_run)
     outcome = interp.run()
     for line in outcome.stdout:
         print(line)
+    if interp.profile_data is not None:
+        print(_format_profile(interp.profile_data), file=sys.stderr)
     if outcome.failed:
         print(outcome.failure.format(), file=sys.stderr)
         return 1
     print(f"exit={outcome.exit_value} steps={outcome.steps} "
           f"cycles={outcome.base_cost}", file=sys.stderr)
     return 0
+
+
+def _format_profile(profile: dict) -> str:
+    """Render a profiled run's per-phase breakdown for stderr."""
+    steps = profile["steps"]
+    wall = profile["wall_s"]
+    phases = profile["phases"]
+    accounted = sum(phases.values()) or 1.0
+    lines = [f"profile: {steps} steps in {wall:.3f}s "
+             f"({steps / wall:,.0f} steps/sec)" if wall > 0
+             else f"profile: {steps} steps"]
+    for name in ("schedule", "fetch", "trace", "dispatch"):
+        seconds = phases[name]
+        lines.append(f"  {name:<9} {seconds:8.3f}s "
+                     f"{100.0 * seconds / accounted:5.1f}%")
+    return "\n".join(lines)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -255,6 +276,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="execute a MiniC program once")
     p.add_argument("program")
     common_run_flags(p)
+    p.add_argument("--profile-run", action="store_true",
+                   help="print a per-phase breakdown of interpreter time "
+                        "(schedule/fetch/trace/dispatch) to stderr")
+    p.add_argument("--strict-dispatch", action="store_true",
+                   help="use the reference (pre-overhaul) execution path "
+                        "instead of the pre-decoded hot path")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("trace", help="run under full Intel-PT tracing")

@@ -113,6 +113,12 @@ class WatchpointUnit(Tracer):
     # -- trapping (Tracer callback) --------------------------------------------
 
     def on_mem(self, interp, event: MemEvent) -> None:
+        if not self.registers:
+            # Cheap out-of-line bail: the unit usually rides along unarmed
+            # until a mid-run hook arms a register, so it must stay
+            # *subscribed* to mem events (subscriptions are fixed at run
+            # start) but should not scan an empty register file per access.
+            return
         for wp in self.registers.values():
             if wp.matches(event.address, event.is_write):
                 self.traps_taken += 1

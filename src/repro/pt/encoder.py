@@ -39,7 +39,14 @@ class PTBuffer:
         self.data = bytearray()
         self.bytes_written = 0        # includes dropped bytes
         self.overflowed = False
-        self._pending_tnt: List[bool] = []
+        # Pending TNT bits, batched as an int in encoded form: bit i of the
+        # eventual packet byte at position i+1, exactly as
+        # :func:`repro.pt.packets.encode_tnt` lays them out, so a flush is
+        # one OR (the stop bit) instead of a per-bit list walk.  Replaces a
+        # List[bool] whose append/slice traffic showed up in branch-heavy
+        # profiles.
+        self._tnt_value = 0
+        self._tnt_count = 0
 
     # -- raw appends -------------------------------------------------------
 
@@ -55,16 +62,19 @@ class PTBuffer:
         self.data.extend(chunk)
 
     def flush_tnt(self) -> None:
-        while self._pending_tnt:
-            chunk, self._pending_tnt = (self._pending_tnt[:P.MAX_TNT_BITS],
-                                        self._pending_tnt[P.MAX_TNT_BITS:])
-            self._append(P.encode_tnt(chunk))
+        if self._tnt_count:
+            self._append(bytes((
+                self._tnt_value | (1 << (self._tnt_count + 1)),)))
+            self._tnt_value = 0
+            self._tnt_count = 0
 
     # -- packet-level API -----------------------------------------------------
 
     def tnt(self, taken: bool) -> None:
-        self._pending_tnt.append(taken)
-        if len(self._pending_tnt) >= P.MAX_TNT_BITS:
+        if taken:
+            self._tnt_value |= 2 << self._tnt_count
+        self._tnt_count += 1
+        if self._tnt_count >= P.MAX_TNT_BITS:
             self.flush_tnt()
 
     def tip(self, uid: int) -> None:
@@ -150,6 +160,14 @@ class PTEncoder(Tracer):
         return window is None or window[0] <= uid <= window[1]
 
     # -- Tracer callbacks -----------------------------------------------------------
+
+    @property
+    def wants_on_mem(self) -> bool:
+        # Subscription veto for the hot path's dispatch lists: without
+        # PTWRITE mode every on_mem call is a no-op, and ``config.ptwrite``
+        # is fixed for the encoder's lifetime, so it is safe to sample at
+        # run start (see :func:`repro.runtime.events.subscribes`).
+        return self.config.ptwrite
 
     def on_step(self, interp, tid: int, ins) -> None:
         if self.trace_on_start and tid not in self._enabled:

@@ -79,6 +79,10 @@ class CostModel:
         # Keyed by the opcode's value string: its hash is cached in the
         # interned str, unlike Enum.__hash__ which rehashes the name on
         # every lookup (this is the interpreter's hottest line).
+        # NOTE: the interpreter's hot path inlines this method against the
+        # pre-decoded (cost, key) pair — ``base_cost += record[1]`` plus a
+        # try/except counter bump — so any semantic change here must be
+        # mirrored in Interpreter._loop/_loop_profiled.
         self.base_cost += OPCODE_COST[opcode]
         key = opcode.value
         counts = self.counts

@@ -122,3 +122,28 @@ class Tracer:
         """Cost not expressible per-event (e.g. buffer flushes); polled at
         the end of the run."""
         return 0
+
+
+#: Callback names the interpreter builds subscriber lists for.
+_SUBSCRIBABLE = ("on_step", "on_branch", "on_flow", "on_mem", "on_sync")
+
+
+def subscribes(tracer: Tracer, name: str) -> bool:
+    """Does ``tracer`` want ``name`` (e.g. ``"on_mem"``) callbacks?
+
+    Default rule: a tracer subscribes to an event kind iff its class
+    overrides the callback — the base class no-ops carry no information, so
+    skipping them is unobservable.  A tracer whose interest cannot be read
+    off its class (e.g. it inherits an override it only sometimes needs)
+    can declare a ``wants_on_mem``-style attribute/property, which takes
+    precedence.  The answer is sampled once per run, at run start: a tracer
+    must not change its subscriptions mid-run (state that *toggles* mid-run,
+    like an initially-empty watchpoint register file, belongs behind an
+    early return inside the callback instead).
+    """
+    override = getattr(tracer, "wants_" + name, None)
+    if override is not None:
+        return bool(override)
+    if name in tracer.__dict__:  # instance-level handler assignment
+        return True
+    return getattr(type(tracer), name) is not getattr(Tracer, name)

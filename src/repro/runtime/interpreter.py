@@ -8,11 +8,30 @@ run), charges model cycles to a :class:`~repro.runtime.costmodel.CostModel`,
 and converts memory faults / failed assertions / deadlocks into
 :class:`~repro.runtime.failures.FailureReport` objects — the raw material of
 failure sketching.
+
+Two dispatch modes execute the same semantics:
+
+- The **hot path** (default) steps through pre-decoded closure streams
+  (:mod:`repro.runtime.decoded`) and consults per-event-kind *subscriber
+  lists* computed at run start, so a tracer that does not implement
+  ``on_mem`` is never consulted for memory events and no event object is
+  allocated when an event kind has no subscribers at all.
+- The **strict path** (``strict_dispatch=True``, or process-wide via the
+  ``REPRO_STRICT_DISPATCH`` environment variable) is the original
+  fetch/decode/execute interpreter with unconditional tracer fan-out, kept
+  as the executable reference that the A/B equivalence suite pins the hot
+  path against.
+
+Both modes call :meth:`Scheduler.pick` once per retired instruction — a
+load-bearing invariant: seeded schedulers consume RNG state per pick, so
+skipping picks (e.g. when only one thread is runnable) would change every
+downstream interleaving.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..lang.ir import (
@@ -28,6 +47,7 @@ from ..lang.ir import (
     StrConst,
 )
 from .costmodel import CostModel
+from .decoded import decoded_program
 from .events import (
     BranchEvent,
     FlowEvent,
@@ -35,6 +55,7 @@ from .events import (
     MemEvent,
     SyncEvent,
     Tracer,
+    subscribes,
 )
 from .failures import (
     FailureKind,
@@ -42,7 +63,7 @@ from .failures import (
     RunOutcome,
     StackFrameInfo,
 )
-from .memory import Memory, MemoryFault
+from .memory import STACK_BASE, STACK_STRIDE, Memory, MemoryFault
 from .scheduler import RoundRobinScheduler, Scheduler
 from .sync import CondTable, MutexTable
 from .threads import Frame, Thread, ThreadStatus
@@ -52,6 +73,14 @@ from .threads import Frame, Thread, ThreadStatus
 Hook = Tuple[Callable[["Interpreter", int, Instr], None], int]
 
 ArgValue = Union[int, str]
+
+#: Process-wide default dispatch mode.  ``True`` routes every run that does
+#: not pass an explicit ``strict_dispatch=`` through the reference
+#: interpreter — the lever the A/B equivalence tests and the
+#: ``REPRO_STRICT_DISPATCH=1`` environment knob use to compare whole
+#: campaigns across modes without threading a flag through every call site.
+STRICT_DISPATCH_DEFAULT = \
+    os.environ.get("REPRO_STRICT_DISPATCH", "") not in ("", "0")
 
 
 class _ProgramExit(Exception):
@@ -73,11 +102,18 @@ class Interpreter:
         args: positional arguments for the entry function.  Strings are
             mapped into read-only memory and passed as pointers.
         scheduler: thread scheduler (default: round-robin).
-        tracers: observers receiving execution events.
+        tracers: observers receiving execution events.  The set (and each
+            tracer's overridden callbacks) must be fixed before
+            :meth:`run`; subscriber lists are computed at run start.
         hooks: per-pc instrumentation, ``{uid: [(callable, cost), ...]}``.
         max_steps: global retired-instruction budget; exceeding it reports a
             HANG failure (the paper treats hangs as failures Gist
             understands, §3.3).
+        strict_dispatch: force the reference (pre-decode-free, unconditional
+            fan-out) execution path; ``None`` defers to
+            :data:`STRICT_DISPATCH_DEFAULT`.
+        profile: collect a per-phase wall-clock breakdown of the hot loop
+            (schedule/fetch/trace/dispatch) into :attr:`profile_data`.
     """
 
     def __init__(
@@ -89,6 +125,8 @@ class Interpreter:
         tracers: Sequence[Tracer] = (),
         hooks: Optional[Dict[int, List[Hook]]] = None,
         max_steps: int = 500_000,
+        strict_dispatch: Optional[bool] = None,
+        profile: bool = False,
     ) -> None:
         if not module.finalized:
             raise ValueError("module must be finalized")
@@ -100,6 +138,12 @@ class Interpreter:
         self.tracers: List[Tracer] = list(tracers)
         self.hooks: Dict[int, List[Hook]] = hooks or {}
         self.max_steps = max_steps
+        self.strict_dispatch = (STRICT_DISPATCH_DEFAULT
+                                if strict_dispatch is None
+                                else bool(strict_dispatch))
+        self.profile = profile
+        #: Filled by a profiled run: {"steps", "wall_s", "phases": {...}}.
+        self.profile_data: Optional[Dict[str, object]] = None
 
         self.memory = Memory()
         self.mutexes = MutexTable()
@@ -118,6 +162,13 @@ class Interpreter:
         # retired instruction dominated profiles otherwise.
         self._sched_dirty = True
         self._runnable_cache: List[int] = []
+        # Per-event-kind subscriber lists: None (nobody pays, nobody
+        # listens) or (total static cost, [bound handlers]).  Computed
+        # here and again at run start (events fired before run() — e.g.
+        # from tests poking _do_builtin directly — still dispatch).
+        self._decoded = None if self.strict_dispatch \
+            else decoded_program(module)
+        self._compute_dispatch()
 
         self._map_globals()
         self._map_strings()
@@ -149,31 +200,95 @@ class Interpreter:
         self.threads[0] = thread
 
     def _stack_top(self, tid: int) -> int:
-        from .memory import STACK_BASE, STACK_STRIDE
-
         return self.memory._stack_tops.get(
             tid, STACK_BASE + tid * STACK_STRIDE)
 
     # ------------------------------------------------------------------ events
 
-    def _emit_branch(self, event: BranchEvent) -> None:
-        for tracer in self.tracers:
-            self.extra_cost += tracer.cost_per_branch
-            tracer.on_branch(self, event)
+    def _compute_dispatch(self) -> None:
+        """Build the per-event-kind subscriber lists.
 
-    def _emit_flow(self, event: FlowEvent) -> None:
-        for tracer in self.tracers:
-            self.extra_cost += tracer.cost_per_flow
-            tracer.on_flow(self, event)
+        A tracer is a subscriber of an event kind when it overrides the
+        kind's callback (or declares a ``wants_on_*`` veto — see
+        :func:`repro.runtime.events.subscribes`).  Its *static cost*
+        contribution is owed regardless: attaching a tracer with
+        ``cost_per_branch = 5`` models deployed instrumentation whose
+        price does not depend on whether our simulation inspects the
+        event.  Strict mode subscribes every tracer to everything,
+        reproducing the reference fan-out bit for bit.
+        """
+        tracers = self.tracers
+        strict = self.strict_dispatch
 
-    def _emit_mem(self, event: MemEvent) -> None:
-        for tracer in self.tracers:
-            self.extra_cost += tracer.cost_per_mem
-            tracer.on_mem(self, event)
+        def build(cost_attr, name):
+            total = 0
+            handlers = []
+            for tracer in tracers:
+                if cost_attr is not None:
+                    total += getattr(tracer, cost_attr)
+                if strict or subscribes(tracer, name):
+                    handlers.append(getattr(tracer, name))
+            if total == 0 and not handlers:
+                return None
+            return (total, handlers)
 
-    def _emit_sync(self, event: SyncEvent) -> None:
-        for tracer in self.tracers:
-            tracer.on_sync(self, event)
+        self._branch_subs = build("cost_per_branch", "on_branch")
+        self._flow_subs = build("cost_per_flow", "on_flow")
+        self._mem_subs = build("cost_per_mem", "on_mem")
+        self._sync_subs = build(None, "on_sync")
+        self._step_subs = build("cost_per_step", "on_step")
+
+    def _fire_branch(self, tid: int, pc: int, taken: bool,
+                     target_label: str) -> None:
+        subs = self._branch_subs
+        if subs is None:
+            return
+        self.extra_cost += subs[0]
+        handlers = subs[1]
+        if handlers:
+            event = BranchEvent(self.global_step, tid, pc, taken,
+                                target_label)
+            for fn in handlers:
+                fn(self, event)
+
+    def _fire_flow(self, tid: int, pc: int, kind: FlowKind,
+                   target: str = "", target_pc: int = -1) -> None:
+        subs = self._flow_subs
+        if subs is None:
+            return
+        self.extra_cost += subs[0]
+        handlers = subs[1]
+        if handlers:
+            event = FlowEvent(self.global_step, tid, pc, kind,
+                              target=target, target_pc=target_pc)
+            for fn in handlers:
+                fn(self, event)
+
+    def _fire_mem(self, tid: int, pc: int, address: int, is_write: bool,
+                  value: int) -> None:
+        subs = self._mem_subs
+        if subs is None:
+            return
+        self.extra_cost += subs[0]
+        handlers = subs[1]
+        if handlers:
+            event = MemEvent(self.global_step, tid, pc, address,
+                             is_write=is_write, value=value)
+            for fn in handlers:
+                fn(self, event)
+
+    def _fire_sync(self, tid: int, pc: int, op: str,
+                   object_address: int = 0, other_tid: int = -1) -> None:
+        subs = self._sync_subs
+        if subs is None:
+            return
+        handlers = subs[1]
+        if handlers:
+            event = SyncEvent(self.global_step, tid, pc, op,
+                              object_address=object_address,
+                              other_tid=other_tid)
+            for fn in handlers:
+                fn(self, event)
 
     # ------------------------------------------------------------------ values
 
@@ -223,10 +338,16 @@ class Interpreter:
 
     def run(self) -> RunOutcome:
         failure: Optional[FailureReport] = None
+        self._compute_dispatch()
         for tracer in self.tracers:
             tracer.on_start(self)
         try:
-            self._loop()
+            if self.strict_dispatch:
+                self._loop_strict()
+            elif self.profile:
+                self._loop_profiled()
+            else:
+                self._loop()
         except _ProgramExit as exit_:
             self._exit_code = exit_.code
         except _ProgramFailure as failed:
@@ -266,6 +387,163 @@ class Interpreter:
         return runnable
 
     def _loop(self) -> None:
+        """The hot path: one closure call per retired instruction.
+
+        Everything loop-invariant is bound to locals; per-step work is
+        scheduler pick → list index → inline cost/count update →
+        (subscriber-gated) step fan-out → hook probe → closure dispatch.
+        Observable behaviour is pinned to :meth:`_loop_strict` by the A/B
+        equivalence suite.
+        """
+        threads = self.threads
+        pick = self.scheduler.pick
+        hooks = self.hooks
+        has_hooks = bool(hooks)
+        max_steps = self.max_steps
+        cost = self.cost
+        counts = cost.counts
+        blocks = self._decoded.blocks
+        step_subs = self._step_subs
+        while True:
+            runnable = self._runnable_tids()
+            if not runnable:
+                statuses = {t.status for t in threads.values()}
+                if statuses <= {ThreadStatus.FINISHED}:
+                    return  # clean exit: all threads done
+                if ThreadStatus.SLEEPING in statuses:
+                    self._advance_past_sleep()
+                    continue
+                self._report_deadlock()
+            tid = pick(runnable, self._current_tid, self.global_step)
+            if tid not in runnable:  # defensive: scheduler bug
+                tid = runnable[0]
+            self._current_tid = tid
+            thread = threads[tid]
+            frame = thread.frames[-1]
+            dcode = frame.dcode
+            if dcode is None:
+                frame.dcode = dcode = blocks[(frame.function, frame.block)]
+            record = dcode[frame.index]
+            self.global_step = step = self.global_step + 1
+            cost.base_cost += record[1]
+            opkey = record[2]
+            try:
+                counts[opkey] += 1
+            except KeyError:
+                counts[opkey] = 1
+            if step_subs is not None:
+                self.extra_cost += step_subs[0]
+                handlers = step_subs[1]
+                if handlers:
+                    ins = record[3]
+                    for fn in handlers:
+                        fn(self, tid, ins)
+            if has_hooks:
+                hook_list = hooks.get(record[3].uid)
+                if hook_list:
+                    ins = record[3]
+                    for hook, hook_cost in hook_list:
+                        self.extra_cost += hook_cost
+                        hook(self, tid, ins)
+            try:
+                record[0](self, tid, thread, frame)
+            except MemoryFault as fault:
+                self._fail(fault.kind, tid, record[3].uid, fault.detail,
+                           fault.address)
+            if step > max_steps:
+                thread = threads[tid]
+                pc = self._current_pc(thread)
+                self._fail(FailureKind.HANG, tid, pc,
+                           f"exceeded {max_steps} steps")
+
+    def _loop_profiled(self) -> None:
+        """The hot path with per-phase wall-clock accounting (opt-in via
+        ``--profile-run``; the timers roughly double per-step overhead, so
+        this is never the default)."""
+        threads = self.threads
+        pick = self.scheduler.pick
+        hooks = self.hooks
+        has_hooks = bool(hooks)
+        max_steps = self.max_steps
+        cost = self.cost
+        counts = cost.counts
+        blocks = self._decoded.blocks
+        step_subs = self._step_subs
+        phases = {"schedule": 0.0, "fetch": 0.0, "trace": 0.0,
+                  "dispatch": 0.0}
+        started = perf_counter()
+        try:
+            while True:
+                t0 = perf_counter()
+                runnable = self._runnable_tids()
+                if not runnable:
+                    statuses = {t.status for t in threads.values()}
+                    if statuses <= {ThreadStatus.FINISHED}:
+                        return
+                    if ThreadStatus.SLEEPING in statuses:
+                        self._advance_past_sleep()
+                        continue
+                    self._report_deadlock()
+                tid = pick(runnable, self._current_tid, self.global_step)
+                if tid not in runnable:
+                    tid = runnable[0]
+                self._current_tid = tid
+                t1 = perf_counter()
+                phases["schedule"] += t1 - t0
+                thread = threads[tid]
+                frame = thread.frames[-1]
+                dcode = frame.dcode
+                if dcode is None:
+                    frame.dcode = dcode = \
+                        blocks[(frame.function, frame.block)]
+                record = dcode[frame.index]
+                self.global_step = step = self.global_step + 1
+                cost.base_cost += record[1]
+                opkey = record[2]
+                try:
+                    counts[opkey] += 1
+                except KeyError:
+                    counts[opkey] = 1
+                t2 = perf_counter()
+                phases["fetch"] += t2 - t1
+                if step_subs is not None:
+                    self.extra_cost += step_subs[0]
+                    handlers = step_subs[1]
+                    if handlers:
+                        ins = record[3]
+                        for fn in handlers:
+                            fn(self, tid, ins)
+                if has_hooks:
+                    hook_list = hooks.get(record[3].uid)
+                    if hook_list:
+                        ins = record[3]
+                        for hook, hook_cost in hook_list:
+                            self.extra_cost += hook_cost
+                            hook(self, tid, ins)
+                t3 = perf_counter()
+                phases["trace"] += t3 - t2
+                try:
+                    record[0](self, tid, thread, frame)
+                except MemoryFault as fault:
+                    self._fail(fault.kind, tid, record[3].uid,
+                               fault.detail, fault.address)
+                finally:
+                    phases["dispatch"] += perf_counter() - t3
+                if step > max_steps:
+                    thread = threads[tid]
+                    pc = self._current_pc(thread)
+                    self._fail(FailureKind.HANG, tid, pc,
+                               f"exceeded {max_steps} steps")
+        finally:
+            self.profile_data = {
+                "steps": self.global_step,
+                "wall_s": perf_counter() - started,
+                "phases": phases,
+            }
+
+    def _loop_strict(self) -> None:
+        """The reference loop: per-step fetch/decode through the module's
+        IR objects (the pre-overhaul interpreter, preserved verbatim)."""
         while True:
             runnable = self._runnable_tids()
             if not runnable:
@@ -363,14 +641,12 @@ class Interpreter:
             addr = self.eval_operand(tid, ins.operands[0])
             value = self.memory.read(addr)
             self._set(tid, ins.dst, value)
-            self._emit_mem(MemEvent(self.global_step, tid, ins.uid, addr,
-                                    is_write=False, value=value))
+            self._fire_mem(tid, ins.uid, addr, is_write=False, value=value)
         elif op == Opcode.STORE:
             addr = self.eval_operand(tid, ins.operands[0])
             value = self.eval_operand(tid, ins.operands[1])
             self.memory.write(addr, value)
-            self._emit_mem(MemEvent(self.global_step, tid, ins.uid, addr,
-                                    is_write=True, value=value))
+            self._fire_mem(tid, ins.uid, addr, is_write=True, value=value)
         elif op == Opcode.ALLOCA:
             self._set(tid, ins.dst, self.memory.stack_alloc(tid, ins.size))
         elif op == Opcode.GEP:
@@ -383,8 +659,8 @@ class Interpreter:
                 self._fail(FailureKind.ASSERTION, tid, ins.uid,
                            ins.text or "assertion failed")
         elif op == Opcode.JMP:
-            self._emit_flow(FlowEvent(self.global_step, tid, ins.uid,
-                                      FlowKind.JUMP, target=ins.labels[0]))
+            self._fire_flow(tid, ins.uid, FlowKind.JUMP,
+                            target=ins.labels[0])
             frame.block = ins.labels[0]
             frame.index = 0
             frame.code = None
@@ -393,8 +669,7 @@ class Interpreter:
             cond = self.eval_operand(tid, ins.operands[0])
             taken = cond != 0
             target = ins.labels[0] if taken else ins.labels[1]
-            self._emit_branch(BranchEvent(self.global_step, tid, ins.uid,
-                                          taken, target))
+            self._fire_branch(tid, ins.uid, taken, target)
             frame.block = target
             frame.index = 0
             frame.code = None
@@ -475,18 +750,16 @@ class Interpreter:
         if not thread.frames:
             # Thread exit: an Intel-PT-style tracer sees a return with no
             # resolvable target (target_pc = -1).
-            self._emit_flow(FlowEvent(self.global_step, tid, ins.uid,
-                                      FlowKind.RET, target=frame.function,
-                                      target_pc=-1))
+            self._fire_flow(tid, ins.uid, FlowKind.RET,
+                            target=frame.function, target_pc=-1)
             self._finish_thread(thread, value)
             return
         caller = thread.top
         if frame.return_dst is not None:
             caller.set(frame.return_dst.name, value)
         caller.index += 1
-        self._emit_flow(FlowEvent(self.global_step, tid, ins.uid,
-                                  FlowKind.RET, target=frame.function,
-                                  target_pc=self._current_pc(thread)))
+        self._fire_flow(tid, ins.uid, FlowKind.RET, target=frame.function,
+                        target_pc=self._current_pc(thread))
 
     def _finish_thread(self, thread: Thread, value: int) -> None:
         self._sched_dirty = True
@@ -508,8 +781,7 @@ class Interpreter:
             func = self.module.functions[callee]
             args = [self.eval_operand(tid, a) for a in ins.operands]
             regs = dict(zip(func.params, args))
-            self._emit_flow(FlowEvent(self.global_step, tid, ins.uid,
-                                      FlowKind.CALL, target=callee))
+            self._fire_flow(tid, ins.uid, FlowKind.CALL, target=callee)
             thread.frames.append(Frame(
                 function=callee, block=func.entry, index=0, regs=regs,
                 return_dst=ins.dst, stack_base=self._stack_top(tid),
@@ -605,8 +877,7 @@ class Interpreter:
             addr = arg(0)
             self.memory.read(addr)  # faults on NULL / UAF
             cond = self.conds.get(addr)
-            self._emit_sync(SyncEvent(self.global_step, tid, ins.uid,
-                                      name, addr))
+            self._fire_sync(tid, ins.uid, name, addr)
             wake_all = name == "cond_broadcast"
             while cond.waiters:
                 waiter = cond.waiters.pop(0)
@@ -639,8 +910,7 @@ class Interpreter:
         if not mutex.locked:
             mutex.owner_tid = tid
             mutex.lock_count += 1
-            self._emit_sync(SyncEvent(self.global_step, tid, ins.uid,
-                                      "mutex_lock", addr))
+            self._fire_sync(tid, ins.uid, "mutex_lock", addr)
             thread.top.index += 1
             return True
         # Contended (including self-deadlock): block; the call re-executes
@@ -656,8 +926,7 @@ class Interpreter:
         addr = self.eval_operand(tid, ins.operands[0])
         self.memory.read(addr)  # the Pbzip2 bug: unlock through NULL/freed
         mutex = self.mutexes.get(addr)
-        self._emit_sync(SyncEvent(self.global_step, tid, ins.uid,
-                                  "mutex_unlock", addr))
+        self._fire_sync(tid, ins.uid, "mutex_unlock", addr)
         if mutex.owner_tid != tid:
             # Unlocking a mutex you don't hold is UB in pthreads; we make it
             # a no-op so corpus bugs fail from their memory effects instead.
@@ -692,8 +961,7 @@ class Interpreter:
                 mutex.owner_tid = tid
                 mutex.lock_count += 1
                 thread.cond_state = ""
-                self._emit_sync(SyncEvent(self.global_step, tid, ins.uid,
-                                          "cond_wait", cond_addr))
+                self._fire_sync(tid, ins.uid, "cond_wait", cond_addr)
                 thread.top.index += 1
                 return True
             if tid not in mutex.waiters:
@@ -738,17 +1006,15 @@ class Interpreter:
         self.threads[new_tid] = child
         self._sched_dirty = True
         self._set(tid, ins.dst, new_tid)
-        self._emit_sync(SyncEvent(self.global_step, tid, ins.uid,
-                                  "thread_create", other_tid=new_tid))
-        self._emit_flow(FlowEvent(self.global_step, new_tid, ins.uid,
-                                  FlowKind.THREAD_START, target=routine.name))
+        self._fire_sync(tid, ins.uid, "thread_create", other_tid=new_tid)
+        self._fire_flow(new_tid, ins.uid, FlowKind.THREAD_START,
+                        target=routine.name)
 
     def _do_thread_join(self, tid: int, thread: Thread, ins: Instr) -> bool:
         target = self.eval_operand(tid, ins.operands[0])
         other = self.threads.get(target)
         if other is None or other.status is ThreadStatus.FINISHED:
-            self._emit_sync(SyncEvent(self.global_step, tid, ins.uid,
-                                      "thread_join", other_tid=target))
+            self._fire_sync(tid, ins.uid, "thread_join", other_tid=target)
             thread.top.index += 1
             return True
         self._sched_dirty = True
@@ -765,8 +1031,10 @@ def run_program(
     hooks: Optional[Dict[int, List[Hook]]] = None,
     entry: str = "main",
     max_steps: int = 500_000,
+    strict_dispatch: Optional[bool] = None,
 ) -> RunOutcome:
     """One-shot convenience wrapper: build an interpreter and run it."""
     interp = Interpreter(module, entry=entry, args=args, scheduler=scheduler,
-                         tracers=tracers, hooks=hooks, max_steps=max_steps)
+                         tracers=tracers, hooks=hooks, max_steps=max_steps,
+                         strict_dispatch=strict_dispatch)
     return interp.run()

@@ -201,10 +201,24 @@ class Memory:
                               f"unmapped {region} access")
 
     def read(self, address: int) -> int:
+        # Fast path: a mapped global/string/stack slot cannot fault, so the
+        # region checks collapse to one dict probe.  The heap is excluded —
+        # a freed block's slots stay mapped precisely so use-after-free is
+        # detectable, so heap hits must always run _check.
+        if GLOBAL_BASE <= address < HEAP_BASE or address >= STACK_BASE:
+            value = self._slots.get(address)
+            if value is not None:
+                return value
         self._check(address, is_write=False)
         return self._slots.get(address, 0)
 
     def write(self, address: int, value: int) -> None:
+        # Fast path mirrors read() but additionally excludes the read-only
+        # string region (writes there must SEGFAULT via _check).
+        if (GLOBAL_BASE <= address < STRING_BASE or address >= STACK_BASE) \
+                and address in self._slots:
+            self._slots[address] = value
+            return
         self._check(address, is_write=True)
         self._slots[address] = value
 

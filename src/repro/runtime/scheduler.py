@@ -22,7 +22,16 @@ from typing import List, Optional, Sequence, Tuple
 
 
 class Scheduler:
-    """Picks which runnable thread executes the next instruction."""
+    """Picks which runnable thread executes the next instruction.
+
+    Contract: the interpreter calls :meth:`pick` exactly once per retired
+    instruction, *including* when only one thread is runnable.  Stateful
+    schedulers (seeded RNGs, quantum counters) advance their state per
+    pick, so an "optimized" loop that skipped single-thread picks would
+    desync every interleaving downstream of the first spawn.  Both
+    interpreter dispatch modes preserve this, and the hot-path A/B
+    equivalence tests depend on it.
+    """
 
     def pick(self, runnable: Sequence[int], current: Optional[int],
              step: int) -> int:

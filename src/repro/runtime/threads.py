@@ -34,6 +34,10 @@ class Frame:
     #: Cached instruction list of the current block (perf: avoids two dict
     #: lookups per step).  Invalidated (set to None) on every jump.
     code: Optional[list] = None
+    #: Cached pre-decoded step records of the current block (hot-path
+    #: dispatch; see :mod:`repro.runtime.decoded`).  Jump/branch closures
+    #: swap it directly to the pre-linked target block's records.
+    dcode: Optional[list] = None
 
     def get(self, name: str) -> int:
         try:

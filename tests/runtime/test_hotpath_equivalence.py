@@ -1,0 +1,174 @@
+"""A/B equivalence: the pre-decoded hot path vs the strict reference path.
+
+The interpreter overhaul is a pure speed change; these tests pin the hot
+path (pre-decoded closure streams + subscriber-list dispatch + memory fast
+paths) to the preserved reference interpreter (``strict_dispatch=True``)
+across the whole corpus: identical event sequences, byte-identical PT
+buffers, identical watchpoint trap logs, identical outcomes and cost
+accounting, and identical end-to-end diagnosis sketches.
+"""
+
+import pytest
+
+from repro.analysis.context import AnalysisContext
+from repro.core.render import render_sketch
+from repro.corpus import all_bug_ids, get_bug
+from repro.corpus.evaluation import evaluate_bug
+from repro.hw.watchpoints import WatchpointUnit
+from repro.pt.encoder import PTConfig, PTEncoder
+from repro.runtime import decoded as decoded_mod
+from repro.runtime import interpreter as interp_mod
+from repro.runtime.decoded import decoded_program
+from repro.runtime.events import Tracer, subscribes
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.memory import GLOBAL_BASE
+
+
+class EventLog(Tracer):
+    """Records every event verbatim (events are frozen dataclasses, so
+    list equality is full structural equality)."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_branch(self, interp, event):
+        self.events.append(event)
+
+    def on_flow(self, interp, event):
+        self.events.append(event)
+
+    def on_mem(self, interp, event):
+        self.events.append(event)
+
+    def on_sync(self, interp, event):
+        self.events.append(event)
+
+
+class CostOnly(Tracer):
+    """Pays per-event costs but observes nothing (no overrides)."""
+
+    cost_per_step = 1
+    cost_per_branch = 2
+    cost_per_mem = 3
+    cost_per_flow = 1
+
+
+def _workloads(spec):
+    out = [("seed0", spec.workload_factory(0)),
+           ("seed1", spec.workload_factory(1))]
+    if spec.failing_probe is not None:
+        out.append(("probe", spec.failing_probe))
+    return out
+
+
+def _outcome_key(outcome):
+    f = outcome.failure
+    return (outcome.failed, outcome.exit_value, outcome.steps,
+            outcome.base_cost, outcome.extra_cost, tuple(outcome.stdout),
+            None if f is None else (f.kind, f.pc, f.tid, f.message,
+                                    f.stack, f.address))
+
+
+def _run(spec, workload, strict):
+    module = spec.module()
+    log = EventLog()
+    pt = PTEncoder(trace_on_start=True)
+    wpu = WatchpointUnit()
+    if module.globals:
+        wpu.set_watchpoint(GLOBAL_BASE, length=4, condition="rw")
+    interp = Interpreter(module, args=list(workload.args),
+                         scheduler=workload.make_scheduler(),
+                         tracers=[log, pt, wpu],
+                         max_steps=workload.max_steps,
+                         strict_dispatch=strict)
+    outcome = interp.run()
+    pt_bytes = {tid: pt.raw_trace(tid) for tid in sorted(pt.buffers)}
+    return (_outcome_key(outcome), dict(interp.cost.counts), log.events,
+            pt_bytes, list(wpu.trap_log), wpu.traps_taken)
+
+
+@pytest.mark.parametrize("bug_id", all_bug_ids())
+def test_bug_runs_identical_across_dispatch_modes(bug_id):
+    spec = get_bug(bug_id)
+    for label, workload in _workloads(spec):
+        fast = _run(spec, workload, strict=False)
+        strict = _run(spec, workload, strict=True)
+        for part, got, want in zip(
+                ("outcome", "op counts", "event log", "pt buffers",
+                 "trap log", "traps taken"), fast, strict):
+            assert got == want, f"{bug_id}/{label}: {part} diverged"
+
+
+@pytest.mark.parametrize("bug_id", ["pbzip2-1", "curl-965"])
+def test_campaign_sketches_identical_across_dispatch_modes(
+        bug_id, monkeypatch):
+    """Whole diagnosis campaigns (clients construct their own interpreters)
+    produce the same sketch under either dispatch mode, toggled the way
+    operators would: via the process-wide default."""
+    spec = get_bug(bug_id)
+    results = {}
+    for strict in (False, True):
+        monkeypatch.setattr(interp_mod, "STRICT_DISPATCH_DEFAULT", strict)
+        ev = evaluate_bug(spec, mode="full", endpoints=2, max_iterations=4,
+                          max_runs_per_iteration=60,
+                          context=AnalysisContext(spec.module()))
+        assert ev.best is not None and ev.best.sketch is not None
+        results[strict] = (render_sketch(ev.best.sketch), ev.found,
+                           ev.recurrences, ev.total_runs,
+                           ev.iterations_used)
+    assert results[False] == results[True]
+
+
+def test_decoded_stream_cached_per_module_and_epoch():
+    module = get_bug("pbzip2-1").module()
+    first = decoded_program(module)
+    assert decoded_program(module) is first  # same epoch: shared decode
+    module.finalize()                        # bumps analysis_epoch
+    rebuilt = decoded_program(module)
+    assert rebuilt is not first
+    assert rebuilt.epoch == module.analysis_epoch
+    ctx = AnalysisContext(module)
+    assert ctx.decoded_program() is decoded_program(module)
+    assert ctx.stats.by_kind["decoded"]["hits"] == 0
+    ctx.decoded_program()
+    assert ctx.stats.by_kind["decoded"]["hits"] == 1
+
+
+def test_unobserved_events_allocate_nothing(monkeypatch):
+    """With only cost-declaring (non-observing) tracers attached, the hot
+    path must not construct a single event object — the zero-cost dispatch
+    invariant.  Event constructors are replaced with mines; the run only
+    completes if nothing steps on one."""
+
+    def mine(*args, **kwargs):
+        raise AssertionError("event allocated with no subscribers")
+
+    for name in ("BranchEvent", "FlowEvent", "MemEvent"):
+        monkeypatch.setattr(decoded_mod, name, mine)
+        monkeypatch.setattr(interp_mod, name, mine)
+    monkeypatch.setattr(interp_mod, "SyncEvent", mine)
+
+    spec = get_bug("pbzip2-1")
+    workload = spec.workload_factory(0)
+    tracer = CostOnly()
+    interp = Interpreter(spec.module(), args=list(workload.args),
+                         scheduler=workload.make_scheduler(),
+                         tracers=[tracer], max_steps=workload.max_steps,
+                         strict_dispatch=False)
+    outcome = interp.run()
+    assert outcome.steps > 0
+    assert outcome.extra_cost > 0  # the costs were still charged
+
+
+def test_subscription_detection():
+    assert not subscribes(CostOnly(), "on_mem")
+    assert subscribes(EventLog(), "on_mem")
+    assert subscribes(WatchpointUnit(), "on_mem")  # armed mid-run: stays on
+    assert not subscribes(PTEncoder(), "on_mem")   # vetoed without PTWRITE
+    assert subscribes(PTEncoder(PTConfig(ptwrite=True)), "on_mem")
+    assert subscribes(PTEncoder(), "on_branch")
+
+    plain = Tracer()
+    assert not subscribes(plain, "on_branch")
+    plain.on_branch = lambda interp, event: None  # instance-level handler
+    assert subscribes(plain, "on_branch")
