@@ -176,7 +176,9 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     gist = Gist(module, bug=args.bug or args.program,
                 endpoints=args.endpoints, ptwrite=args.ptwrite,
                 fleet_workers=args.fleet_workers,
-                analysis_cache_dir=args.cache_dir)
+                analysis_cache_dir=args.cache_dir,
+                transport=args.fleet_transport,
+                fault_plan=args.fault_plan)
     workload = Workload(args=tuple(_parse_args_values(args.args)),
                         switch_prob=args.switch_prob,
                         max_steps=args.max_steps)
@@ -220,7 +222,9 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         deployment = CooperativeDeployment(
             module, spec.workload_factory,
             endpoints=args.endpoints, bug=spec.bug_id,
-            context=context, fleet_workers=args.fleet_workers)
+            context=context, fleet_workers=args.fleet_workers,
+            transport=args.fleet_transport,
+            fault_plan=args.fault_plan)
         stats = deployment.run_campaign(
             stop_when=spec.sketch_has_root,
             max_iterations=args.max_iterations)
@@ -257,9 +261,13 @@ def _export(sketch, args: argparse.Namespace) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Failure sketching (Gist, SOSP 2015) — reproduction")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common_run_flags(p):
@@ -310,6 +318,14 @@ def build_parser() -> argparse.ArgumentParser:
             raise argparse.ArgumentTypeError("must be a positive integer")
         return n
 
+    def fault_plan(value: str):
+        from .fleet import parse_fault_plan
+
+        try:
+            return parse_fault_plan(value)
+        except ValueError as err:
+            raise argparse.ArgumentTypeError(str(err))
+
     def fleet_flags(p):
         p.add_argument("--fleet-workers", type=positive_int, default=1,
                        help="concurrent client runs per fleet batch "
@@ -317,6 +333,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None,
                        help="directory for the on-disk analysis-artifact "
                             "cache (repeat invocations skip cold analysis)")
+        p.add_argument("--fleet-transport", choices=("wire", "direct"),
+                       default="wire",
+                       help="'wire' (encoded-bytes fleet transport, "
+                            "default) or 'direct' (in-process hand-off)")
+        p.add_argument("--fault-plan", type=fault_plan, default=None,
+                       metavar="SPEC",
+                       help="inject transport/client faults: 'lossy', "
+                            "'lossy:SEED', or 'drop=0.05,corrupt=0.02,"
+                            "crashes=1,seed=7' (wire transport only)")
 
     p = sub.add_parser("diagnose",
                        help="run a full Gist campaign on a program")

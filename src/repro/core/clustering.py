@@ -35,6 +35,9 @@ class FailureBucket:
     kind: str
     pc: int
     representative: FailureReport
+    #: Arrival ordinal of the bucket's first report (0-based).  Triage
+    #: order tie-breaks on it so "which bucket next" is a total order.
+    first_seen: int = 0
     count: int = 0
     exact_identities: Dict[str, int] = field(default_factory=dict)
 
@@ -67,15 +70,21 @@ class FailureClusterer:
         bucket = self._buckets.get(key)
         if bucket is None:
             bucket = FailureBucket(key=key, kind=report.kind.value,
-                                   pc=report.pc, representative=report)
+                                   pc=report.pc, representative=report,
+                                   first_seen=self.total_reports - 1)
             self._buckets[key] = bucket
         bucket.add(report)
         return bucket
 
     def buckets(self) -> List[FailureBucket]:
-        """All buckets, most-hit first (WER-style triage order)."""
+        """All buckets, most-hit first (WER-style triage order).
+
+        The order is total — count, then arrival order of the bucket's
+        first report, then key — so two equally-hot buckets always triage
+        the same way regardless of dict iteration or report interleaving.
+        """
         return sorted(self._buckets.values(),
-                      key=lambda b: (-b.count, b.key))
+                      key=lambda b: (-b.count, b.first_seen, b.key))
 
     def bucket_for(self, report: FailureReport) -> Optional[FailureBucket]:
         return self._buckets.get(self.site_key(report))

@@ -25,16 +25,28 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, \
+    TYPE_CHECKING
 
 from ..analysis.context import AnalysisContext
 from ..lang.ir import Module
 from ..runtime.failures import FailureReport
 from .adaptive import DEFAULT_SIGMA
 from .client import GistClient
-from .server import GistServer, IterationResult
+from .server import DiagnosisCampaign, GistServer, IterationResult
 from .sketch import FailureSketch
 from .workload import Workload, WorkloadFactory
+
+if TYPE_CHECKING:
+    from ..fleet.endpoint import FleetEndpoint
+    from ..fleet.faults import FaultPlan
+    from ..fleet.transport import FleetTransport
+
+#: The two ways client↔server traffic can move.  ``"wire"`` (the default)
+#: routes everything — failure reports, patches, monitored runs, acks —
+#: through :mod:`repro.fleet` as encoded bytes; ``"direct"`` is the
+#: original in-process object hand-off, kept as the A/B reference.
+TRANSPORTS = ("wire", "direct")
 
 #: Decide whether a sketch is good enough to stop AsT.  The evaluation
 #: passes the ideal-sketch oracle; interactive use passes a developer
@@ -59,6 +71,9 @@ class CampaignStats:
     offline_seconds: float = 0.0
     sketch: Optional[FailureSketch] = None
     iteration_results: List[IterationResult] = field(default_factory=list)
+    #: Fleet/transport accounting (wire transport only): message counts,
+    #: drops, quarantines, stale discards, crash/churn losses.
+    fleet: Optional[Dict] = None
 
 
 class CooperativeDeployment:
@@ -69,11 +84,17 @@ class CooperativeDeployment:
                  ptwrite: bool = False,
                  extended_predicates: bool = False,
                  context: Optional[AnalysisContext] = None,
-                 fleet_workers: int = 1) -> None:
+                 fleet_workers: int = 1,
+                 transport: str = "wire",
+                 fault_plan: Optional["FaultPlan"] = None) -> None:
         if endpoints < 1:
             raise ValueError("need at least one endpoint")
         if fleet_workers < 1:
             raise ValueError("need at least one fleet worker")
+        if transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}")
+        if fault_plan is not None and transport != "wire":
+            raise ValueError("fault injection requires the wire transport")
         self.module = module
         self.workload_factory = workload_factory
         self.bug = bug
@@ -84,6 +105,17 @@ class CooperativeDeployment:
                         for i in range(endpoints)]
         #: Client runs executed concurrently per batch (1 = sequential).
         self.fleet_workers = fleet_workers
+        self.transport_mode = transport
+        self.fault_plan = fault_plan
+        self.fleet_transport: Optional["FleetTransport"] = None
+        if transport == "wire":
+            from ..fleet.transport import FleetTransport
+
+            self.fleet_transport = FleetTransport(endpoints, fault_plan)
+        self._endpoints: Optional[List["FleetEndpoint"]] = None
+        self._runs_lost_to_crash = 0
+        self._runs_lost_to_churn = 0
+        self._patch_resends = 0
         self._next_run = 0
         self._pool: Optional[ThreadPoolExecutor] = None
 
@@ -145,6 +177,140 @@ class CooperativeDeployment:
             results = list(self._ensure_pool().map(one, drawn))
         return list(zip(drawn, results))
 
+    # -- wire transport plumbing ----------------------------------------------
+
+    def _fleet(self) -> List["FleetEndpoint"]:
+        """The wire-speaking endpoint wrappers (built lazily so callers may
+        swap ``self.clients`` for instrumented variants first)."""
+        from ..fleet.endpoint import FleetEndpoint
+
+        if self._endpoints is None or \
+                len(self._endpoints) != len(self.clients) or \
+                any(e.client is not c
+                    for e, c in zip(self._endpoints, self.clients)):
+            self._endpoints = [
+                FleetEndpoint(client, self.fleet_transport, self.fault_plan,
+                              len(self.clients))
+                for client in self.clients]
+        return self._endpoints
+
+    def _execute_batch_wire(self, size: int):
+        """Wire-mode batch: endpoints execute and *encode*; nothing touches
+        the transport here — the aggregation thread transmits in run-id
+        order, which keeps seeded fault schedules deterministic for any
+        ``fleet_workers`` value."""
+        fleet = self._fleet()
+        drawn = [self._draw() for _ in range(size)]
+
+        def one(item: Tuple[GistClient, Workload, int]):
+            _client, workload, run_id = item
+            return fleet[run_id % len(fleet)].execute(workload, run_id)
+
+        if self.fleet_workers <= 1 or len(drawn) <= 1:
+            results = [one(item) for item in drawn]
+        else:
+            results = list(self._ensure_pool().map(one, drawn))
+        return list(zip(drawn, results))
+
+    def _transmit(self, epoch: int, run_id: int, messages) -> None:
+        """Push one run's encoded messages through the fault layer."""
+        for msg_type, payload, straggles in messages:
+            self.fleet_transport.send_to_server(
+                payload, msg_type=msg_type, key=(epoch, run_id, msg_type),
+                straggle=straggles)
+
+    def _pump_uplink(self, campaign: Optional[DiagnosisCampaign],
+                     epoch: Optional[int]):
+        """Drain the server's inbox, routing each decodable message.
+
+        Returns ``(failing_delta, successful_delta, overheads,
+        first_failure_report)``; quarantining, duplicate suppression, and
+        stale-epoch discards all happen on the way through.
+        """
+        from ..fleet import wire
+
+        failing = 0
+        successful = 0
+        overheads: List[float] = []
+        first_report: Optional[FailureReport] = None
+        for blob in self.fleet_transport.uplink.drain():
+            message = self.server.receive(blob)
+            if message is None:
+                continue  # quarantined
+            if message.type == wire.MSG_PATCH_ACK:
+                if campaign is not None:
+                    campaign.note_ack(message.payload["endpoint_id"],
+                                      message.epoch)
+            elif message.type == wire.MSG_MONITORED_RUN:
+                if campaign is None:
+                    continue
+                verdict = campaign.ingest_wire(message)
+                if verdict is None:
+                    continue  # stale epoch or duplicate digest
+                recurrence, run = verdict
+                overheads.append(run.overhead)
+                if recurrence:
+                    failing += 1
+                elif not run.failed:
+                    successful += 1
+            elif message.type == wire.MSG_FAILURE_REPORT:
+                if campaign is not None:
+                    campaign.note_unmonitored_report(message.payload)
+                elif first_report is None:
+                    first_report = message.payload
+        return failing, successful, overheads, first_report
+
+    def _deliver_patches(self, campaign: DiagnosisCampaign,
+                         patches: Sequence, epoch: int) -> None:
+        """Ship this iteration's patch variants; one resend round covers
+        endpoints whose delivery (or ack) was eaten by the fault layer."""
+        from ..fleet import wire
+
+        fleet = self._fleet()
+        for attempt in (0, 1):
+            if attempt == 0:
+                targets = fleet
+            else:
+                targets = [e for e in fleet
+                           if e.endpoint_id not in campaign.acked_endpoints]
+                if not targets:
+                    break
+                self._patch_resends += len(targets)
+            for endpoint in targets:
+                variant = patches[endpoint.endpoint_id % len(patches)]
+                self.fleet_transport.send_to_client(
+                    endpoint.endpoint_id,
+                    wire.encode_patch(variant, epoch=epoch),
+                    msg_type=wire.MSG_PATCH,
+                    key=(epoch, endpoint.endpoint_id, attempt))
+            for endpoint in targets:
+                for ack in endpoint.poll_patches():
+                    self.fleet_transport.send_to_server(
+                        ack, msg_type=wire.MSG_PATCH_ACK,
+                        key=(epoch, endpoint.endpoint_id, "ack", attempt))
+            self._pump_uplink(campaign, epoch)
+
+    def _fleet_report(self,
+                      campaign: Optional[DiagnosisCampaign]) -> Dict:
+        from ..fleet.transport import FleetReport
+
+        report = FleetReport(
+            transport=self.fleet_transport.stats.as_dict(),
+            quarantined=self.server.quarantined_count,
+            runs_lost_to_crash=self._runs_lost_to_crash,
+            runs_lost_to_churn=self._runs_lost_to_churn,
+            client_decode_failures=sum(e.decode_failures
+                                       for e in self._fleet()),
+            patch_resends=self._patch_resends,
+            fault_plan=(self.fault_plan.describe()
+                        if self.fault_plan is not None else "none"),
+        )
+        if campaign is not None:
+            report.stale_discarded = campaign.stale_runs_discarded
+            report.duplicates_ignored = campaign.duplicate_runs_ignored
+            report.unmonitored_reports = campaign.unmonitored_reports
+        return report.as_dict()
+
     # -- phase 0: wait for the first failure ----------------------------------
 
     def wait_for_failure(self, max_runs: int = 10_000
@@ -155,7 +321,14 @@ class CooperativeDeployment:
         1`` later runs of the failing batch may already have executed, but
         they are discarded and re-drawn, keeping the consumed run stream
         identical to sequential execution.
+
+        Over the wire transport the failure arrives as an encoded
+        ``failure_report`` message (so a faulty fleet may take extra runs
+        to bootstrap); the direct transport hands the report over
+        in-process, exactly as before.
         """
+        if self.transport_mode == "wire":
+            return self._wait_for_failure_wire(max_runs)
         consumed = 0
         while consumed < max_runs:
             size = min(self.fleet_workers, max_runs - consumed)
@@ -165,6 +338,38 @@ class CooperativeDeployment:
                 if result.outcome.failed:
                     self._rewind(run_id + 1)
                     return result.outcome.failure, consumed
+        return None, max_runs
+
+    def _wait_for_failure_wire(self, max_runs: int
+                               ) -> Tuple[Optional[FailureReport], int]:
+        from ..fleet.endpoint import RUN_CHURNED, RUN_CRASHED
+
+        fleet = self._fleet()
+        for endpoint in fleet:
+            endpoint.begin_epoch(0, self._next_run)
+        consumed = 0
+        while consumed < max_runs:
+            size = min(self.fleet_workers, max_runs - consumed)
+            for (client, workload, run_id), (kind, messages) \
+                    in self._execute_batch_wire(size):
+                consumed += 1
+                if kind == RUN_CHURNED:
+                    self._runs_lost_to_churn += 1
+                    continue
+                if kind == RUN_CRASHED:
+                    self._runs_lost_to_crash += 1
+                    continue
+                self._transmit(0, run_id, messages)
+                _, _, _, report = self._pump_uplink(None, None)
+                if report is not None:
+                    self._rewind(run_id + 1)
+                    return report, consumed
+            # Bootstrap has no iteration deadline: delayed reports simply
+            # arrive with the next batch instead of being lost forever.
+            if self.fleet_transport.flush():
+                _, _, _, report = self._pump_uplink(None, None)
+                if report is not None:
+                    return report, consumed
         return None, max_runs
 
     # -- the AsT campaign ---------------------------------------------------------
@@ -182,8 +387,10 @@ class CooperativeDeployment:
         """Full pipeline: bootstrap failure → AsT iterations → sketch."""
         stats = CampaignStats(bug=self.bug)
         t0 = time.perf_counter()
+        runner = (self._run_campaign_wire if self.transport_mode == "wire"
+                  else self._run_campaign)
         try:
-            return self._run_campaign(
+            return runner(
                 stats, initial_sigma, stop_when, max_iterations,
                 min_failing_per_iteration, min_successful_per_iteration,
                 max_runs_per_iteration, max_bootstrap_runs)
@@ -258,4 +465,99 @@ class CooperativeDeployment:
             stats.avg_overhead_percent = 100.0 * sum(overheads) / len(overheads)
             stats.max_overhead_percent = 100.0 * max(overheads)
         stats.offline_seconds = self.server.offline_analysis_seconds
+        return stats
+
+    def _run_campaign_wire(
+        self,
+        stats: CampaignStats,
+        initial_sigma: int,
+        stop_when: Optional[StopPredicate],
+        max_iterations: int,
+        min_failing_per_iteration: int,
+        min_successful_per_iteration: int,
+        max_runs_per_iteration: int,
+        max_bootstrap_runs: int,
+    ) -> CampaignStats:
+        """The campaign loop over the fleet transport.
+
+        Structurally the same pipeline as :meth:`_run_campaign`, but every
+        report, patch, and monitored run crosses the client↔server boundary
+        as encoded bytes through the (possibly faulty) transport.  With no
+        fault plan the loop consumes exactly the same run stream and
+        produces byte-identical campaign statistics and sketches — see
+        ``tests/fleet/test_transport_equivalence.py``.
+        """
+        from ..fleet.endpoint import RUN_CHURNED, RUN_CRASHED
+
+        fleet = self._fleet()
+        report, bootstrap_runs = self.wait_for_failure(max_bootstrap_runs)
+        stats.bootstrap_runs = bootstrap_runs
+        stats.total_runs += bootstrap_runs
+        if report is None:
+            stats.fleet = self._fleet_report(None)
+            return stats
+
+        campaign = self.server.handle_failure_report(
+            self.bug, report, initial_sigma)
+
+        overheads: List[float] = []
+        for _ in range(max_iterations):
+            campaign.begin_iteration()
+            epoch = campaign.epoch
+            for endpoint in fleet:
+                endpoint.begin_epoch(epoch, self._next_run)
+            patches = campaign.make_patches(len(self.clients))
+            self._deliver_patches(campaign, patches, epoch)
+            failing = 0
+            successful = 0
+            attempts = 0
+            satisfied = False
+            while attempts < max_runs_per_iteration and not satisfied:
+                size = min(self.fleet_workers,
+                           max_runs_per_iteration - attempts)
+                for (client, workload, run_id), (kind, messages) \
+                        in self._execute_batch_wire(size):
+                    attempts += 1
+                    if kind == RUN_CHURNED:
+                        self._runs_lost_to_churn += 1
+                        continue
+                    stats.total_runs += 1
+                    if kind == RUN_CRASHED:
+                        self._runs_lost_to_crash += 1
+                        continue
+                    self._transmit(epoch, run_id, messages)
+                    f_add, s_add, run_overheads, _ = \
+                        self._pump_uplink(campaign, epoch)
+                    failing += f_add
+                    successful += s_add
+                    overheads.extend(run_overheads)
+                    stats.monitored_runs += len(run_overheads)
+                    if failing >= min_failing_per_iteration and \
+                            successful >= min_successful_per_iteration:
+                        self._rewind(run_id + 1)
+                        satisfied = True
+                        break
+            iteration = campaign.finish_iteration()
+            stats.iteration_results.append(iteration)
+            stats.iterations = iteration.iteration
+            sketch = iteration.sketch
+            if sketch is not None:
+                stats.sketch = sketch
+                if stop_when is None or stop_when(sketch):
+                    stats.found = True
+                    break
+            if campaign.exhausted:
+                break
+            campaign.grow()
+            # The iteration deadline has passed: stragglers and held
+            # reorders land now, and the epoch check discards them as
+            # stale at the next iteration's ingestion.
+            self.fleet_transport.flush()
+
+        stats.failure_recurrences = campaign.total_failure_recurrences
+        if overheads:
+            stats.avg_overhead_percent = 100.0 * sum(overheads) / len(overheads)
+            stats.max_overhead_percent = 100.0 * max(overheads)
+        stats.offline_seconds = self.server.offline_analysis_seconds
+        stats.fleet = self._fleet_report(campaign)
         return stats

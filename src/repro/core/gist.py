@@ -68,7 +68,9 @@ class Gist:
                  extended_predicates: bool = False,
                  context: Optional[AnalysisContext] = None,
                  analysis_cache_dir: Optional[os.PathLike] = None,
-                 fleet_workers: int = 1) -> None:
+                 fleet_workers: int = 1,
+                 transport: str = "wire",
+                 fault_plan=None) -> None:
         self.module = module
         self.bug = bug
         self.endpoints = endpoints
@@ -83,6 +85,12 @@ class Gist:
             module, cache_dir=analysis_cache_dir)
         #: Concurrent client runs per fleet batch (1 = sequential).
         self.fleet_workers = fleet_workers
+        #: ``"wire"`` (encoded-bytes fleet transport, default) or
+        #: ``"direct"`` (the pre-transport in-process hand-off).
+        self.transport = transport
+        #: Optional :class:`repro.fleet.FaultPlan` injected at the
+        #: transport boundary (wire transport only).
+        self.fault_plan = fault_plan
 
     @classmethod
     def from_source(cls, source: str, bug: str = "bug",
@@ -110,7 +118,8 @@ class Gist:
             self.module, workload_factory,
             endpoints=self.endpoints, bug=self.bug, ptwrite=self.ptwrite,
             extended_predicates=self.extended_predicates,
-            context=self.context, fleet_workers=self.fleet_workers)
+            context=self.context, fleet_workers=self.fleet_workers,
+            transport=self.transport, fault_plan=self.fault_plan)
         stats = deployment.run_campaign(
             initial_sigma=initial_sigma,
             stop_when=stop_when,

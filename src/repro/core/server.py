@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis.context import AnalysisContext
 from ..analysis.slicing import StaticSlice
@@ -68,6 +68,17 @@ class DiagnosisCampaign:
         self._runs: List[MonitoredRun] = []
         self._ranker = PredictorRanker(failure_pc=first_report.pc)
         self._last_failing_run: Optional[MonitoredRun] = None
+        # -- wire-facing hardening state (fleet transport) -----------------
+        #: The patch epoch currently being monitored (== iteration number).
+        self.epoch = 0
+        #: Content digests of every monitored run already ingested: a
+        #: duplicated message is a set lookup away from being a no-op.
+        self._seen_digests: Set[str] = set()
+        #: Endpoints that acknowledged the current epoch's patch.
+        self.acked_endpoints: Set[int] = set()
+        self.stale_runs_discarded = 0
+        self.duplicate_runs_ignored = 0
+        self.unmonitored_reports = 0
 
     # -- iteration lifecycle --------------------------------------------------
 
@@ -78,6 +89,8 @@ class DiagnosisCampaign:
         self._runs = []
         self._ranker = PredictorRanker(failure_pc=self.first_report.pc)
         self._last_failing_run = None
+        self.epoch = self._current.number
+        self.acked_endpoints = set()
         return self._current, self._current_plan
 
     def make_patches(self, n_variants: int = 1) -> List[Patch]:
@@ -124,6 +137,36 @@ class DiagnosisCampaign:
             failed=recurrence)
         return recurrence
 
+    def ingest_wire(self, message) -> Optional[Tuple[bool, MonitoredRun]]:
+        """Epoch and idempotency gate in front of :meth:`ingest`.
+
+        ``message`` is a decoded :class:`repro.fleet.wire.Message` carrying
+        a :class:`MonitoredRun`.  Returns ``None`` when the run is
+        discarded — its patch epoch is not the one being monitored (a
+        stale or straggling client must not poison refinement, §3.2.3's
+        cooperative invariant) or its content digest was already ingested
+        (a duplicated message is a no-op) — else ``(recurrence, run)``.
+        """
+        if message.epoch != self.epoch:
+            self.stale_runs_discarded += 1
+            return None
+        if message.digest in self._seen_digests:
+            self.duplicate_runs_ignored += 1
+            return None
+        self._seen_digests.add(message.digest)
+        run = message.payload
+        return self.ingest(run), run
+
+    def note_ack(self, endpoint_id: int, epoch: Optional[int]) -> None:
+        """Record a patch acknowledgement for the current epoch."""
+        if epoch == self.epoch:
+            self.acked_endpoints.add(endpoint_id)
+
+    def note_unmonitored_report(self, report: FailureReport) -> None:
+        """A failure report from an unpatched (crashed/stale) client during
+        an iteration: counted, never fed into refinement."""
+        self.unmonitored_reports += 1
+
     def finish_iteration(self) -> IterationResult:
         assert self._current is not None and self._current_plan is not None
         refinement = refine(self._current.window_uids, self._runs,
@@ -167,6 +210,19 @@ class DiagnosisCampaign:
         return None
 
 
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One undecodable message the server refused to act on."""
+
+    reason: str
+    size: int
+    prefix: bytes  # first bytes of the payload, for post-mortems
+
+
+#: How many quarantined payloads the server keeps around for inspection.
+QUARANTINE_KEEP = 32
+
+
 class GistServer:
     """The centralized (or distributable) analysis side of Gist."""
 
@@ -183,6 +239,32 @@ class GistServer:
         self.offline_analysis_seconds = 0.0
         #: §6 future work: also rank range/inequality value predicates.
         self.extended_predicates = extended_predicates
+        #: Wire front door accounting: payloads that failed to decode or
+        #: failed their digest check are quarantined, never parsed further.
+        self.messages_received = 0
+        self.quarantined_count = 0
+        self.quarantine: List[QuarantineRecord] = []
+
+    def receive(self, blob: bytes):
+        """Decode one payload from the uplink.
+
+        Returns the decoded :class:`repro.fleet.wire.Message`, or ``None``
+        after quarantining a payload that failed decode or digest check —
+        a lossy fleet must never be able to crash the server or smuggle a
+        half-parsed object into a campaign.
+        """
+        from ..fleet import wire  # local import: fleet ↔ core layering
+
+        try:
+            message = wire.decode_message(blob)
+        except wire.WireError as err:
+            self.quarantined_count += 1
+            if len(self.quarantine) < QUARANTINE_KEEP:
+                self.quarantine.append(QuarantineRecord(
+                    reason=str(err), size=len(blob), prefix=blob[:48]))
+            return None
+        self.messages_received += 1
+        return message
 
     def handle_failure_report(self, bug: str, report: FailureReport,
                               initial_sigma: int = DEFAULT_SIGMA

@@ -140,6 +140,8 @@ def evaluate_bug(
     max_bootstrap_runs: int = 400,
     context: Optional["AnalysisContext"] = None,
     fleet_workers: int = 1,
+    transport: str = "wire",
+    fault_plan=None,
 ) -> BugEvaluation:
     """Run one diagnosis campaign and score it against the ideal sketch.
 
@@ -159,7 +161,9 @@ def evaluate_bug(
     deployment = CooperativeDeployment(module, spec.workload_factory,
                                        endpoints=endpoints, bug=spec.bug_id,
                                        context=context,
-                                       fleet_workers=fleet_workers)
+                                       fleet_workers=fleet_workers,
+                                       transport=transport,
+                                       fault_plan=fault_plan)
     if mode in ("cf", "ptw"):
         deployment.clients = [_ModeClient(module, i, mode)
                               for i in range(endpoints)]

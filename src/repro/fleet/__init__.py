@@ -1,0 +1,87 @@
+"""The fleet transport subsystem: wire protocol, channels, fault injection.
+
+The paper's cooperative deployment (§3.2.3, §5: 1,136 endpoints) assumes
+reports, patches, and monitored runs move over a real network where
+clients crash, messages are lost, and traces arrive corrupt.  This package
+supplies that network for the simulated fleet:
+
+- :mod:`repro.fleet.wire` — versioned JSON wire codecs with content
+  digests for every message class;
+- :mod:`repro.fleet.transport` — thread-safe byte channels and the
+  :class:`FleetTransport` that all client↔server traffic flows through;
+- :mod:`repro.fleet.faults` — a seeded, deterministic :class:`FaultPlan`
+  injecting drops, duplicates, reorders, delays, truncation, corruption,
+  client crashes, churn, and stragglers;
+- :mod:`repro.fleet.endpoint` — the wire-speaking endpoint wrapper.
+
+With a fault-free plan the transport is an exact, byte-level loopback:
+campaign statistics and sketches are identical to the pre-transport
+in-process path (there is an A/B test and benchmark proving it).
+"""
+
+from .faults import (
+    ClientFaults,
+    FaultDecision,
+    FaultPlan,
+    MessageFaults,
+    parse_fault_plan,
+)
+from .transport import (
+    Channel,
+    FleetReport,
+    FleetTransport,
+    TransportClosed,
+    TransportStats,
+)
+from .endpoint import RUN_CHURNED, RUN_CRASHED, RUN_OK, FleetEndpoint
+from .wire import (
+    MSG_FAILURE_REPORT,
+    MSG_MONITORED_RUN,
+    MSG_PATCH,
+    MSG_PATCH_ACK,
+    MSG_TRAP_RECORD,
+    WIRE_VERSION,
+    Message,
+    WireError,
+    body_digest,
+    decode_message,
+    encode_failure_report,
+    encode_message,
+    encode_monitored_run,
+    encode_patch,
+    encode_patch_ack,
+    encode_trap_record,
+)
+
+__all__ = [
+    "Channel",
+    "ClientFaults",
+    "FaultDecision",
+    "FaultPlan",
+    "FleetEndpoint",
+    "FleetReport",
+    "FleetTransport",
+    "Message",
+    "MessageFaults",
+    "MSG_FAILURE_REPORT",
+    "MSG_MONITORED_RUN",
+    "MSG_PATCH",
+    "MSG_PATCH_ACK",
+    "MSG_TRAP_RECORD",
+    "RUN_CHURNED",
+    "RUN_CRASHED",
+    "RUN_OK",
+    "TransportClosed",
+    "TransportStats",
+    "WIRE_VERSION",
+    "WireError",
+    "body_digest",
+    "decode_message",
+    "encode_failure_report",
+    "encode_message",
+    "encode_monitored_run",
+    "encode_patch",
+    "encode_patch_ack",
+    "encode_trap_record",
+    "parse_fault_plan",
+]

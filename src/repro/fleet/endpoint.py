@@ -1,0 +1,158 @@
+"""The wire-speaking side of one production endpoint.
+
+A :class:`FleetEndpoint` wraps a :class:`~repro.core.client.GistClient`
+with everything a *networked* client needs and the in-process one never
+did: it receives patches as encoded bytes from its downlink channel
+(quietly ignoring payloads that fail to decode), acknowledges the patch
+epoch it is actually running, tags every monitored-run report with that
+epoch, and reports failures from unmonitored runs as plain failure-report
+messages.
+
+Client-level faults live here too.  Whether a given run crashes
+mid-execution, churns out of the fleet, or straggles past the deadline is
+a pure function of the deployment's :class:`~repro.fleet.faults.FaultPlan`
+and the run's identity — including "has an earlier run of this endpoint
+crashed this epoch", which is recomputed arithmetically from the epoch's
+base run id so the answer never depends on thread scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from .faults import FaultPlan
+from .transport import FleetTransport
+from . import wire
+
+if TYPE_CHECKING:  # typing only — keeps fleet importable without core
+    from ..core.client import GistClient
+    from ..core.workload import Workload
+    from ..instrument.patch import Patch
+
+#: What one endpoint run produced: an execution kind plus outbound messages.
+RUN_OK = "ok"
+RUN_CRASHED = "crashed"
+RUN_CHURNED = "churned"
+
+EndpointRun = Tuple[str, List[Tuple[str, bytes, bool]]]
+
+
+class FleetEndpoint:
+    """One endpoint of the fleet, speaking only the wire protocol."""
+
+    def __init__(self, client: GistClient, transport: FleetTransport,
+                 fault_plan: Optional[FaultPlan], fleet_size: int) -> None:
+        self.client = client
+        self.transport = transport
+        self.plan = fault_plan
+        self.fleet_size = fleet_size
+        self.endpoint_id = client.endpoint_id
+        #: The patch this endpoint currently runs, and its epoch.  Survives
+        #: across epochs when a delivery is missed (that is what makes the
+        #: endpoint *stale*) and is lost when the client crashes.
+        self.patch: Optional[Patch] = None
+        self.patch_epoch: Optional[int] = None
+        self.patch_digest: Optional[str] = None
+        #: The epoch the fleet is currently in, and its first run id.
+        self.epoch = 0
+        self.epoch_base = 0
+        self.decode_failures = 0
+
+    # -- epoch bookkeeping --------------------------------------------------
+
+    def begin_epoch(self, epoch: int, epoch_base: int) -> None:
+        self.epoch = epoch
+        self.epoch_base = epoch_base
+
+    def _first_run_of_epoch(self) -> int:
+        base = self.epoch_base
+        return base + ((self.endpoint_id - base) % self.fleet_size)
+
+    def _crashed_in_epoch(self, before_run_id: int) -> bool:
+        """Did any run of this endpoint crash earlier this epoch?
+
+        Pure recomputation over the endpoint's run ids in
+        ``[epoch_base, before_run_id)`` — no mutable crash state, so
+        concurrent batches cannot race on it.
+        """
+        plan = self.plan
+        if plan is None or not plan.clients.any_active():
+            return False
+        first = self._first_run_of_epoch()
+        for run_id in range(first, before_run_id, self.fleet_size):
+            if plan.run_crashes(self.epoch, run_id, self.endpoint_id,
+                                first_of_epoch=(run_id == first),
+                                n_endpoints=self.fleet_size):
+                return True
+        return False
+
+    # -- patch delivery -----------------------------------------------------
+
+    def poll_patches(self) -> List[bytes]:
+        """Drain the downlink; install the newest valid patch.
+
+        Returns the encoded ``patch_ack`` messages to transmit.  Payloads
+        that fail to decode (dropped bits, truncation) are counted and
+        ignored — the client keeps running whatever patch it last had,
+        which the server will recognize as stale by its epoch.
+        """
+        acks: List[bytes] = []
+        downlink = self.transport.downlinks[self.endpoint_id]
+        for blob in downlink.drain():
+            try:
+                msg = wire.decode_message(blob)
+            except wire.WireError:
+                self.decode_failures += 1
+                continue
+            if msg.type != wire.MSG_PATCH or msg.epoch is None:
+                continue
+            if self.patch_epoch is not None and msg.epoch < self.patch_epoch:
+                continue  # a reordered, older patch: never downgrade
+            self.patch = msg.payload
+            self.patch_epoch = msg.epoch
+            self.patch_digest = msg.digest
+            acks.append(wire.encode_patch_ack(self.endpoint_id, msg.epoch,
+                                              msg.digest))
+        return acks
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self, workload: Workload, run_id: int) -> EndpointRun:
+        """Run one workload; return the run kind plus outbound messages.
+
+        Messages are ``(msg_type, payload, straggles)`` triples of already
+        encoded bytes — the deployment (playing the network) pushes them
+        through the transport on the aggregation thread, in run-id order.
+        """
+        plan = self.plan
+        if plan is not None:
+            if plan.endpoint_churned(self.epoch, self.endpoint_id):
+                return RUN_CHURNED, []
+            first = self._first_run_of_epoch()
+            if plan.run_crashes(self.epoch, run_id, self.endpoint_id,
+                                first_of_epoch=(run_id == first),
+                                n_endpoints=self.fleet_size):
+                # Crash mid-run: nothing is reported.  The restarted
+                # process has lost the in-memory patch, so the endpoint's
+                # later runs this epoch execute unmonitored.
+                return RUN_CRASHED, []
+        patch = self.patch
+        if patch is not None and self._crashed_in_epoch(run_id):
+            patch = None
+        result = self.client.run(workload, patch=patch, run_id=run_id)
+        straggles = (plan is not None
+                     and plan.run_straggles(self.epoch, run_id))
+        messages: List[Tuple[str, bytes, bool]] = []
+        if result.monitored is not None:
+            messages.append((
+                wire.MSG_MONITORED_RUN,
+                wire.encode_monitored_run(result.monitored,
+                                          epoch=self.patch_epoch),
+                straggles))
+        elif result.outcome.failed:
+            assert result.outcome.failure is not None
+            messages.append((
+                wire.MSG_FAILURE_REPORT,
+                wire.encode_failure_report(result.outcome.failure),
+                straggles))
+        return RUN_OK, messages

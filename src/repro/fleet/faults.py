@@ -1,0 +1,295 @@
+"""Seeded, deterministic fault injection for the fleet transport.
+
+A :class:`FaultPlan` decides, for every message and every client run, which
+production failure modes fire: message **drop**, **duplicate**, **reorder**,
+**delay** (past the iteration deadline), **truncate**, and **bit-corrupt**;
+plus the client-level faults — **crash mid-run** (the run dies before
+reporting, and the restarted client has lost its in-memory patch),
+**churn** (the endpoint leaves the fleet for some iterations), and
+**straggle** (the run's report arrives after the deadline).
+
+Every decision is a pure function of ``(seed, fault kind, stable key)``
+hashed through SHA-256 — never a draw from a shared RNG stream — so a plan
+is deterministic regardless of thread scheduling, fleet worker count, or
+the order in which messages happen to be transmitted.  Two campaigns with
+the same plan see byte-identical fault schedules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+
+def _unit(seed: int, *key) -> float:
+    """Deterministic uniform float in [0, 1) keyed by ``(seed, *key)``."""
+    material = repr((seed,) + key).encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """Per-message-class fault probabilities (all in [0, 1])."""
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    delay: float = 0.0       # held until the iteration deadline passes
+    truncate: float = 0.0
+    corrupt: float = 0.0     # one bit flipped somewhere in the payload
+
+    def any_active(self) -> bool:
+        return any((self.drop, self.duplicate, self.reorder, self.delay,
+                    self.truncate, self.corrupt))
+
+
+@dataclass(frozen=True)
+class ClientFaults:
+    """Client-level fault knobs."""
+
+    #: Per-run probability that the run crashes mid-execution: nothing is
+    #: reported and the restarted client loses its in-memory patch for the
+    #: rest of the epoch.
+    crash: float = 0.0
+    #: Deterministic count of endpoints whose *first* run of each iteration
+    #: crashes (the "1 crash per iteration" of the standard lossy plan).
+    crashes_per_iteration: int = 0
+    #: Per-(endpoint, iteration) probability of churning out of the fleet.
+    churn: float = 0.0
+    #: How many consecutive iterations a churn event lasts.
+    churn_epochs: int = 1
+    #: Per-run probability that the run's report straggles past the
+    #: iteration deadline (delivered late, discarded as stale).
+    straggle: float = 0.0
+
+    def any_active(self) -> bool:
+        return any((self.crash, self.crashes_per_iteration, self.churn,
+                    self.straggle))
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What happens to one particular message."""
+
+    drop: bool = False
+    duplicate: bool = False
+    reorder: bool = False
+    delay: bool = False
+    truncate_at: Optional[int] = None
+    corrupt_at: Optional[Tuple[int, int]] = None  # (byte index, bit index)
+
+
+_NO_FAULTS = MessageFaults()
+_CLEAN = FaultDecision()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded fault schedule for one deployment.
+
+    ``messages`` maps a message type (``"monitored_run"``, ``"patch"``, …)
+    to its :class:`MessageFaults`; the ``"*"`` entry applies to every type
+    without an explicit entry.
+    """
+
+    seed: int = 0
+    messages: Mapping[str, MessageFaults] = field(default_factory=dict)
+    clients: ClientFaults = field(default_factory=ClientFaults)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """A plan that injects nothing (useful for A/B comparisons)."""
+        return cls()
+
+    @classmethod
+    def standard_lossy(cls, seed: int = 0) -> "FaultPlan":
+        """The benchmark's standard lossy fleet: 5% drop + 2% corrupt on
+        every message class + 1 client crash per iteration."""
+        return cls(seed=seed,
+                   messages={"*": MessageFaults(drop=0.05, corrupt=0.02)},
+                   clients=ClientFaults(crashes_per_iteration=1))
+
+    @property
+    def is_null(self) -> bool:
+        """True when no fault can ever fire (the fast path)."""
+        return (not self.clients.any_active()
+                and not any(f.any_active()
+                            for f in self.messages.values()))
+
+    def faults_for(self, msg_type: str) -> MessageFaults:
+        if msg_type in self.messages:
+            return self.messages[msg_type]
+        return self.messages.get("*", _NO_FAULTS)
+
+    # -- message-level decisions -------------------------------------------
+
+    def decide(self, msg_type: str, key: Tuple, size: int) -> FaultDecision:
+        """The fault decision for one message, keyed by its identity."""
+        f = self.faults_for(msg_type)
+        if not f.any_active():
+            return _CLEAN
+        seed = self.seed
+
+        def hit(kind: str, prob: float) -> bool:
+            return prob > 0.0 and _unit(seed, kind, msg_type, key) < prob
+
+        truncate_at = None
+        if hit("truncate", f.truncate) and size > 0:
+            truncate_at = int(_unit(seed, "truncate-at", msg_type, key)
+                              * size)
+        corrupt_at = None
+        if hit("corrupt", f.corrupt) and size > 0:
+            corrupt_at = (int(_unit(seed, "corrupt-byte", msg_type, key)
+                              * size),
+                          int(_unit(seed, "corrupt-bit", msg_type, key) * 8))
+        return FaultDecision(
+            drop=hit("drop", f.drop),
+            duplicate=hit("duplicate", f.duplicate),
+            reorder=hit("reorder", f.reorder),
+            delay=hit("delay", f.delay),
+            truncate_at=truncate_at,
+            corrupt_at=corrupt_at,
+        )
+
+    # -- client-level decisions --------------------------------------------
+
+    def endpoint_churned(self, epoch: int, endpoint_id: int) -> bool:
+        """Is this endpoint out of the fleet for this iteration?"""
+        c = self.clients
+        if c.churn <= 0.0:
+            return False
+        span = max(c.churn_epochs, 1)
+        return any(_unit(self.seed, "churn", epoch - back, endpoint_id)
+                   < c.churn for back in range(span))
+
+    def crash_endpoints(self, epoch: int,
+                        n_endpoints: int) -> frozenset:
+        """The endpoints whose first run of this iteration crashes."""
+        count = min(self.clients.crashes_per_iteration, n_endpoints)
+        if count <= 0:
+            return frozenset()
+        chosen = set()
+        for attempt in range(8 * n_endpoints):
+            if len(chosen) >= count:
+                break
+            chosen.add(int(_unit(self.seed, "crash-endpoint", epoch, attempt)
+                           * n_endpoints))
+        for endpoint_id in range(n_endpoints):  # hash-collision backstop
+            if len(chosen) >= count:
+                break
+            chosen.add(endpoint_id)
+        return frozenset(chosen)
+
+    def run_crashes(self, epoch: int, run_id: int, endpoint_id: int,
+                    first_of_epoch: bool, n_endpoints: int) -> bool:
+        """Does this particular run crash mid-execution?"""
+        c = self.clients
+        if first_of_epoch and \
+                endpoint_id in self.crash_endpoints(epoch, n_endpoints):
+            return True
+        return c.crash > 0.0 and \
+            _unit(self.seed, "crash", epoch, run_id) < c.crash
+
+    def run_straggles(self, epoch: int, run_id: int) -> bool:
+        """Does this run's report arrive past the iteration deadline?"""
+        c = self.clients
+        return c.straggle > 0.0 and \
+            _unit(self.seed, "straggle", epoch, run_id) < c.straggle
+
+    # -- description --------------------------------------------------------
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for msg_type in sorted(self.messages):
+            f = self.messages[msg_type]
+            knobs = [f"{name}={value}" for name, value in (
+                ("drop", f.drop), ("dup", f.duplicate),
+                ("reorder", f.reorder), ("delay", f.delay),
+                ("trunc", f.truncate), ("corrupt", f.corrupt)) if value]
+            if knobs:
+                parts.append(f"{msg_type}[{','.join(knobs)}]")
+        c = self.clients
+        for name, value in (("crash", c.crash),
+                            ("crashes/iter", c.crashes_per_iteration),
+                            ("churn", c.churn),
+                            ("straggle", c.straggle)):
+            if value:
+                parts.append(f"{name}={value}")
+        return " ".join(parts)
+
+
+#: ``--fault-plan`` spec keys that set message-level probabilities.
+_MESSAGE_KEYS = ("drop", "duplicate", "reorder", "delay", "truncate",
+                 "corrupt")
+
+
+def parse_fault_plan(spec: Optional[str]) -> Optional[FaultPlan]:
+    """Parse a ``--fault-plan`` CLI spec into a :class:`FaultPlan`.
+
+    Accepted forms:
+
+    - ``none`` / ``off`` / empty — no fault injection (returns ``None``);
+    - ``lossy`` or ``lossy:SEED`` — the standard lossy plan;
+    - a comma-separated ``key=value`` spec, e.g.
+      ``drop=0.05,corrupt=0.02,crashes=1,seed=7``.  Message keys
+      (``drop``, ``duplicate``, ``reorder``, ``delay``, ``truncate``,
+      ``corrupt``) apply to every message class; client keys are ``crash``
+      (per-run probability), ``crashes`` (count per iteration), ``churn``,
+      ``churn_epochs``, ``straggle``; plus ``seed``.
+    """
+    if spec is None:
+        return None
+    text = spec.strip().lower()
+    if text in ("", "none", "off"):
+        return None
+    if text == "lossy":
+        return FaultPlan.standard_lossy()
+    if text.startswith("lossy:"):
+        try:
+            return FaultPlan.standard_lossy(seed=int(text[len("lossy:"):]))
+        except ValueError:
+            raise ValueError(f"bad lossy seed in fault plan {spec!r}")
+    message_knobs: Dict[str, float] = {}
+    clients = ClientFaults()
+    seed = 0
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(f"bad fault-plan entry {item!r} "
+                             "(expected key=value)")
+        key, _, value = item.partition("=")
+        key = key.strip()
+        value = value.strip()
+        try:
+            if key in _MESSAGE_KEYS:
+                message_knobs[key] = float(value)
+            elif key == "crash":
+                clients = replace(clients, crash=float(value))
+            elif key == "crashes":
+                clients = replace(clients,
+                                  crashes_per_iteration=int(value))
+            elif key == "churn":
+                clients = replace(clients, churn=float(value))
+            elif key == "churn_epochs":
+                clients = replace(clients, churn_epochs=int(value))
+            elif key == "straggle":
+                clients = replace(clients, straggle=float(value))
+            elif key == "seed":
+                seed = int(value)
+            else:
+                raise ValueError(f"unknown fault-plan key {key!r}")
+        except ValueError as err:
+            if "unknown fault-plan key" in str(err):
+                raise
+            raise ValueError(f"bad value for fault-plan key {key!r}: "
+                             f"{value!r}")
+    messages = {}
+    if message_knobs:
+        messages["*"] = MessageFaults(**message_knobs)
+    return FaultPlan(seed=seed, messages=messages, clients=clients)

@@ -1,0 +1,329 @@
+"""Versioned JSON wire codecs for fleet traffic.
+
+Everything that crosses the client↔server boundary in the cooperative
+deployment is one of four message classes — :class:`FailureReport`,
+:class:`Patch`, :class:`MonitoredRun`, :class:`TrapRecord` — plus the small
+``patch_ack`` control message.  This module gives each of them an explicit,
+versioned JSON wire form, extending the style of
+:mod:`repro.core.serialize`'s sketch codec to the live protocol:
+
+- every message travels inside an **envelope** carrying the wire-format
+  version, the message type, an optional **patch epoch**, and a **content
+  digest** of the canonical body bytes;
+- encoding is canonical (sorted keys, compact separators), so equal
+  payloads always produce byte-identical messages and therefore identical
+  digests — which is what makes server-side idempotent ingestion a set
+  lookup;
+- decoding validates the version, the digest, and every body field, and
+  raises :class:`WireError` on any truncation, corruption, or schema
+  mismatch, so a transport fault can never hand the server a half-parsed
+  object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..hw.watchpoints import TrapRecord
+from ..instrument.patch import Patch
+from ..instrument.planner import HookSpec
+from ..runtime.failures import FailureKind, FailureReport, StackFrameInfo
+from ..core.refinement import MonitoredRun
+
+#: Bump when the envelope or any body schema changes incompatibly.
+WIRE_VERSION = 1
+
+MSG_FAILURE_REPORT = "failure_report"
+MSG_MONITORED_RUN = "monitored_run"
+MSG_PATCH = "patch"
+MSG_PATCH_ACK = "patch_ack"
+MSG_TRAP_RECORD = "trap_record"
+
+
+class WireError(Exception):
+    """A message failed to decode: truncated, corrupt, or wrong schema."""
+    pass
+
+
+def _canonical(payload: Any) -> bytes:
+    """Canonical JSON bytes: sorted keys, no whitespace — deterministic."""
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def body_digest(body: Any) -> str:
+    """Content digest of a message body (over its canonical bytes)."""
+    return hashlib.sha256(_canonical(body)).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Body codecs (object <-> plain-JSON body)
+# ---------------------------------------------------------------------------
+
+
+def _require(body: Dict[str, Any], key: str, types) -> Any:
+    if not isinstance(body, dict) or key not in body:
+        raise WireError(f"missing field {key!r}")
+    value = body[key]
+    if not isinstance(value, types):
+        raise WireError(f"field {key!r} has type {type(value).__name__}")
+    return value
+
+
+def failure_report_to_body(report: FailureReport) -> Dict[str, Any]:
+    return {
+        "kind": report.kind.value,
+        "pc": report.pc,
+        "tid": report.tid,
+        "message": report.message,
+        "address": report.address,
+        "stack": [[f.function, f.pc, f.line] for f in report.stack],
+    }
+
+
+def failure_report_from_body(body: Dict[str, Any]) -> FailureReport:
+    kind_value = _require(body, "kind", str)
+    try:
+        kind = FailureKind(kind_value)
+    except ValueError:
+        raise WireError(f"unknown failure kind {kind_value!r}")
+    address = body.get("address")
+    if address is not None and not isinstance(address, int):
+        raise WireError("field 'address' has wrong type")
+    stack = []
+    for frame in _require(body, "stack", list):
+        if not (isinstance(frame, list) and len(frame) == 3
+                and isinstance(frame[0], str)
+                and isinstance(frame[1], int) and isinstance(frame[2], int)):
+            raise WireError("malformed stack frame")
+        stack.append(StackFrameInfo(function=frame[0], pc=frame[1],
+                                    line=frame[2]))
+    return FailureReport(
+        kind=kind,
+        pc=_require(body, "pc", int),
+        tid=_require(body, "tid", int),
+        message=_require(body, "message", str),
+        stack=tuple(stack),
+        address=address,
+    )
+
+
+def trap_record_to_body(trap: TrapRecord) -> List:
+    """Compact array form — traps dominate monitored-run payload bytes."""
+    return [trap.seq, trap.tid, trap.pc, trap.address,
+            1 if trap.is_write else 0, trap.value, trap.slot]
+
+
+def trap_record_from_body(body: List) -> TrapRecord:
+    if not (isinstance(body, list) and len(body) == 7):
+        raise WireError("malformed trap record")
+    seq, tid, pc, address, is_write, value, slot = body
+    for name, field in (("seq", seq), ("tid", tid), ("pc", pc),
+                        ("address", address), ("is_write", is_write),
+                        ("value", value), ("slot", slot)):
+        if not isinstance(field, int) or isinstance(field, bool):
+            raise WireError(f"trap field {name!r} has wrong type")
+    return TrapRecord(seq=seq, tid=tid, pc=pc, address=address,
+                      is_write=bool(is_write), value=value, slot=slot)
+
+
+def monitored_run_to_body(run: MonitoredRun) -> Dict[str, Any]:
+    return {
+        "run_id": run.run_id,
+        "endpoint_id": run.endpoint_id,
+        "failed": run.failed,
+        "failure": (failure_report_to_body(run.failure)
+                    if run.failure is not None else None),
+        "executed": {str(tid): list(seq)
+                     for tid, seq in sorted(run.executed.items())},
+        "traps": [trap_record_to_body(t) for t in run.traps],
+        "overhead": run.overhead,
+        "trace_bytes": run.trace_bytes,
+    }
+
+
+def monitored_run_from_body(body: Dict[str, Any]) -> MonitoredRun:
+    failure_body = body.get("failure")
+    failure = (failure_report_from_body(failure_body)
+               if failure_body is not None else None)
+    executed: Dict[int, List[int]] = {}
+    for tid_text, seq in _require(body, "executed", dict).items():
+        try:
+            tid = int(tid_text)
+        except ValueError:
+            raise WireError(f"bad thread id {tid_text!r}")
+        if not (isinstance(seq, list)
+                and all(isinstance(uid, int) and not isinstance(uid, bool)
+                        for uid in seq)):
+            raise WireError("malformed executed sequence")
+        executed[tid] = list(seq)
+    overhead = _require(body, "overhead", (int, float))
+    return MonitoredRun(
+        run_id=_require(body, "run_id", int),
+        endpoint_id=_require(body, "endpoint_id", int),
+        failed=_require(body, "failed", bool),
+        failure=failure,
+        executed=executed,
+        traps=[trap_record_from_body(t)
+               for t in _require(body, "traps", list)],
+        overhead=float(overhead),
+        trace_bytes=_require(body, "trace_bytes", int),
+    )
+
+
+def patch_to_body(patch: Patch) -> Dict[str, Any]:
+    return {
+        "program": patch.program,
+        "hooks": [[h.uid, h.action, h.note] for h in patch.hooks],
+        "watch": sorted(patch.watch_assignment),
+    }
+
+
+def patch_from_body(body: Dict[str, Any]) -> Patch:
+    hooks = []
+    for hook in _require(body, "hooks", list):
+        if not (isinstance(hook, list) and len(hook) == 3
+                and isinstance(hook[0], int) and isinstance(hook[1], str)
+                and isinstance(hook[2], str)):
+            raise WireError("malformed hook spec")
+        hooks.append(HookSpec(hook[0], hook[1], hook[2]))
+    watch = _require(body, "watch", list)
+    if not all(isinstance(uid, int) for uid in watch):
+        raise WireError("malformed watch assignment")
+    return Patch(program=_require(body, "program", str),
+                 hooks=tuple(hooks), watch_assignment=frozenset(watch))
+
+
+def patch_ack_to_body(endpoint_id: int, epoch: int,
+                      patch_digest: str) -> Dict[str, Any]:
+    return {"endpoint_id": endpoint_id, "epoch": epoch,
+            "patch_digest": patch_digest}
+
+
+def patch_ack_from_body(body: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "endpoint_id": _require(body, "endpoint_id", int),
+        "epoch": _require(body, "epoch", int),
+        "patch_digest": _require(body, "patch_digest", str),
+    }
+
+
+_TO_BODY = {
+    MSG_FAILURE_REPORT: failure_report_to_body,
+    MSG_MONITORED_RUN: monitored_run_to_body,
+    MSG_PATCH: patch_to_body,
+    MSG_TRAP_RECORD: trap_record_to_body,
+}
+
+_FROM_BODY = {
+    MSG_FAILURE_REPORT: failure_report_from_body,
+    MSG_MONITORED_RUN: monitored_run_from_body,
+    MSG_PATCH: patch_from_body,
+    MSG_TRAP_RECORD: trap_record_from_body,
+    MSG_PATCH_ACK: patch_ack_from_body,
+}
+
+
+# ---------------------------------------------------------------------------
+# Envelope
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Message:
+    """A decoded wire message: envelope metadata plus the payload object."""
+
+    type: str
+    epoch: Optional[int]
+    digest: str
+    payload: Union[FailureReport, MonitoredRun, Patch, TrapRecord,
+                   Dict[str, Any]]
+
+
+def encode_message(msg_type: str, obj: Any,
+                   epoch: Optional[int] = None) -> bytes:
+    """Wrap an object of a known message class into envelope bytes."""
+    if msg_type not in _TO_BODY:
+        raise ValueError(f"unknown message type {msg_type!r}")
+    body = _TO_BODY[msg_type](obj)
+    return _encode_envelope(msg_type, body, epoch)
+
+
+def _encode_envelope(msg_type: str, body: Any,
+                     epoch: Optional[int]) -> bytes:
+    return _canonical({
+        "wire": WIRE_VERSION,
+        "type": msg_type,
+        "epoch": epoch,
+        "digest": body_digest(body),
+        "body": body,
+    })
+
+
+def encode_failure_report(report: FailureReport,
+                          epoch: Optional[int] = None) -> bytes:
+    return encode_message(MSG_FAILURE_REPORT, report, epoch)
+
+
+def encode_monitored_run(run: MonitoredRun,
+                         epoch: Optional[int] = None) -> bytes:
+    return encode_message(MSG_MONITORED_RUN, run, epoch)
+
+
+def encode_patch(patch: Patch, epoch: Optional[int] = None) -> bytes:
+    return encode_message(MSG_PATCH, patch, epoch)
+
+
+def encode_trap_record(trap: TrapRecord,
+                       epoch: Optional[int] = None) -> bytes:
+    return encode_message(MSG_TRAP_RECORD, trap, epoch)
+
+
+def encode_patch_ack(endpoint_id: int, epoch: int,
+                     patch_digest: str) -> bytes:
+    return _encode_envelope(
+        MSG_PATCH_ACK,
+        patch_ack_to_body(endpoint_id, epoch, patch_digest), epoch)
+
+
+def decode_message(blob: bytes) -> Message:
+    """Decode envelope bytes back into a :class:`Message`.
+
+    Raises :class:`WireError` for anything short of a fully valid message:
+    non-UTF-8 or non-JSON bytes (truncation, bit corruption), an
+    unsupported wire version, an unknown message type, a digest mismatch
+    (payload corruption that still parses), or a malformed body.
+    """
+    try:
+        payload = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        raise WireError("undecodable message bytes")
+    if not isinstance(payload, dict):
+        raise WireError("message is not an envelope")
+    version = payload.get("wire")
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported wire version {version!r}")
+    msg_type = payload.get("type")
+    if msg_type not in _FROM_BODY:
+        raise WireError(f"unknown message type {msg_type!r}")
+    epoch = payload.get("epoch")
+    if epoch is not None and (not isinstance(epoch, int)
+                              or isinstance(epoch, bool)):
+        raise WireError("malformed epoch")
+    if "body" not in payload or "digest" not in payload:
+        raise WireError("envelope missing body or digest")
+    body = payload["body"]
+    digest = payload["digest"]
+    if body_digest(body) != digest:
+        raise WireError("content digest mismatch")
+    try:
+        decoded = _FROM_BODY[msg_type](body)
+    except WireError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as err:
+        raise WireError(f"malformed {msg_type} body: {err}")
+    return Message(type=msg_type, epoch=epoch, digest=digest,
+                   payload=decoded)

@@ -1,0 +1,46 @@
+"""Triage order of the failure clusterer must be a total order."""
+
+from repro.core.clustering import FailureClusterer
+from repro.runtime.failures import FailureKind, FailureReport
+
+
+def report(pc, kind=FailureKind.SEGFAULT):
+    return FailureReport(kind=kind, pc=pc, tid=0)
+
+
+def test_count_then_first_seen_then_key():
+    clusterer = FailureClusterer()
+    # three buckets: pc=30 arrives first, pc=10 second, pc=20 third;
+    # pc=20 then overtakes on count
+    for pc in (30, 10, 20, 20):
+        clusterer.add(report(pc))
+    order = [b.pc for b in clusterer.buckets()]
+    assert order == [20, 30, 10]  # count first, then arrival order
+
+
+def test_tied_buckets_triage_by_arrival_not_key():
+    clusterer = FailureClusterer()
+    # equal counts; arrival order deliberately disagrees with key order
+    for pc in (9, 5, 7):
+        clusterer.add(report(pc))
+    assert [b.pc for b in clusterer.buckets()] == [9, 5, 7]
+    assert [b.first_seen for b in clusterer.buckets()] == [0, 1, 2]
+
+
+def test_interleaving_cannot_change_tied_order():
+    a, b = FailureClusterer(), FailureClusterer()
+    for pc in (3, 8, 3, 8):
+        a.add(report(pc))
+    for pc in (3, 8, 8, 3):
+        b.add(report(pc))
+    assert [x.pc for x in a.buckets()] == [x.pc for x in b.buckets()]
+
+
+def test_next_to_diagnose_follows_total_order():
+    clusterer = FailureClusterer()
+    for pc in (4, 6, 6):
+        clusterer.add(report(pc))
+    first = clusterer.next_to_diagnose()
+    assert first.pc == 6
+    second = clusterer.next_to_diagnose(already_diagnosed=(first.key,))
+    assert second.pc == 4

@@ -1,0 +1,112 @@
+"""End-to-end fleet-transport campaigns: A/B equivalence and chaos.
+
+The contract the tentpole stands on: with no fault plan, the wire
+transport produces *byte-identical* campaign results to the pre-transport
+direct hand-off; with the standard lossy plan, diagnosis still converges
+to a root-cause sketch and the server never crashes.
+"""
+
+import pytest
+
+from repro.core.cooperative import CooperativeDeployment
+from repro.core.render import render_sketch
+from repro.corpus import get_bug
+from repro.fleet import ClientFaults, FaultPlan, MessageFaults
+
+FAST_BUGS = ("transmission-1818", "apache-21285")
+
+
+def campaign(bug_id, transport="wire", fault_plan=None, fleet_workers=1,
+             max_iterations=6):
+    spec = get_bug(bug_id)
+    deployment = CooperativeDeployment(
+        spec.module(), spec.workload_factory, endpoints=4, bug=spec.bug_id,
+        fleet_workers=fleet_workers, transport=transport,
+        fault_plan=fault_plan)
+    stats = deployment.run_campaign(stop_when=spec.sketch_has_root,
+                                    max_iterations=max_iterations)
+    return spec, stats
+
+
+COMPARED = ("found", "iterations", "failure_recurrences", "total_runs",
+            "monitored_runs", "bootstrap_runs", "avg_overhead_percent",
+            "max_overhead_percent")
+
+
+@pytest.mark.parametrize("bug_id", FAST_BUGS)
+def test_fault_free_wire_is_identical_to_direct(bug_id):
+    _, direct = campaign(bug_id, transport="direct")
+    _, wired = campaign(bug_id, transport="wire")
+    for name in COMPARED:
+        assert getattr(wired, name) == getattr(direct, name), name
+    assert direct.sketch is not None and wired.sketch is not None
+    assert render_sketch(wired.sketch) == render_sketch(direct.sketch)
+    # and the wire run carries its fleet accounting
+    assert wired.fleet is not None and direct.fleet is None
+    assert wired.fleet["transport"]["dropped"] == {}
+    assert wired.fleet["quarantined"] == 0
+
+
+def test_transport_validation():
+    spec = get_bug(FAST_BUGS[0])
+    with pytest.raises(ValueError, match="transport"):
+        CooperativeDeployment(spec.module(), spec.workload_factory,
+                              transport="carrier-pigeon")
+    with pytest.raises(ValueError, match="fault"):
+        CooperativeDeployment(spec.module(), spec.workload_factory,
+                              transport="direct",
+                              fault_plan=FaultPlan.standard_lossy())
+
+
+def test_lossy_fleet_still_converges():
+    spec, stats = campaign(FAST_BUGS[0],
+                           fault_plan=FaultPlan.standard_lossy(seed=1))
+    assert stats.found
+    assert stats.sketch is not None
+    assert spec.sketch_has_root(stats.sketch)
+    fleet = stats.fleet
+    assert fleet["runs_lost_to_crash"] >= 1  # 1 crash per iteration
+    assert fleet["transport"]["sent"]["monitored_run"] > 0
+
+
+def test_duplicates_are_ignored_idempotently():
+    plan = FaultPlan(seed=0, messages={
+        "monitored_run": MessageFaults(duplicate=1.0)})
+    _, stats = campaign(FAST_BUGS[0], fault_plan=plan)
+    assert stats.found
+    assert stats.fleet["duplicates_ignored"] > 0
+    # duplicated ingestion must not inflate the run statistics
+    _, clean = campaign(FAST_BUGS[0])
+    assert stats.failure_recurrences == clean.failure_recurrences
+    assert stats.monitored_runs == clean.monitored_runs
+
+
+def test_corrupt_patches_quarantine_on_client_and_server_survives():
+    plan = FaultPlan(seed=3, messages={
+        "*": MessageFaults(corrupt=0.3)})
+    _, stats = campaign(FAST_BUGS[0], fault_plan=plan, max_iterations=8)
+    fleet = stats.fleet
+    damaged = (fleet["quarantined"] + fleet["client_decode_failures"]
+               + sum(fleet["transport"]["corrupted"].values()))
+    assert damaged > 0  # the plan really fired…
+    assert stats.total_runs > 0  # …and the campaign kept running
+
+
+def test_crashed_clients_lose_their_patch():
+    plan = FaultPlan(seed=2,
+                     clients=ClientFaults(crashes_per_iteration=2))
+    _, stats = campaign(FAST_BUGS[0], fault_plan=plan)
+    assert stats.fleet["runs_lost_to_crash"] >= 2
+    assert stats.found  # surviving endpoints carry the iteration
+
+
+def test_fault_schedule_is_deterministic_across_fleet_workers():
+    plan = FaultPlan.standard_lossy(seed=5)
+    _, seq = campaign(FAST_BUGS[0], fault_plan=plan, fleet_workers=1)
+    _, par = campaign(FAST_BUGS[0], fault_plan=plan, fleet_workers=4)
+    for name in COMPARED:
+        assert getattr(par, name) == getattr(seq, name), name
+    assert seq.fleet["transport"]["dropped"] == \
+        par.fleet["transport"]["dropped"]
+    assert seq.fleet["runs_lost_to_crash"] == \
+        par.fleet["runs_lost_to_crash"]

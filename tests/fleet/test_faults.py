@@ -1,0 +1,120 @@
+"""Fault-plan determinism and the ``--fault-plan`` spec parser."""
+
+import pytest
+
+from repro.fleet import (
+    ClientFaults,
+    FaultPlan,
+    MessageFaults,
+    parse_fault_plan,
+)
+
+
+class TestDeterminism:
+    def test_same_key_same_decision(self):
+        plan = FaultPlan.standard_lossy(seed=42)
+        a = plan.decide("monitored_run", ("up", 3, 17), 512)
+        b = plan.decide("monitored_run", ("up", 3, 17), 512)
+        assert a == b
+
+    def test_decisions_are_order_independent(self):
+        plan = FaultPlan.standard_lossy(seed=7)
+        keys = [("up", i) for i in range(50)]
+        forward = [plan.decide("monitored_run", k, 256) for k in keys]
+        backward = [plan.decide("monitored_run", k, 256)
+                    for k in reversed(keys)]
+        assert forward == list(reversed(backward))
+
+    def test_seed_changes_schedule(self):
+        keys = [("up", i) for i in range(400)]
+        drops = {
+            seed: sum(FaultPlan.standard_lossy(seed).decide(
+                "monitored_run", k, 256).drop for k in keys)
+            for seed in (1, 2)
+        }
+        assert drops[1] != drops[2] or True  # counts may tie…
+        sets = {
+            seed: {k for k in keys if FaultPlan.standard_lossy(seed).decide(
+                "monitored_run", k, 256).drop}
+            for seed in (1, 2)
+        }
+        assert sets[1] != sets[2]  # …but never the same victims
+
+    def test_drop_rate_is_approximately_nominal(self):
+        plan = FaultPlan.standard_lossy(seed=0)
+        n = 2000
+        dropped = sum(plan.decide("monitored_run", ("up", i), 256).drop
+                      for i in range(n))
+        assert 0.02 * n < dropped < 0.09 * n  # nominal 5%
+
+    def test_crash_endpoints_exact_count_and_range(self):
+        plan = FaultPlan(seed=3, clients=ClientFaults(
+            crashes_per_iteration=2))
+        for epoch in range(6):
+            chosen = plan.crash_endpoints(epoch, n_endpoints=8)
+            assert len(chosen) == 2
+            assert all(0 <= e < 8 for e in chosen)
+        # more crashes than endpoints: everybody crashes, no more
+        assert len(FaultPlan(seed=1, clients=ClientFaults(
+            crashes_per_iteration=10)).crash_endpoints(0, 4)) == 4
+
+    def test_churn_spans_multiple_epochs(self):
+        short = FaultPlan(seed=5, clients=ClientFaults(churn=0.3))
+        spanned = FaultPlan(seed=5, clients=ClientFaults(churn=0.3,
+                                                         churn_epochs=3))
+        starts = [(e, i) for e in range(10) for i in range(8)
+                  if short.endpoint_churned(e, i)]
+        assert starts  # 30% churn over 80 cells fires somewhere
+        for epoch, endpoint in starts:
+            # a churn event beginning at E covers E..E+span-1
+            assert spanned.endpoint_churned(epoch, endpoint)
+            assert spanned.endpoint_churned(epoch + 1, endpoint)
+            assert spanned.endpoint_churned(epoch + 2, endpoint)
+
+    def test_null_plan_fast_path(self):
+        assert FaultPlan.none().is_null
+        assert not FaultPlan.standard_lossy().is_null
+        clean = FaultPlan.none().decide("patch", ("dn", 0), 64)
+        assert not (clean.drop or clean.duplicate or clean.reorder
+                    or clean.delay)
+        assert clean.truncate_at is None and clean.corrupt_at is None
+
+    def test_wildcard_and_specific_message_classes(self):
+        plan = FaultPlan(messages={
+            "*": MessageFaults(drop=0.5),
+            "patch": MessageFaults(corrupt=0.5),
+        })
+        assert plan.faults_for("monitored_run").drop == 0.5
+        assert plan.faults_for("patch").drop == 0.0
+        assert plan.faults_for("patch").corrupt == 0.5
+
+
+class TestParser:
+    def test_none_forms(self):
+        assert parse_fault_plan(None) is None
+        assert parse_fault_plan("") is None
+        assert parse_fault_plan("none") is None
+        assert parse_fault_plan("off") is None
+
+    def test_lossy_forms(self):
+        assert parse_fault_plan("lossy") == FaultPlan.standard_lossy()
+        assert parse_fault_plan("lossy:9") == FaultPlan.standard_lossy(9)
+        with pytest.raises(ValueError):
+            parse_fault_plan("lossy:bogus")
+
+    def test_key_value_spec(self):
+        plan = parse_fault_plan("drop=0.1,corrupt=0.05,crashes=2,"
+                                "churn=0.01,seed=7")
+        assert plan.seed == 7
+        assert plan.messages["*"].drop == 0.1
+        assert plan.messages["*"].corrupt == 0.05
+        assert plan.clients.crashes_per_iteration == 2
+        assert plan.clients.churn == 0.01
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ValueError, match="unknown fault-plan key"):
+            parse_fault_plan("bogus=1")
+        with pytest.raises(ValueError, match="bad value"):
+            parse_fault_plan("drop=lots")
+        with pytest.raises(ValueError, match="key=value"):
+            parse_fault_plan("justaword")

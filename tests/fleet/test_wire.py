@@ -1,0 +1,200 @@
+"""Property tests for the fleet wire codecs.
+
+Every message class must round-trip exactly through encode → bytes →
+decode, encoding must be canonical (same object → same bytes), and any
+truncated or bit-corrupted payload must either raise :class:`WireError`
+or decode to a payload equal to the original — a lossy network must never
+be able to smuggle a silently-different object past the digest check.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.refinement import MonitoredRun
+from repro.fleet import wire
+from repro.hw.watchpoints import TrapRecord
+from repro.instrument.patch import Patch
+from repro.instrument.planner import HookSpec
+from repro.runtime.failures import FailureKind, FailureReport, StackFrameInfo
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+_text = st.text(max_size=24)
+_uid = st.integers(0, 5000)
+_tid = st.integers(0, 7)
+
+
+def stack_frames():
+    return st.tuples(_text, _uid, st.integers(0, 500)).map(
+        lambda t: StackFrameInfo(function=t[0], pc=t[1], line=t[2]))
+
+
+def failure_reports():
+    return st.builds(
+        FailureReport,
+        kind=st.sampled_from(list(FailureKind)),
+        pc=_uid,
+        tid=_tid,
+        message=_text,
+        stack=st.tuples(*[stack_frames()] * 2) | st.just(()),
+        address=st.none() | st.integers(0, 2 ** 32),
+    )
+
+
+def trap_records():
+    return st.builds(
+        TrapRecord,
+        seq=st.integers(0, 10 ** 6),
+        tid=_tid,
+        pc=_uid,
+        address=st.integers(0, 2 ** 32),
+        is_write=st.booleans(),
+        value=st.integers(-2 ** 31, 2 ** 31),
+        slot=st.integers(0, 3),
+    )
+
+
+def monitored_runs():
+    return st.builds(
+        MonitoredRun,
+        run_id=st.integers(0, 10 ** 6),
+        endpoint_id=st.integers(-1, 63),
+        failed=st.booleans(),
+        failure=st.none() | failure_reports(),
+        executed=st.dictionaries(_tid, st.lists(_uid, max_size=12),
+                                 max_size=3),
+        traps=st.lists(trap_records(), max_size=4),
+        overhead=st.floats(min_value=0.0, max_value=10.0,
+                           allow_nan=False, allow_infinity=False),
+        trace_bytes=st.integers(0, 10 ** 6),
+    )
+
+
+def patches():
+    hooks = st.lists(
+        st.builds(HookSpec, uid=_uid,
+                  action=st.sampled_from(("pt_start", "pt_stop", "watch")),
+                  note=_text),
+        max_size=6).map(tuple)
+    return st.builds(
+        Patch,
+        program=_text,
+        hooks=hooks,
+        watch_assignment=st.frozensets(_uid, max_size=4),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Round trips
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(failure_reports(), st.none() | st.integers(0, 99))
+def test_failure_report_round_trip(report, epoch):
+    blob = wire.encode_failure_report(report, epoch=epoch)
+    msg = wire.decode_message(blob)
+    assert msg.type == wire.MSG_FAILURE_REPORT
+    assert msg.epoch == epoch
+    assert msg.payload == report
+    assert msg.payload.identity() == report.identity()
+
+
+@settings(max_examples=60, deadline=None)
+@given(monitored_runs(), st.integers(0, 99))
+def test_monitored_run_round_trip(run, epoch):
+    blob = wire.encode_monitored_run(run, epoch=epoch)
+    msg = wire.decode_message(blob)
+    assert msg.type == wire.MSG_MONITORED_RUN
+    assert msg.payload == run
+    # int thread ids must survive JSON's string keys
+    assert all(isinstance(tid, int) for tid in msg.payload.executed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(patches(), st.integers(0, 99))
+def test_patch_round_trip(patch, epoch):
+    msg = wire.decode_message(wire.encode_patch(patch, epoch=epoch))
+    assert msg.type == wire.MSG_PATCH
+    assert msg.payload == patch
+
+
+@settings(max_examples=60, deadline=None)
+@given(trap_records())
+def test_trap_record_round_trip(trap):
+    msg = wire.decode_message(wire.encode_trap_record(trap))
+    assert msg.payload == trap
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 63), st.integers(0, 99), st.text(max_size=16))
+def test_patch_ack_round_trip(endpoint_id, epoch, digest):
+    msg = wire.decode_message(
+        wire.encode_patch_ack(endpoint_id, epoch, digest))
+    assert msg.type == wire.MSG_PATCH_ACK
+    assert msg.epoch == epoch
+    assert msg.payload == {"endpoint_id": endpoint_id, "epoch": epoch,
+                           "patch_digest": digest}
+
+
+@settings(max_examples=30, deadline=None)
+@given(monitored_runs())
+def test_encoding_is_canonical(run):
+    assert wire.encode_monitored_run(run, epoch=3) == \
+        wire.encode_monitored_run(run, epoch=3)
+
+
+# ---------------------------------------------------------------------------
+# Rejection of damaged payloads
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(failure_reports(), st.data())
+def test_truncated_payload_is_rejected(report, data):
+    blob = wire.encode_failure_report(report, epoch=1)
+    cut = data.draw(st.integers(0, len(blob) - 1))
+    with pytest.raises(wire.WireError):
+        wire.decode_message(blob[:cut])
+
+
+@settings(max_examples=120, deadline=None)
+@given(monitored_runs(), st.data())
+def test_bit_corruption_never_smuggles_a_different_payload(run, data):
+    blob = wire.encode_monitored_run(run, epoch=2)
+    index = data.draw(st.integers(0, len(blob) - 1))
+    bit = data.draw(st.integers(0, 7))
+    mangled = bytearray(blob)
+    mangled[index] ^= 1 << bit
+    try:
+        msg = wire.decode_message(bytes(mangled))
+    except wire.WireError:
+        return  # rejected: the common, safe outcome
+    # the rare survivable flips (e.g. in the unprotected epoch field) must
+    # still deliver the exact original payload — the body is digest-bound
+    assert msg.payload == run
+
+
+def test_decode_rejects_wrong_version_and_type():
+    report = FailureReport(kind=FailureKind.SEGFAULT, pc=7, tid=0)
+    blob = wire.encode_failure_report(report)
+    with pytest.raises(wire.WireError):
+        wire.decode_message(blob.replace(b'"wire":1', b'"wire":2'))
+    with pytest.raises(wire.WireError):
+        wire.decode_message(b'{"wire": 1, "type": "nope"}')
+    with pytest.raises(wire.WireError):
+        wire.decode_message(b'[1, 2, 3]')
+    with pytest.raises(wire.WireError):
+        wire.decode_message(b'\xff\xfe not utf-8')
+
+
+def test_digest_mismatch_is_rejected():
+    report = FailureReport(kind=FailureKind.ASSERTION, pc=9, tid=1,
+                           message="boom")
+    blob = wire.encode_failure_report(report)
+    tampered = blob.replace(b'"boom"', b'"doom"')
+    assert tampered != blob
+    with pytest.raises(wire.WireError, match="digest"):
+        wire.decode_message(tampered)

@@ -149,3 +149,30 @@ int main(int x) {
         assert main(["coverage", str(path), "4", "--runs", "1"]) == 0
         one = capsys.readouterr().out
         assert "1 full" not in one.split("main:")[1].splitlines()[0]
+
+
+class TestVersionAndFleetFlags:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_corpus_diagnose_with_fault_plan(self, capsys):
+        assert main(["corpus", "diagnose", "transmission-1818",
+                     "--fault-plan", "lossy"]) == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_corpus_diagnose_direct_transport(self, capsys):
+        assert main(["corpus", "diagnose", "transmission-1818",
+                     "--fleet-transport", "direct"]) == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_bad_fault_plan_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["corpus", "diagnose", "transmission-1818",
+                  "--fault-plan", "bogus=1"])
+        assert exc.value.code == 2
+        assert "unknown fault-plan key" in capsys.readouterr().err
