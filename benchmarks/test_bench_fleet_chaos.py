@@ -22,7 +22,7 @@ import pytest
 
 from repro.core.cooperative import CooperativeDeployment
 from repro.core.render import render_sketch
-from repro.corpus import get_bug
+from repro.corpus import all_bug_ids, get_bug
 from repro.fleet import FaultPlan
 
 from _shared import bench_bug_ids, emit, shared_context
@@ -147,6 +147,13 @@ def test_bench_fleet_chaos(benchmark):
         assert row["found_faulted"], bug_id
         assert row["iterations_faulted"] <= \
             2 * max(row["iterations_fault_free"], 1), (bug_id, row)
-    assert data["totals"]["messages_dropped"] > 0
-    assert data["totals"]["messages_corrupted"] > 0
     assert data["totals"]["runs_lost_to_crash"] > 0
+    if set(data["bugs"]) == set(all_bug_ids()):
+        # Every fault class fires over the full corpus's message volume.
+        assert data["totals"]["messages_dropped"] > 0
+        assert data["totals"]["messages_corrupted"] > 0
+    else:
+        # A corpus subset may send too few messages for each independent
+        # per-message fault class to fire; only require that some did.
+        assert (data["totals"]["messages_dropped"]
+                + data["totals"]["messages_corrupted"]) > 0

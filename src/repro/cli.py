@@ -170,12 +170,18 @@ def cmd_slice(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_jobs(args: argparse.Namespace) -> int:
+    """Effective worker count: ``--jobs`` overrides ``--fleet-workers``."""
+    return args.jobs if args.jobs is not None else args.fleet_workers
+
+
 def cmd_diagnose(args: argparse.Namespace) -> int:
     """``repro diagnose``: run a full Gist campaign on a program."""
     module = _load_module(args.program)
     gist = Gist(module, bug=args.bug or args.program,
                 endpoints=args.endpoints, ptwrite=args.ptwrite,
-                fleet_workers=args.fleet_workers,
+                fleet_workers=_fleet_jobs(args),
+                executor=args.executor,
                 analysis_cache_dir=args.cache_dir,
                 transport=args.fleet_transport,
                 fault_plan=args.fault_plan)
@@ -219,15 +225,16 @@ def cmd_corpus(args: argparse.Namespace) -> int:
 
         module = spec.module()
         context = AnalysisContext(module, cache_dir=args.cache_dir)
-        deployment = CooperativeDeployment(
-            module, spec.workload_factory,
-            endpoints=args.endpoints, bug=spec.bug_id,
-            context=context, fleet_workers=args.fleet_workers,
-            transport=args.fleet_transport,
-            fault_plan=args.fault_plan)
-        stats = deployment.run_campaign(
-            stop_when=spec.sketch_has_root,
-            max_iterations=args.max_iterations)
+        with CooperativeDeployment(
+                module, spec.workload_factory,
+                endpoints=args.endpoints, bug=spec.bug_id,
+                context=context, fleet_workers=_fleet_jobs(args),
+                executor=args.executor,
+                transport=args.fleet_transport,
+                fault_plan=args.fault_plan) as deployment:
+            stats = deployment.run_campaign(
+                stop_when=spec.sketch_has_root,
+                max_iterations=args.max_iterations)
         context.save()
         if stats.sketch is None:
             print("failure never recurred", file=sys.stderr)
@@ -330,6 +337,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--fleet-workers", type=positive_int, default=1,
                        help="concurrent client runs per fleet batch "
                             "(results are deterministic for any value)")
+        p.add_argument("--executor",
+                       choices=("serial", "threads", "processes"),
+                       default="threads",
+                       help="execution engine for client runs: 'serial', "
+                            "'threads' (default), or 'processes' (warm "
+                            "worker pool — true parallelism; results are "
+                            "byte-identical across engines)")
+        p.add_argument("--jobs", type=positive_int, default=None,
+                       metavar="N",
+                       help="worker count for the chosen engine "
+                            "(overrides --fleet-workers)")
         p.add_argument("--cache-dir", default=None,
                        help="directory for the on-disk analysis-artifact "
                             "cache (repeat invocations skip cold analysis)")

@@ -21,6 +21,7 @@ from ..instrument.patch import AppliedInstrumentation, Patch, apply_patch
 from ..lang.ir import Module
 from ..runtime.failures import RunOutcome
 from ..runtime.interpreter import Interpreter
+from .predictors import extract_all
 from .refinement import MonitoredRun
 from .workload import Workload
 
@@ -36,18 +37,33 @@ class GistClient:
     """One endpoint in the cooperative deployment."""
 
     def __init__(self, module: Module, endpoint_id: int = 0,
-                 ptwrite: bool = False) -> None:
+                 ptwrite: bool = False,
+                 extended_predicates: bool = False) -> None:
         self.module = module
         self.endpoint_id = endpoint_id
         self.runs_executed = 0
         #: §6 future-hardware mode: data flow rides in the PT stream.
         self.ptwrite = ptwrite
+        #: §6 future work: also extract range/inequality value predicates
+        #: (must match the server's setting so fleet statistics line up).
+        self.extended_predicates = extended_predicates
+
+    def prepare_patch(self, patch: Optional[Patch]) -> Optional[Patch]:
+        """Transform a server patch before applying it (identity here).
+
+        Subclasses override this to model endpoints that run a reduced
+        patch (e.g. the control-flow-only ablation client) — keeping the
+        transformation separate from :meth:`run` lets remote execution
+        engines apply it before a job ever leaves the server process.
+        """
+        return patch
 
     def run(self, workload: Workload,
             patch: Optional[Patch] = None,
             run_id: int = -1) -> ClientRunResult:
         """Execute one workload, with or without instrumentation."""
         self.runs_executed += 1
+        patch = self.prepare_patch(patch)
         applied: Optional[AppliedInstrumentation] = None
         tracers = ()
         hooks = None
@@ -106,4 +122,10 @@ class GistClient:
                 overhead=outcome.overhead,
                 trace_bytes=applied.driver.encoder.total_bytes(),
             )
+            # Extract failure predictors here, on the endpoint: the fleet
+            # walks its own traces in parallel and the server's single
+            # aggregation thread ingests ready-made predictor sets.
+            monitored.predictors = frozenset(extract_all(
+                monitored, self.module,
+                extended=self.extended_predicates))
         return ClientRunResult(outcome=outcome, monitored=monitored)

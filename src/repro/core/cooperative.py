@@ -10,35 +10,38 @@ criterion or the slice is exhausted.
 Client workloads are embarrassingly parallel — each run gets its own
 interpreter, PT driver, and watchpoint unit, and all static analysis lives
 in an immutable shared :class:`~repro.analysis.context.AnalysisContext` —
-so the fleet executes them in batches of ``fleet_workers`` on a thread
-pool.  Determinism is preserved by construction: batch results are
-aggregated strictly in run-id order on the server thread, the server stops
-consuming at exactly the run where the sequential loop would have stopped,
-and any in-flight surplus runs of the final batch are discarded before
-they touch campaign state (a real fleet also keeps executing after the
-server has what it needs).  ``fleet_workers=1`` and ``fleet_workers=N``
-therefore produce byte-identical campaign statistics.
+so the fleet executes them in batches of ``fleet_workers`` through a
+pluggable **execution engine** (:mod:`repro.fleet.executors`): serial,
+thread pool (the default), or a warm process pool that escapes the GIL.
+Determinism is preserved by construction, identically for every engine:
+batch results are aggregated strictly in run-id order on the server
+thread, the server stops consuming at exactly the run where the
+sequential loop would have stopped, and any in-flight surplus runs of the
+final batch are discarded before they touch campaign state (a real fleet
+also keeps executing after the server has what it needs).  Every
+``(executor, fleet_workers)`` combination therefore produces
+byte-identical campaign statistics and sketches.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, \
     TYPE_CHECKING
 
 from ..analysis.context import AnalysisContext
 from ..lang.ir import Module
-from ..runtime.failures import FailureReport
+from ..runtime.failures import FailureReport, RunOutcome
 from .adaptive import DEFAULT_SIGMA
-from .client import GistClient
+from .client import ClientRunResult, GistClient
 from .server import DiagnosisCampaign, GistServer, IterationResult
 from .sketch import FailureSketch
 from .workload import Workload, WorkloadFactory
 
 if TYPE_CHECKING:
-    from ..fleet.endpoint import FleetEndpoint
+    from ..fleet.endpoint import FleetEndpoint, RunPlan
+    from ..fleet.executors import FleetExecutor
     from ..fleet.faults import FaultPlan
     from ..fleet.transport import FleetTransport
 
@@ -85,12 +88,18 @@ class CooperativeDeployment:
                  extended_predicates: bool = False,
                  context: Optional[AnalysisContext] = None,
                  fleet_workers: int = 1,
+                 executor: str = "threads",
+                 engine: Optional["FleetExecutor"] = None,
                  transport: str = "wire",
                  fault_plan: Optional["FaultPlan"] = None) -> None:
+        from ..fleet.executors import EXECUTOR_KINDS
+
         if endpoints < 1:
             raise ValueError("need at least one endpoint")
         if fleet_workers < 1:
             raise ValueError("need at least one fleet worker")
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(f"executor must be one of {EXECUTOR_KINDS}")
         if transport not in TRANSPORTS:
             raise ValueError(f"transport must be one of {TRANSPORTS}")
         if fault_plan is not None and transport != "wire":
@@ -101,10 +110,20 @@ class CooperativeDeployment:
         self.server = GistServer(module,
                                  extended_predicates=extended_predicates,
                                  context=context)
-        self.clients = [GistClient(module, endpoint_id=i, ptwrite=ptwrite)
+        # Clients extract predictors endpoint-side, so their extended flag
+        # must match the server's for the fleet statistics to line up.
+        self.clients = [GistClient(module, endpoint_id=i, ptwrite=ptwrite,
+                                   extended_predicates=extended_predicates)
                         for i in range(endpoints)]
         #: Client runs executed concurrently per batch (1 = sequential).
         self.fleet_workers = fleet_workers
+        #: Which execution engine runs the batches.  An injected ``engine``
+        #: overrides the name and stays open across campaigns (the caller
+        #: owns its lifecycle — how benchmarks amortize pool start-up).
+        self.executor_kind = engine.kind if engine is not None else executor
+        self._engine: Optional["FleetExecutor"] = engine
+        self._owns_engine = engine is None
+        self._module_wire_cache: Optional[Tuple[str, bytes]] = None
         self.transport_mode = transport
         self.fault_plan = fault_plan
         self.fleet_transport: Optional["FleetTransport"] = None
@@ -117,7 +136,6 @@ class CooperativeDeployment:
         self._runs_lost_to_churn = 0
         self._patch_resends = 0
         self._next_run = 0
-        self._pool: Optional[ThreadPoolExecutor] = None
 
     # -- plumbing ------------------------------------------------------------
 
@@ -138,18 +156,27 @@ class CooperativeDeployment:
         """
         self._next_run = next_run_id
 
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.fleet_workers,
-                thread_name_prefix="gist-fleet")
-        return self._pool
+    def _ensure_engine(self) -> "FleetExecutor":
+        if self._engine is None:
+            from ..fleet.executors import make_executor
+
+            self._engine = make_executor(self.executor_kind,
+                                         self.fleet_workers)
+        return self._engine
+
+    @property
+    def _pool(self):
+        """The engine's live worker pool — None before start / after close."""
+        return self._engine.live_pool if self._engine is not None else None
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the execution engine down (idempotent).
+
+        Injected engines belong to the caller and are left running.
+        """
+        if self._engine is not None and self._owns_engine:
+            self._engine.close()
+            self._engine = None
 
     def __enter__(self) -> "CooperativeDeployment":
         return self
@@ -157,12 +184,24 @@ class CooperativeDeployment:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def _module_wire(self) -> Tuple[str, bytes]:
+        """The module as a (digest, pickled blob) pair, computed once —
+        remote engines attach it to every job; workers cache by digest."""
+        if self._module_wire_cache is None:
+            from ..fleet.procpool import module_payload
+
+            self._module_wire_cache = module_payload(self.module)
+        return self._module_wire_cache
+
     def _execute_batch(
         self, size: int, patches: Optional[Sequence] = None,
     ) -> List[Tuple[Tuple[GistClient, Workload, int], object]]:
-        """Draw and execute up to ``size`` runs, concurrently when
-        ``fleet_workers > 1``; results come back in run-id order."""
+        """Draw and execute up to ``size`` runs through the engine;
+        results come back in run-id order."""
         drawn = [self._draw() for _ in range(size)]
+        engine = self._ensure_engine()
+        if engine.remote:
+            return list(zip(drawn, self._run_remote_direct(drawn, patches)))
 
         def one(item: Tuple[GistClient, Workload, int]):
             client, workload, run_id = item
@@ -171,11 +210,48 @@ class CooperativeDeployment:
                 patch = patches[client.endpoint_id % len(patches)]
             return client.run(workload, patch=patch, run_id=run_id)
 
-        if self.fleet_workers <= 1 or len(drawn) <= 1:
-            results = [one(item) for item in drawn]
-        else:
-            results = list(self._ensure_pool().map(one, drawn))
-        return list(zip(drawn, results))
+        return list(zip(drawn, engine.map(one, drawn)))
+
+    def _run_remote_direct(self, drawn, patches) -> List[ClientRunResult]:
+        """Direct-transport batch on a remote engine.
+
+        Jobs carry the patch each client would have applied (after its
+        :meth:`~repro.core.client.GistClient.prepare_patch` transform,
+        which must happen before the job leaves this process); results
+        come back as wire envelopes and are decoded into the same
+        :class:`ClientRunResult` shape the in-process path returns.
+        """
+        from ..fleet import wire
+        from ..fleet.executors import RunJob
+
+        digest, blob = self._module_wire()
+        jobs = []
+        for client, workload, run_id in drawn:
+            patch = None
+            if patches:
+                patch = patches[client.endpoint_id % len(patches)]
+            patch = client.prepare_patch(patch)
+            jobs.append(RunJob(
+                run_id=run_id, endpoint_id=client.endpoint_id,
+                workload=workload, module_digest=digest, module_blob=blob,
+                patch_blob=(wire.encode_patch(patch)
+                            if patch is not None else None),
+                ptwrite=client.ptwrite,
+                extended=client.extended_predicates))
+        results: List[ClientRunResult] = []
+        for job_result in self._ensure_engine().run_jobs(jobs):
+            failure = None
+            if job_result.failure_blob is not None:
+                failure = wire.decode_message(job_result.failure_blob).payload
+            monitored = None
+            if job_result.monitored_blob is not None:
+                monitored = wire.decode_message(
+                    job_result.monitored_blob).payload
+            results.append(ClientRunResult(
+                outcome=RunOutcome(failed=job_result.failed,
+                                   failure=failure),
+                monitored=monitored))
+        return results
 
     # -- wire transport plumbing ----------------------------------------------
 
@@ -201,16 +277,60 @@ class CooperativeDeployment:
         ``fleet_workers`` value."""
         fleet = self._fleet()
         drawn = [self._draw() for _ in range(size)]
+        engine = self._ensure_engine()
+        if engine.remote:
+            return list(zip(drawn, self._run_remote_wire(fleet, drawn)))
 
         def one(item: Tuple[GistClient, Workload, int]):
             _client, workload, run_id = item
             return fleet[run_id % len(fleet)].execute(workload, run_id)
 
-        if self.fleet_workers <= 1 or len(drawn) <= 1:
-            results = [one(item) for item in drawn]
-        else:
-            results = list(self._ensure_pool().map(one, drawn))
-        return list(zip(drawn, results))
+        return list(zip(drawn, engine.map(one, drawn)))
+
+    def _run_remote_wire(self, fleet: List["FleetEndpoint"], drawn):
+        """Wire-mode batch on a remote engine.
+
+        Fault verdicts, patch staleness, and straggle flags are pure
+        endpoint-side state, so each run's :class:`RunPlan` is resolved
+        here first; only fault-free runs become jobs.  Workers return the
+        same wire envelopes :meth:`FleetEndpoint.execute` would have
+        encoded, and :meth:`FleetEndpoint.package` re-attaches the plan —
+        so downstream transport traffic is byte-identical to the
+        in-process engines.
+        """
+        from ..fleet import wire
+        from ..fleet.endpoint import RUN_OK
+        from ..fleet.executors import RunJob
+
+        digest, blob = self._module_wire()
+        plans: List[Tuple["FleetEndpoint", "RunPlan"]] = []
+        jobs = []
+        for _client, workload, run_id in drawn:
+            endpoint = fleet[run_id % len(fleet)]
+            plan = endpoint.plan_run(run_id)
+            plans.append((endpoint, plan))
+            if plan.kind != RUN_OK:
+                continue
+            patch = endpoint.client.prepare_patch(plan.patch)
+            jobs.append(RunJob(
+                run_id=run_id, endpoint_id=endpoint.endpoint_id,
+                workload=workload, module_digest=digest, module_blob=blob,
+                patch_blob=(wire.encode_patch(patch)
+                            if patch is not None else None),
+                patch_epoch=plan.patch_epoch,
+                ptwrite=endpoint.client.ptwrite,
+                extended=endpoint.client.extended_predicates))
+        job_results = iter(self._ensure_engine().run_jobs(jobs))
+        results = []
+        for endpoint, plan in plans:
+            if plan.kind != RUN_OK:
+                results.append((plan.kind, []))
+                continue
+            job_result = next(job_results)
+            results.append(endpoint.package(
+                plan, job_result.failed, job_result.failure_blob,
+                job_result.monitored_blob))
+        return results
 
     def _transmit(self, epoch: int, run_id: int, messages) -> None:
         """Push one run's encoded messages through the fault layer."""

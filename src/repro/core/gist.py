@@ -69,6 +69,8 @@ class Gist:
                  context: Optional[AnalysisContext] = None,
                  analysis_cache_dir: Optional[os.PathLike] = None,
                  fleet_workers: int = 1,
+                 executor: str = "threads",
+                 engine=None,
                  transport: str = "wire",
                  fault_plan=None) -> None:
         self.module = module
@@ -85,6 +87,12 @@ class Gist:
             module, cache_dir=analysis_cache_dir)
         #: Concurrent client runs per fleet batch (1 = sequential).
         self.fleet_workers = fleet_workers
+        #: Execution engine kind: ``"serial"``, ``"threads"`` (default) or
+        #: ``"processes"`` (warm worker pool, escapes the GIL).
+        self.executor = executor
+        #: Pre-built :class:`repro.fleet.FleetExecutor` to reuse across
+        #: diagnoses (caller owns its lifecycle); overrides ``executor``.
+        self.engine = engine
         #: ``"wire"`` (encoded-bytes fleet transport, default) or
         #: ``"direct"`` (the pre-transport in-process hand-off).
         self.transport = transport
@@ -119,6 +127,7 @@ class Gist:
             endpoints=self.endpoints, bug=self.bug, ptwrite=self.ptwrite,
             extended_predicates=self.extended_predicates,
             context=self.context, fleet_workers=self.fleet_workers,
+            executor=self.executor, engine=self.engine,
             transport=self.transport, fault_plan=self.fault_plan)
         stats = deployment.run_campaign(
             initial_sigma=initial_sigma,

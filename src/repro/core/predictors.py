@@ -74,6 +74,55 @@ def _where(module, uid: int) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Wire form
+# ---------------------------------------------------------------------------
+# Predictor identity is pure structure (strings, ints, bools, nested
+# tuples), so it maps onto JSON directly: tuples become lists on the way
+# out and come back as tuples.  The set form is *canonical* — sorted by
+# kind then detail — so equal predictor sets always encode to identical
+# bytes, preserving the wire layer's content-digest idempotency.
+
+
+def _detail_to_jsonable(value):
+    if isinstance(value, tuple):
+        return [_detail_to_jsonable(v) for v in value]
+    return value
+
+
+def _detail_from_jsonable(value):
+    if isinstance(value, list):
+        return tuple(_detail_from_jsonable(v) for v in value)
+    return value
+
+
+def predictor_sort_key(predictor: "Predictor") -> Tuple[str, str]:
+    """Deterministic total order over predictors (for canonical encoding)."""
+    return (predictor.kind, repr(predictor.detail))
+
+
+def predictors_to_body(predictors) -> List[List]:
+    """Canonical JSON body of a predictor set: sorted [kind, detail] pairs."""
+    ordered = sorted(predictors, key=predictor_sort_key)
+    return [[p.kind, _detail_to_jsonable(p.detail)] for p in ordered]
+
+
+def predictors_from_body(body: List[List]) -> frozenset:
+    """Decode :func:`predictors_to_body` output back into a frozenset.
+
+    Raises ``ValueError`` on malformed entries (the wire layer converts
+    that into its own :class:`~repro.fleet.wire.WireError`).
+    """
+    out = set()
+    for entry in body:
+        if not (isinstance(entry, list) and len(entry) == 2
+                and isinstance(entry[0], str)
+                and isinstance(entry[1], list)):
+            raise ValueError("malformed predictor entry")
+        out.add(Predictor(entry[0], _detail_from_jsonable(entry[1])))
+    return frozenset(out)
+
+
+# ---------------------------------------------------------------------------
 # Extraction
 # ---------------------------------------------------------------------------
 

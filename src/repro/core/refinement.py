@@ -47,6 +47,13 @@ class MonitoredRun:
     overhead: float = 0.0
     #: PT bytes shipped (for §5.3-style accounting).
     trace_bytes: int = 0
+    #: Failure predictors extracted *on the endpoint* (a frozenset of
+    #: :class:`repro.core.predictors.Predictor`), so the server ingests
+    #: pre-extracted predictor sets instead of re-walking every trace on
+    #: its single aggregation thread.  ``None`` means "not extracted
+    #: client-side" (legacy payloads, hand-built runs, anonymized copies)
+    #: and makes the server fall back to its own extraction.
+    predictors: Optional[frozenset] = None
 
     def executed_uids(self) -> Set[int]:
         out: Set[int] = set()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..analysis.context import AnalysisContext
 from ..analysis.slicing import StaticSlice
@@ -66,7 +66,18 @@ class DiagnosisCampaign:
         self._current: Optional[AstIteration] = None
         self._current_plan: Optional[InstrumentationPlan] = None
         self._runs: List[MonitoredRun] = []
+        #: One ranker for the whole campaign, maintained *incrementally*:
+        #: every ingested run's predictor set is added exactly once and
+        #: carries over across AsT iterations (predictor identity is
+        #: structural, so facts observed under a σ=2 window stay valid
+        #: when the window doubles).  The paper leans on exactly this
+        #: accumulation — "Gist's refinement uses multiple failure
+        #: recurrences" — and :meth:`rebuild_ranker` is the from-scratch
+        #: reference the incremental path is tested against.
         self._ranker = PredictorRanker(failure_pc=first_report.pc)
+        #: Per-ingest (predictor set, recurrence) log, in ingest order —
+        #: what :meth:`rebuild_ranker` replays.
+        self._predictor_log: List[Tuple[FrozenSet, bool]] = []
         self._last_failing_run: Optional[MonitoredRun] = None
         # -- wire-facing hardening state (fleet transport) -----------------
         #: The patch epoch currently being monitored (== iteration number).
@@ -87,7 +98,9 @@ class DiagnosisCampaign:
         self._current_plan = self.server.planner.plan_window(
             self.slice, self._current.window_uids)
         self._runs = []
-        self._ranker = PredictorRanker(failure_pc=self.first_report.pc)
+        # The ranker deliberately survives: predictor statistics carry
+        # over across iterations instead of being rebuilt from scratch,
+        # so runs ingested under earlier windows keep contributing.
         self._last_failing_run = None
         self.epoch = self._current.number
         self.acked_endpoints = set()
@@ -117,9 +130,17 @@ class DiagnosisCampaign:
                         for i in range(n_variants)]
         return variants
 
-    def ingest(self, run: MonitoredRun) -> bool:
+    def ingest(self, run: MonitoredRun,
+               digest: Optional[str] = None) -> bool:
         """Absorb one monitored run.  Returns True when the run recurs the
-        campaign's failure (same identity, §3 footnote 1)."""
+        campaign's failure (same identity, §3 footnote 1).
+
+        Predictor statistics prefer the run's *client-extracted* predictor
+        set; when it is absent (legacy payloads, hand-built runs) the
+        server extracts — through the shared context's digest-keyed cache
+        when ``digest`` is known, so a re-ingested duplicate run never
+        pays extraction twice.
+        """
         assert self._current is not None, "begin_iteration first"
         self._runs.append(run)
         recurrence = bool(
@@ -131,11 +152,16 @@ class DiagnosisCampaign:
             self._last_failing_run = run
         elif not run.failed:
             self._current.successful_runs_seen += 1
-        self._ranker.add_run(
-            extract_all(run, self.server.module,
-                        extended=self.server.extended_predicates),
-            failed=recurrence)
+        predictors = self.server.predictors_of(run, digest=digest)
+        self._predictor_log.append((predictors, recurrence))
+        self._ranker.add_run(predictors, failed=recurrence)
         return recurrence
+
+    def rebuild_ranker(self) -> PredictorRanker:
+        """A from-scratch ranker over every run ingested so far — the
+        reference the incrementally maintained one must equal."""
+        return PredictorRanker.from_runs(
+            self._predictor_log, failure_pc=self.first_report.pc)
 
     def ingest_wire(self, message) -> Optional[Tuple[bool, MonitoredRun]]:
         """Epoch and idempotency gate in front of :meth:`ingest`.
@@ -155,7 +181,7 @@ class DiagnosisCampaign:
             return None
         self._seen_digests.add(message.digest)
         run = message.payload
-        return self.ingest(run), run
+        return self.ingest(run, digest=message.digest), run
 
     def note_ack(self, endpoint_id: int, epoch: Optional[int]) -> None:
         """Record a patch acknowledgement for the current epoch."""
@@ -265,6 +291,29 @@ class GistServer:
             return None
         self.messages_received += 1
         return message
+
+    def predictors_of(self, run: MonitoredRun,
+                      digest: Optional[str] = None) -> FrozenSet:
+        """The predictor set of one monitored run.
+
+        Client-extracted predictors ride in ``run.predictors`` and are
+        used as-is (and published to the shared context cache when the
+        run's content digest is known).  Otherwise the server extracts —
+        via the context's digest-keyed memo when possible, so fleet
+        retries and duplicated payloads skip re-extraction.
+        """
+        extended = self.extended_predicates
+        if run.predictors is not None:
+            predictors = frozenset(run.predictors)
+            if digest is not None:
+                self.context.store_predictors(digest, extended, predictors)
+            return predictors
+        if digest is not None:
+            return self.context.predictors_for(
+                digest, extended,
+                lambda: frozenset(extract_all(run, self.module,
+                                              extended=extended)))
+        return frozenset(extract_all(run, self.module, extended=extended))
 
     def handle_failure_report(self, bug: str, report: FailureReport,
                               initial_sigma: int = DEFAULT_SIGMA

@@ -15,7 +15,7 @@ choice predicts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .predictors import Predictor
 
@@ -78,6 +78,49 @@ class PredictorRanker:
             counts = self._successful_counts
         for p in seen:
             counts[p] = counts.get(p, 0) + 1
+
+    def merge(self, other: "PredictorRanker") -> None:
+        """Fold another ranker's counts into this one.
+
+        Rankers are pure occurrence counters, so accumulation is
+        associative: a campaign may shard extraction across workers (or
+        AsT iterations) and merge the partial counts without changing any
+        score.  ``beta``/``failure_pc`` must match — merging rankers with
+        different scoring parameters is a bug, not a union.
+        """
+        if other.beta != self.beta or other.failure_pc != self.failure_pc:
+            raise ValueError("cannot merge rankers with different "
+                             "beta/failure_pc")
+        self.total_failing += other.total_failing
+        self.total_successful += other.total_successful
+        for p, n in other._failing_counts.items():
+            self._failing_counts[p] = self._failing_counts.get(p, 0) + n
+        for p, n in other._successful_counts.items():
+            self._successful_counts[p] = \
+                self._successful_counts.get(p, 0) + n
+
+    @classmethod
+    def from_runs(cls, runs: Sequence[Tuple[Iterable[Predictor], bool]],
+                  beta: float = DEFAULT_BETA,
+                  failure_pc: Optional[int] = None) -> "PredictorRanker":
+        """Rebuild a ranker from scratch out of ``(predictors, failed)``
+        pairs — the reference the incremental path is tested against."""
+        ranker = cls(beta=beta, failure_pc=failure_pc)
+        for predictors, failed in runs:
+            ranker.add_run(predictors, failed)
+        return ranker
+
+    def state(self) -> Dict[str, Any]:
+        """A comparable snapshot of the accumulated counts (test support:
+        incrementally maintained == rebuilt from scratch)."""
+        return {
+            "beta": self.beta,
+            "failure_pc": self.failure_pc,
+            "total_failing": self.total_failing,
+            "total_successful": self.total_successful,
+            "failing": dict(self._failing_counts),
+            "successful": dict(self._successful_counts),
+        }
 
     # -- scoring ------------------------------------------------------------------
 

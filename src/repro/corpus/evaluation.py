@@ -90,10 +90,12 @@ class _ModeClient(GistClient):
         super().__init__(module, endpoint_id, ptwrite=(mode == "ptw"))
         self.mode = mode
 
-    def run(self, workload, patch=None, run_id: int = -1):
+    def prepare_patch(self, patch):
+        # Implemented as a patch transform (not a run() override) so remote
+        # execution engines apply the ablation before a job ships out.
         if patch is not None and self.mode == "cf":
             patch = strip_watch_hooks(patch)
-        return super().run(workload, patch=patch, run_id=run_id)
+        return patch
 
 
 def _static_only_sketch(spec: BugSpec, slice_: StaticSlice,
@@ -140,6 +142,8 @@ def evaluate_bug(
     max_bootstrap_runs: int = 400,
     context: Optional["AnalysisContext"] = None,
     fleet_workers: int = 1,
+    executor: str = "threads",
+    engine=None,
     transport: str = "wire",
     fault_plan=None,
 ) -> BugEvaluation:
@@ -162,6 +166,8 @@ def evaluate_bug(
                                        endpoints=endpoints, bug=spec.bug_id,
                                        context=context,
                                        fleet_workers=fleet_workers,
+                                       executor=executor,
+                                       engine=engine,
                                        transport=transport,
                                        fault_plan=fault_plan)
     if mode in ("cf", "ptw"):

@@ -12,7 +12,10 @@ supplies that network for the simulated fleet:
 - :mod:`repro.fleet.faults` — a seeded, deterministic :class:`FaultPlan`
   injecting drops, duplicates, reorders, delays, truncation, corruption,
   client crashes, churn, and stragglers;
-- :mod:`repro.fleet.endpoint` — the wire-speaking endpoint wrapper.
+- :mod:`repro.fleet.endpoint` — the wire-speaking endpoint wrapper;
+- :mod:`repro.fleet.executors` / :mod:`repro.fleet.procpool` — the
+  pluggable execution engines (serial / threads / warm process pool)
+  the deployment schedules client runs through.
 
 With a fault-free plan the transport is an exact, byte-level loopback:
 campaign statistics and sketches are identical to the pre-transport
@@ -33,7 +36,18 @@ from .transport import (
     TransportClosed,
     TransportStats,
 )
-from .endpoint import RUN_CHURNED, RUN_CRASHED, RUN_OK, FleetEndpoint
+from .endpoint import RUN_CHURNED, RUN_CRASHED, RUN_OK, FleetEndpoint, \
+    RunPlan
+from .executors import (
+    EXECUTOR_KINDS,
+    FleetExecutor,
+    JobResult,
+    RunJob,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from .procpool import ProcessExecutor, module_payload
 from .wire import (
     MSG_FAILURE_REPORT,
     MSG_MONITORED_RUN,
@@ -56,11 +70,19 @@ from .wire import (
 __all__ = [
     "Channel",
     "ClientFaults",
+    "EXECUTOR_KINDS",
     "FaultDecision",
     "FaultPlan",
     "FleetEndpoint",
+    "FleetExecutor",
     "FleetReport",
     "FleetTransport",
+    "JobResult",
+    "ProcessExecutor",
+    "RunJob",
+    "RunPlan",
+    "SerialExecutor",
+    "ThreadExecutor",
     "Message",
     "MessageFaults",
     "MSG_FAILURE_REPORT",
@@ -83,5 +105,7 @@ __all__ = [
     "encode_patch",
     "encode_patch_ack",
     "encode_trap_record",
+    "make_executor",
+    "module_payload",
     "parse_fault_plan",
 ]

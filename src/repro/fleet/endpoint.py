@@ -18,6 +18,7 @@ base run id so the answer never depends on thread scheduling.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Tuple, TYPE_CHECKING
 
 from .faults import FaultPlan
@@ -35,6 +36,24 @@ RUN_CRASHED = "crashed"
 RUN_CHURNED = "churned"
 
 EndpointRun = Tuple[str, List[Tuple[str, bytes, bool]]]
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """Everything decided *before* a run executes, resolved main-side.
+
+    Fault verdicts, the effective patch (crash staleness already applied),
+    its epoch, and the straggle flag are all pure functions of endpoint
+    state plus the run id — computing them up front lets a remote
+    execution engine ship just ``(patch, workload)`` to a worker process
+    and re-attach the rest when the result comes back, without the worker
+    ever seeing the fault plan.
+    """
+
+    kind: str
+    patch: Optional[Patch] = None
+    patch_epoch: Optional[int] = None
+    straggles: bool = False
 
 
 class FleetEndpoint:
@@ -117,6 +136,50 @@ class FleetEndpoint:
 
     # -- execution ----------------------------------------------------------
 
+    def plan_run(self, run_id: int) -> RunPlan:
+        """Resolve everything about a run that precedes execution.
+
+        Fault verdicts first: a churned endpoint executes nothing this
+        epoch; a crashing run reports nothing, and — because the restarted
+        process has lost the in-memory patch — the endpoint's later runs
+        this epoch execute unmonitored (the crash-staleness check below).
+        """
+        plan = self.plan
+        if plan is not None:
+            if plan.endpoint_churned(self.epoch, self.endpoint_id):
+                return RunPlan(RUN_CHURNED)
+            first = self._first_run_of_epoch()
+            if plan.run_crashes(self.epoch, run_id, self.endpoint_id,
+                                first_of_epoch=(run_id == first),
+                                n_endpoints=self.fleet_size):
+                return RunPlan(RUN_CRASHED)
+        patch = self.patch
+        if patch is not None and self._crashed_in_epoch(run_id):
+            patch = None
+        straggles = (plan is not None
+                     and plan.run_straggles(self.epoch, run_id))
+        return RunPlan(RUN_OK, patch=patch, patch_epoch=self.patch_epoch,
+                       straggles=straggles)
+
+    def package(self, plan: RunPlan, failed: bool,
+                failure_blob: Optional[bytes],
+                monitored_blob: Optional[bytes]) -> EndpointRun:
+        """Assemble an executed run's outbound messages from its envelopes.
+
+        Accepts the already encoded wire payloads — produced either right
+        here in :meth:`execute` or by a worker process — so both paths
+        emit byte-identical traffic.
+        """
+        messages: List[Tuple[str, bytes, bool]] = []
+        if monitored_blob is not None:
+            messages.append((wire.MSG_MONITORED_RUN, monitored_blob,
+                             plan.straggles))
+        elif failed:
+            assert failure_blob is not None
+            messages.append((wire.MSG_FAILURE_REPORT, failure_blob,
+                             plan.straggles))
+        return RUN_OK, messages
+
     def execute(self, workload: Workload, run_id: int) -> EndpointRun:
         """Run one workload; return the run kind plus outbound messages.
 
@@ -124,35 +187,16 @@ class FleetEndpoint:
         encoded bytes — the deployment (playing the network) pushes them
         through the transport on the aggregation thread, in run-id order.
         """
-        plan = self.plan
-        if plan is not None:
-            if plan.endpoint_churned(self.epoch, self.endpoint_id):
-                return RUN_CHURNED, []
-            first = self._first_run_of_epoch()
-            if plan.run_crashes(self.epoch, run_id, self.endpoint_id,
-                                first_of_epoch=(run_id == first),
-                                n_endpoints=self.fleet_size):
-                # Crash mid-run: nothing is reported.  The restarted
-                # process has lost the in-memory patch, so the endpoint's
-                # later runs this epoch execute unmonitored.
-                return RUN_CRASHED, []
-        patch = self.patch
-        if patch is not None and self._crashed_in_epoch(run_id):
-            patch = None
-        result = self.client.run(workload, patch=patch, run_id=run_id)
-        straggles = (plan is not None
-                     and plan.run_straggles(self.epoch, run_id))
-        messages: List[Tuple[str, bytes, bool]] = []
+        plan = self.plan_run(run_id)
+        if plan.kind != RUN_OK:
+            return plan.kind, []
+        result = self.client.run(workload, patch=plan.patch, run_id=run_id)
+        failure_blob = None
+        if result.outcome.failed and result.outcome.failure is not None:
+            failure_blob = wire.encode_failure_report(result.outcome.failure)
+        monitored_blob = None
         if result.monitored is not None:
-            messages.append((
-                wire.MSG_MONITORED_RUN,
-                wire.encode_monitored_run(result.monitored,
-                                          epoch=self.patch_epoch),
-                straggles))
-        elif result.outcome.failed:
-            assert result.outcome.failure is not None
-            messages.append((
-                wire.MSG_FAILURE_REPORT,
-                wire.encode_failure_report(result.outcome.failure),
-                straggles))
-        return RUN_OK, messages
+            monitored_blob = wire.encode_monitored_run(
+                result.monitored, epoch=plan.patch_epoch)
+        return self.package(plan, result.outcome.failed, failure_blob,
+                            monitored_blob)

@@ -31,6 +31,7 @@ from ..hw.watchpoints import TrapRecord
 from ..instrument.patch import Patch
 from ..instrument.planner import HookSpec
 from ..runtime.failures import FailureKind, FailureReport, StackFrameInfo
+from ..core.predictors import predictors_from_body, predictors_to_body
 from ..core.refinement import MonitoredRun
 
 #: Bump when the envelope or any body schema changes incompatibly.
@@ -131,7 +132,7 @@ def trap_record_from_body(body: List) -> TrapRecord:
 
 
 def monitored_run_to_body(run: MonitoredRun) -> Dict[str, Any]:
-    return {
+    body = {
         "run_id": run.run_id,
         "endpoint_id": run.endpoint_id,
         "failed": run.failed,
@@ -143,6 +144,12 @@ def monitored_run_to_body(run: MonitoredRun) -> Dict[str, Any]:
         "overhead": run.overhead,
         "trace_bytes": run.trace_bytes,
     }
+    # Client-extracted predictors travel as a compact, canonically sorted
+    # section; absent entirely when the endpoint did not extract, so
+    # pre-extraction payloads stay byte-for-byte encodable and decodable.
+    if run.predictors is not None:
+        body["predictors"] = predictors_to_body(run.predictors)
+    return body
 
 
 def monitored_run_from_body(body: Dict[str, Any]) -> MonitoredRun:
@@ -161,6 +168,13 @@ def monitored_run_from_body(body: Dict[str, Any]) -> MonitoredRun:
             raise WireError("malformed executed sequence")
         executed[tid] = list(seq)
     overhead = _require(body, "overhead", (int, float))
+    predictors = None
+    if "predictors" in body:
+        try:
+            predictors = predictors_from_body(
+                _require(body, "predictors", list))
+        except ValueError as err:
+            raise WireError(str(err))
     return MonitoredRun(
         run_id=_require(body, "run_id", int),
         endpoint_id=_require(body, "endpoint_id", int),
@@ -171,6 +185,7 @@ def monitored_run_from_body(body: Dict[str, Any]) -> MonitoredRun:
                for t in _require(body, "traps", list)],
         overhead=float(overhead),
         trace_bytes=_require(body, "trace_bytes", int),
+        predictors=predictors,
     )
 
 
