@@ -79,6 +79,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                          scheduler=scheduler, max_steps=args.max_steps,
                          strict_dispatch=(True if args.strict_dispatch
                                           else None),
+                         mode=args.interp,
                          profile=args.profile_run)
     outcome = interp.run()
     for line in outcome.stdout:
@@ -117,7 +118,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
                  if args.seed is not None else None)
     interp = Interpreter(module, args=_parse_args_values(args.args),
                          scheduler=scheduler, tracers=[encoder],
-                         max_steps=args.max_steps)
+                         max_steps=args.max_steps, mode=args.interp)
     outcome = interp.run()
     decoder = PTDecoder(module)
     print(f"run: {'FAILED' if outcome.failed else 'ok'}, "
@@ -153,7 +154,7 @@ def cmd_coverage(args: argparse.Namespace) -> int:
                                     args.switch_prob)
         interp = Interpreter(module, args=_parse_args_values(args.args),
                              scheduler=scheduler, tracers=[encoder],
-                             max_steps=args.max_steps)
+                             max_steps=args.max_steps, mode=args.interp)
         interp.run()
         for tid in sorted(encoder.buffers):
             traces.append(decoder.decode(encoder.raw_trace(tid)))
@@ -184,7 +185,8 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
                 executor=args.executor,
                 analysis_cache_dir=args.cache_dir,
                 transport=args.fleet_transport,
-                fault_plan=args.fault_plan)
+                fault_plan=args.fault_plan,
+                interp_mode=args.interp)
     workload = Workload(args=tuple(_parse_args_values(args.args)),
                         switch_prob=args.switch_prob,
                         max_steps=args.max_steps)
@@ -231,7 +233,8 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                 context=context, fleet_workers=_fleet_jobs(args),
                 executor=args.executor,
                 transport=args.fleet_transport,
-                fault_plan=args.fault_plan) as deployment:
+                fault_plan=args.fault_plan,
+                interp_mode=args.interp) as deployment:
             stats = deployment.run_campaign(
                 stop_when=spec.sketch_has_root,
                 max_iterations=args.max_iterations)
@@ -277,12 +280,22 @@ def build_parser() -> argparse.ArgumentParser:
                         version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def interp_flag(p):
+        p.add_argument("--interp",
+                       choices=("compiled", "decoded", "strict"),
+                       default=None,
+                       help="interpreter tier: 'compiled' (GIR compiled to "
+                            "Python, default), 'decoded' (pre-decoded "
+                            "streams), or 'strict' (reference dispatch); "
+                            "instrumented runs always use 'decoded'")
+
     def common_run_flags(p):
         p.add_argument("args", nargs="*", help="program arguments")
         p.add_argument("--seed", type=int, default=None,
                        help="random-scheduler seed")
         p.add_argument("--switch-prob", type=float, default=0.02)
         p.add_argument("--max-steps", type=int, default=500_000)
+        interp_flag(p)
 
     p = sub.add_parser("compile", help="compile MiniC and dump GIR")
     p.add_argument("program")
@@ -387,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
     cp.set_defaults(func=cmd_corpus)
     cp = csub.add_parser("diagnose", help="run a campaign on a corpus bug")
     cp.add_argument("bug_id")
+    interp_flag(cp)
     cp.add_argument("--endpoints", type=int, default=4)
     cp.add_argument("--max-iterations", type=int, default=6)
     cp.add_argument("--html", default=None)

@@ -38,7 +38,8 @@ class GistClient:
 
     def __init__(self, module: Module, endpoint_id: int = 0,
                  ptwrite: bool = False,
-                 extended_predicates: bool = False) -> None:
+                 extended_predicates: bool = False,
+                 interp_mode: Optional[str] = None) -> None:
         self.module = module
         self.endpoint_id = endpoint_id
         self.runs_executed = 0
@@ -47,6 +48,10 @@ class GistClient:
         #: §6 future work: also extract range/inequality value predicates
         #: (must match the server's setting so fleet statistics line up).
         self.extended_predicates = extended_predicates
+        #: Interpreter tier ("compiled"/"decoded"/"strict"); None defers to
+        #: the process default.  Instrumented runs fall back to the decoded
+        #: tier automatically, so this only shapes uninstrumented runs.
+        self.interp_mode = interp_mode
 
     def prepare_patch(self, patch: Optional[Patch]) -> Optional[Patch]:
         """Transform a server patch before applying it (identity here).
@@ -79,6 +84,7 @@ class GistClient:
             tracers=tracers,
             hooks=hooks,
             max_steps=workload.max_steps,
+            mode=self.interp_mode,
         )
         outcome = interp.run()
         monitored = None

@@ -91,7 +91,8 @@ class CooperativeDeployment:
                  executor: str = "threads",
                  engine: Optional["FleetExecutor"] = None,
                  transport: str = "wire",
-                 fault_plan: Optional["FaultPlan"] = None) -> None:
+                 fault_plan: Optional["FaultPlan"] = None,
+                 interp_mode: Optional[str] = None) -> None:
         from ..fleet.executors import EXECUTOR_KINDS
 
         if endpoints < 1:
@@ -113,8 +114,12 @@ class CooperativeDeployment:
         # Clients extract predictors endpoint-side, so their extended flag
         # must match the server's for the fleet statistics to line up.
         self.clients = [GistClient(module, endpoint_id=i, ptwrite=ptwrite,
-                                   extended_predicates=extended_predicates)
+                                   extended_predicates=extended_predicates,
+                                   interp_mode=interp_mode)
                         for i in range(endpoints)]
+        #: Interpreter tier for uninstrumented endpoint runs (None = the
+        #: process default; instrumented runs always take the decoded tier).
+        self.interp_mode = interp_mode
         #: Client runs executed concurrently per batch (1 = sequential).
         self.fleet_workers = fleet_workers
         #: Which execution engine runs the batches.  An injected ``engine``
@@ -237,7 +242,8 @@ class CooperativeDeployment:
                 patch_blob=(wire.encode_patch(patch)
                             if patch is not None else None),
                 ptwrite=client.ptwrite,
-                extended=client.extended_predicates))
+                extended=client.extended_predicates,
+                interp_mode=client.interp_mode))
         results: List[ClientRunResult] = []
         for job_result in self._ensure_engine().run_jobs(jobs):
             failure = None
@@ -319,7 +325,8 @@ class CooperativeDeployment:
                             if patch is not None else None),
                 patch_epoch=plan.patch_epoch,
                 ptwrite=endpoint.client.ptwrite,
-                extended=endpoint.client.extended_predicates))
+                extended=endpoint.client.extended_predicates,
+                interp_mode=endpoint.client.interp_mode))
         job_results = iter(self._ensure_engine().run_jobs(jobs))
         results = []
         for endpoint, plan in plans:

@@ -72,7 +72,8 @@ class Gist:
                  executor: str = "threads",
                  engine=None,
                  transport: str = "wire",
-                 fault_plan=None) -> None:
+                 fault_plan=None,
+                 interp_mode: Optional[str] = None) -> None:
         self.module = module
         self.bug = bug
         self.endpoints = endpoints
@@ -99,6 +100,9 @@ class Gist:
         #: Optional :class:`repro.fleet.FaultPlan` injected at the
         #: transport boundary (wire transport only).
         self.fault_plan = fault_plan
+        #: Interpreter tier for uninstrumented endpoint runs
+        #: ("compiled"/"decoded"/"strict"; None = process default).
+        self.interp_mode = interp_mode
 
     @classmethod
     def from_source(cls, source: str, bug: str = "bug",
@@ -128,7 +132,8 @@ class Gist:
             extended_predicates=self.extended_predicates,
             context=self.context, fleet_workers=self.fleet_workers,
             executor=self.executor, engine=self.engine,
-            transport=self.transport, fault_plan=self.fault_plan)
+            transport=self.transport, fault_plan=self.fault_plan,
+            interp_mode=self.interp_mode)
         stats = deployment.run_campaign(
             initial_sigma=initial_sigma,
             stop_when=stop_when,

@@ -61,6 +61,9 @@ class RunJob:
     patch_epoch: Optional[int] = None
     ptwrite: bool = False
     extended: bool = False
+    #: Interpreter tier for the worker ("compiled"/"decoded"/"strict";
+    #: None = the worker process's default).
+    interp_mode: Optional[str] = None
 
 
 @dataclass(frozen=True)

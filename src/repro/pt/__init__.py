@@ -4,7 +4,13 @@ The reproduction's stand-in for the Broadwell hardware feature the paper
 uses for low-overhead control-flow tracking (§3.2.2, §4).
 """
 
-from .decoder import DecodedTrace, DecodeError, PTDecoder, TraceWindow
+from .decoder import (
+    DecodedTrace,
+    DecodeError,
+    PTDecoder,
+    ReferencePTDecoder,
+    TraceWindow,
+)
 from .driver import PT_IOC_DISABLE, PT_IOC_ENABLE, PTDriver, PTDriverError
 from .encoder import (
     DEFAULT_BUFFER_BYTES,
@@ -45,6 +51,7 @@ __all__ = [
     "PTW",
     "Packet",
     "PacketError",
+    "ReferencePTDecoder",
     "SoftwarePTEncoder",
     "TIP",
     "TIPPGD",

@@ -46,6 +46,7 @@ from ..lang.ir import (
     Register,
     StrConst,
 )
+from .compiled import CompileError, compiled_program
 from .costmodel import CostModel
 from .decoded import decoded_program
 from .events import (
@@ -81,6 +82,15 @@ ArgValue = Union[int, str]
 #: campaigns across modes without threading a flag through every call site.
 STRICT_DISPATCH_DEFAULT = \
     os.environ.get("REPRO_STRICT_DISPATCH", "") not in ("", "0")
+
+#: Process-wide default execution tier for runs that pass neither ``mode=``
+#: nor ``strict_dispatch=``: "compiled" (GIR compiled to Python source,
+#: uninstrumented runs only), "decoded" (pre-decoded closure streams), or
+#: "strict" (the reference interpreter).  Overridable via the
+#: ``REPRO_INTERP_MODE`` environment variable and the CLI ``--interp`` flag.
+INTERP_MODE_DEFAULT = os.environ.get("REPRO_INTERP_MODE", "") or "compiled"
+
+_VALID_MODES = ("compiled", "decoded", "strict")
 
 
 class _ProgramExit(Exception):
@@ -127,6 +137,7 @@ class Interpreter:
         max_steps: int = 500_000,
         strict_dispatch: Optional[bool] = None,
         profile: bool = False,
+        mode: Optional[str] = None,
     ) -> None:
         if not module.finalized:
             raise ValueError("module must be finalized")
@@ -138,9 +149,8 @@ class Interpreter:
         self.tracers: List[Tracer] = list(tracers)
         self.hooks: Dict[int, List[Hook]] = hooks or {}
         self.max_steps = max_steps
-        self.strict_dispatch = (STRICT_DISPATCH_DEFAULT
-                                if strict_dispatch is None
-                                else bool(strict_dispatch))
+        self.mode = self._resolve_mode(mode, strict_dispatch)
+        self.strict_dispatch = (self.mode == "strict")
         self.profile = profile
         #: Filled by a profiled run: {"steps", "wall_s", "phases": {...}}.
         self.profile_data: Optional[Dict[str, object]] = None
@@ -168,11 +178,46 @@ class Interpreter:
         # from tests poking _do_builtin directly — still dispatch).
         self._decoded = None if self.strict_dispatch \
             else decoded_program(module)
+        self._compiled = None
+        if self.mode == "compiled":
+            try:
+                self._compiled = compiled_program(module)
+            except CompileError:
+                # Unsupported construct: fall back to the decoded tier for
+                # this module (semantics are identical; only speed differs).
+                self.mode = "decoded"
         self._compute_dispatch()
 
         self._map_globals()
         self._map_strings()
         self._spawn_entry(list(args))
+
+    @staticmethod
+    def _resolve_mode(mode: Optional[str],
+                      strict_dispatch: Optional[bool]) -> str:
+        """Resolve the execution tier from the explicit ``mode``, the legacy
+        ``strict_dispatch`` flag, and the process-wide defaults.
+
+        Precedence: explicit ``mode`` > explicit ``strict_dispatch`` >
+        :data:`STRICT_DISPATCH_DEFAULT` > :data:`INTERP_MODE_DEFAULT`.  An
+        explicit ``strict_dispatch=False`` means "any non-strict tier": it
+        resolves to the process default unless that default is itself
+        "strict", in which case it falls to "decoded".
+        """
+        if mode is None and strict_dispatch is not None:
+            if strict_dispatch:
+                mode = "strict"
+            else:
+                mode = INTERP_MODE_DEFAULT
+                if mode == "strict":
+                    mode = "decoded"
+        if mode is None:
+            mode = "strict" if STRICT_DISPATCH_DEFAULT else INTERP_MODE_DEFAULT
+        if mode not in _VALID_MODES:
+            raise ValueError(
+                f"unknown interpreter mode {mode!r}; "
+                f"expected one of {_VALID_MODES}")
+        return mode
 
     # ------------------------------------------------------------------ setup
 
@@ -346,6 +391,13 @@ class Interpreter:
                 self._loop_strict()
             elif self.profile:
                 self._loop_profiled()
+            elif (self._compiled is not None and not self.tracers
+                    and not self.hooks):
+                # The compiled tier runs only fully uninstrumented
+                # executions; any tracer or hook is a trace point, and the
+                # run falls back to the decoded tier so instrumentation
+                # semantics stay byte-identical (DESIGN.md §3.5).
+                self._loop_compiled()
             else:
                 self._loop()
         except _ProgramExit as exit_:
@@ -455,6 +507,49 @@ class Interpreter:
                 pc = self._current_pc(thread)
                 self._fail(FailureKind.HANG, tid, pc,
                            f"exceeded {max_steps} steps")
+
+    def _loop_compiled(self) -> None:
+        """The compiled tier: each thread runs as an exec-compiled Python
+        generator (:mod:`repro.runtime.compiled`) with the scheduler gate,
+        cost accounting, and hang check inlined into the generated source.
+
+        The protocol: a generator yields a *tid* when its inlined gate has
+        already spent a scheduler pick choosing that thread (the loop
+        resumes it directly), or ``None`` when no pick was spent (blocked /
+        sleeping: the loop runs a full runnable/pick cycle).  Every resume
+        therefore corresponds to exactly one spent pick, preserving the
+        one-pick-per-retired-instruction contract.
+        """
+        threads = self.threads
+        program = self._compiled
+        gens: Dict[int, object] = {}
+        pending: Optional[int] = None
+        while True:
+            if pending is None:
+                runnable = self._runnable_tids()
+                if not runnable:
+                    statuses = {t.status for t in threads.values()}
+                    if statuses <= {ThreadStatus.FINISHED}:
+                        return  # clean exit: all threads done
+                    if ThreadStatus.SLEEPING in statuses:
+                        self._advance_past_sleep()
+                        continue
+                    self._report_deadlock()
+                tid = self.scheduler.pick(runnable, self._current_tid,
+                                          self.global_step)
+                if tid not in runnable:  # defensive: scheduler bug
+                    tid = runnable[0]
+            else:
+                tid, pending = pending, None
+            self._current_tid = tid
+            gen = gens.get(tid)
+            if gen is None:
+                gens[tid] = gen = program.thread_gen(self, tid)
+            try:
+                pending = gen.send(None)
+            except StopIteration:
+                gens.pop(tid, None)
+                pending = None
 
     def _loop_profiled(self) -> None:
         """The hot path with per-phase wall-clock accounting (opt-in via
@@ -1032,9 +1127,10 @@ def run_program(
     entry: str = "main",
     max_steps: int = 500_000,
     strict_dispatch: Optional[bool] = None,
+    mode: Optional[str] = None,
 ) -> RunOutcome:
     """One-shot convenience wrapper: build an interpreter and run it."""
     interp = Interpreter(module, entry=entry, args=args, scheduler=scheduler,
                          tracers=tracers, hooks=hooks, max_steps=max_steps,
-                         strict_dispatch=strict_dispatch)
+                         strict_dispatch=strict_dispatch, mode=mode)
     return interp.run()

@@ -1,0 +1,192 @@
+"""The table-driven PT decoder: reference parity, malformed streams,
+single-pass cursor.
+
+``PTDecoder`` (successor tables + byte-scanning cursor) must decode every
+stream to the exact windows ``ReferencePTDecoder`` (the preserved original
+implementation) produces, and must reject corrupt streams loudly — a
+:class:`DecodeError` carrying the byte offset of the offending packet,
+never a silently truncated trace.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.corpus import all_bug_ids, get_bug
+from repro.lang import compile_source
+from repro.pt import (
+    DecodeError,
+    PTConfig,
+    PTDecoder,
+    PTEncoder,
+    ReferencePTDecoder,
+)
+from repro.pt import packets as P
+from repro.pt.decoder import _PacketCursor
+from repro.runtime import Interpreter
+
+LOOPY = """
+int work(int n) {
+    int acc = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        if (i % 3 == 0) { acc = acc + 2; } else { acc = acc + 1; }
+    }
+    return acc;
+}
+int main(int n) {
+    int r = work(n);
+    print(r);
+    return r;
+}
+"""
+
+
+def _traced_module(n=13):
+    module = compile_source(LOOPY)
+    encoder = PTEncoder(PTConfig(), trace_on_start=True)
+    Interpreter(module, args=[n], tracers=[encoder]).run()
+    return module, encoder.raw_trace(0)
+
+
+def _spec_streams(spec):
+    """All (module, raw) PT streams for one corpus bug's workloads."""
+    out = []
+    workloads = [spec.workload_factory(0), spec.workload_factory(1)]
+    if spec.failing_probe is not None:
+        workloads.append(spec.failing_probe)
+    for workload in workloads:
+        module = spec.module()
+        pt = PTEncoder(trace_on_start=True)
+        interp = Interpreter(module, args=list(workload.args),
+                             scheduler=workload.make_scheduler(),
+                             tracers=[pt], max_steps=workload.max_steps,
+                             mode="strict")
+        interp.run()
+        for tid in sorted(pt.buffers):
+            out.append((module, pt.raw_trace(tid)))
+    return out
+
+
+class TestReferenceParity:
+    @pytest.mark.parametrize("bug_id", all_bug_ids())
+    def test_identical_windows_on_corpus_streams(self, bug_id):
+        spec = get_bug(bug_id)
+        for module, raw in _spec_streams(spec):
+            new = PTDecoder(module).decode(raw)
+            ref = ReferencePTDecoder(module).decode(raw)
+            assert dataclasses.asdict(new) == dataclasses.asdict(ref)
+
+    def test_tables_cached_per_module_and_epoch(self):
+        module, raw = _traced_module()
+        first = PTDecoder(module)
+        second = PTDecoder(module)
+        assert second._kind is first._kind  # same epoch: shared tables
+        module.finalize()                   # bumps analysis_epoch
+        third = PTDecoder(module)
+        assert third._kind is not first._kind
+
+
+class TestMalformedStreams:
+    """Corrupt bytes raise DecodeError with the window offset — a trace is
+    never silently truncated."""
+
+    def _window_prefix(self, raw):
+        """Bytes up to and including the first TIP.PGE packet."""
+        cursor = _PacketCursor(raw)
+        while True:
+            pkt = cursor.pop()
+            assert pkt is not None, "stream has no PGE"
+            if type(pkt) is P.TIPPGE:
+                return raw[:cursor._pos]
+
+    def test_truncated_packet(self):
+        module, raw = _traced_module()
+        # Chop the stream mid-ULEB128 of some multi-byte packet: scan for
+        # a TIP header and keep only its first byte.
+        prefix = self._window_prefix(raw)
+        bad = prefix + P.encode_tip(1 << 20)[:1]
+        with pytest.raises(DecodeError) as err:
+            PTDecoder(module).decode(bad)
+        assert err.value.offset == len(prefix)
+        assert "offset" in str(err.value)
+
+    def test_unknown_opcode_byte(self):
+        module, raw = _traced_module()
+        prefix = self._window_prefix(raw)
+        bad = prefix + bytes([0x7F])  # odd, unassigned header
+        with pytest.raises(DecodeError) as err:
+            PTDecoder(module).decode(bad)
+        assert err.value.offset == len(prefix)
+        assert "unknown packet header" in str(err.value)
+
+    def test_unknown_extended_packet(self):
+        module, raw = _traced_module()
+        prefix = self._window_prefix(raw)
+        bad = prefix + bytes([0x02, 0x55])
+        with pytest.raises(DecodeError) as err:
+            PTDecoder(module).decode(bad)
+        assert err.value.offset == len(prefix)
+
+    def test_tnt_underflow(self):
+        """A conditional branch with no TNT bits buffered and a non-TNT
+        packet next: the decoder must refuse, naming the uid and offset."""
+        module, raw = _traced_module()
+        prefix = self._window_prefix(raw)
+        # The window starts at a straight-line entry; walking reaches the
+        # loop's BR with an empty TNT queue and finds a TIP instead.
+        bad = prefix + P.encode_tip(3)
+        with pytest.raises(DecodeError) as err:
+            PTDecoder(module).decode(bad)
+        assert "expected TNT at uid" in str(err.value)
+        assert err.value.offset == len(prefix)
+
+    def test_error_offsets_skip_leading_packets(self):
+        """The offset names the bad packet, not the stream start."""
+        module, raw = _traced_module()
+        prefix = self._window_prefix(raw)
+        padded = prefix + P.encode_pad() * 3
+        bad = padded + bytes([0x7F])
+        with pytest.raises(DecodeError) as err:
+            PTDecoder(module).decode(bad)
+        assert err.value.offset == len(padded)
+
+    def test_well_formed_stream_has_no_offset_error(self):
+        module, raw = _traced_module()
+        trace = PTDecoder(module).decode(raw)
+        assert trace.windows and trace.windows[0].executed
+
+
+class TestSinglePassCursor:
+    def test_peek_then_pop_parses_once(self):
+        raw = (P.encode_psb() + P.encode_tip_pge(7) +
+               P.encode_tnt([True, False]) + P.encode_tip(9) +
+               P.encode_tip_pgd(7))
+        cursor = _PacketCursor(raw)
+        popped = []
+        while True:
+            peeked = cursor.peek()
+            pkt = cursor.pop()
+            assert pkt is peeked  # the memoized object, not a re-parse
+            if pkt is None:
+                break
+            popped.append(pkt)
+        assert cursor.packets_parsed == len(popped)
+
+    def test_offset_tracks_popped_packet_start(self):
+        raw = P.encode_pad() + P.encode_tip_pge(7) + P.encode_tip(9)
+        cursor = _PacketCursor(raw)
+        assert type(cursor.pop()) is P.TIPPGE
+        assert cursor.offset == 1  # after the PAD byte
+        start_tip = cursor._pos
+        assert type(cursor.peek()) is P.TIP
+        assert cursor.peek_offset() == start_tip
+        cursor.pop()
+        assert cursor.offset == start_tip
+
+    def test_exhaustion(self):
+        cursor = _PacketCursor(P.encode_pad() * 4)
+        assert cursor.peek() is None
+        assert cursor.pop() is None
+        assert cursor.exhausted
+        assert cursor.packets_parsed == 0
