@@ -1,0 +1,194 @@
+"""Multi-campaign control-plane benchmark.
+
+Two claims about the sharded control plane, measured explicitly:
+
+1. **Equivalence** — running the bench bugs *concurrently* (budget
+   scheduler, shared fleet engine, shards ∈ {1, 2, 4}) converges every
+   campaign to the byte-identical sketch and run counts of the classic
+   sequential one-campaign-at-a-time path.  Concurrency must never buy
+   scale with accuracy.
+2. **Throughput** — with cohort clients (each endpoint standing in for
+   K = 1000 real clients) the concurrent plane collects modeled client
+   runs at ≥ 1.5× the sequential baseline's rate.  Cohort weighting is
+   the mechanism: one physical monitored run folds K clients' worth of
+   evidence into the rankers, so the same wall-clock models a fleet three
+   orders of magnitude larger.
+
+Emits ``BENCH_control_plane.json`` at the repo root.  The ≥ 1.5× bar is
+deliberately conservative — the measured ratio lands near K — so the
+guard only trips if cohort weighting stops working, not on runner noise.
+"""
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+import pytest
+
+from repro.control import CampaignSpec, ControlPlane
+from repro.core.cooperative import CooperativeDeployment
+from repro.core.render import render_sketch
+from repro.corpus import get_bug
+
+from _shared import bench_bug_ids, emit, shared_context
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUT = REPO_ROOT / "BENCH_control_plane.json"
+
+SHARD_COUNTS = (1, 2, 4)
+COHORT_SIZE = 1000
+ENDPOINTS = 4
+WORKERS = 4
+MAX_ITERATIONS = 6
+
+
+def _specs():
+    return [CampaignSpec(bug=spec.bug_id, module=spec.module(),
+                         workload_factory=spec.workload_factory,
+                         stop_when=spec.sketch_has_root,
+                         context=shared_context(spec.bug_id))
+            for spec in map(get_bug, bench_bug_ids())]
+
+
+def _sequential_baseline() -> dict:
+    """Classic path: one solo campaign after another, cohort of 1."""
+    sketches = {}
+    physical_runs = 0
+    started = perf_counter()
+    for spec in map(get_bug, bench_bug_ids()):
+        with CooperativeDeployment(
+                spec.module(), spec.workload_factory, endpoints=ENDPOINTS,
+                bug=spec.bug_id, context=shared_context(spec.bug_id),
+                fleet_workers=WORKERS) as deployment:
+            stats = deployment.run_campaign(
+                stop_when=spec.sketch_has_root,
+                max_iterations=MAX_ITERATIONS)
+        assert stats.found, f"sequential baseline failed on {spec.bug_id}"
+        sketches[spec.bug_id] = (render_sketch(stats.sketch),
+                                 stats.total_runs, stats.iterations)
+        physical_runs += stats.total_runs
+    wall = perf_counter() - started
+    return {
+        "wall_seconds": round(wall, 4),
+        "physical_runs": physical_runs,
+        "modeled_runs": physical_runs,  # cohort of 1: modeled == physical
+        "modeled_runs_per_sec": round(physical_runs / wall, 3),
+        "sketches": sketches,
+    }
+
+
+def _equivalence(baseline: dict) -> dict:
+    """Concurrent plane vs sequential baseline, per shard count."""
+    rows = {}
+    for shards in SHARD_COUNTS:
+        result = ControlPlane(_specs(), shards=shards, endpoints=ENDPOINTS,
+                              fleet_workers=WORKERS,
+                              max_iterations=MAX_ITERATIONS).run()
+        per_bug = {}
+        for bug_id, (sketch, runs, iters) in baseline["sketches"].items():
+            stats = result.stats[bug_id]
+            per_bug[bug_id] = bool(
+                stats.found and render_sketch(stats.sketch) == sketch
+                and stats.total_runs == runs and stats.iterations == iters)
+        rows[str(shards)] = {
+            "identical": per_bug,
+            "identical_bugs": sum(per_bug.values()),
+            "merge_verified": result.merge_verified,
+            "rounds": result.rounds,
+            "max_round_runs": result.max_round_runs,
+            "round_budget": result.round_budget,
+            "budget_respected":
+                result.max_round_runs <= result.round_budget,
+        }
+    return rows
+
+
+def _concurrent_cohort() -> dict:
+    """The throughput configuration: 2 shards, cohort of K."""
+    started = perf_counter()
+    result = ControlPlane(_specs(), shards=2, endpoints=ENDPOINTS,
+                          cohort_size=COHORT_SIZE, fleet_workers=WORKERS,
+                          max_iterations=MAX_ITERATIONS).run()
+    wall = perf_counter() - started
+    assert all(result.found.values()), result.found
+    # Each physical monitored run stands in for COHORT_SIZE clients;
+    # bootstrap runs stay unweighted (the failing report counts once).
+    monitored = sum(s.monitored_runs for s in result.stats.values())
+    bootstrap = result.total_runs - monitored
+    modeled = bootstrap + monitored * COHORT_SIZE
+    return {
+        "shards": 2,
+        "cohort_size": COHORT_SIZE,
+        "fleet_scale": result.fleet_scale,
+        "wall_seconds": round(wall, 4),
+        "rounds": result.rounds,
+        "physical_runs": result.total_runs,
+        "modeled_runs": modeled,
+        "modeled_runs_per_sec": round(modeled / wall, 3),
+        "weighted_recurrences": {bug: s.failure_recurrences
+                                 for bug, s in result.stats.items()},
+    }
+
+
+def _compute() -> dict:
+    baseline = _sequential_baseline()
+    equivalence = _equivalence(baseline)
+    concurrent = _concurrent_cohort()
+    ratio = concurrent["modeled_runs_per_sec"] / \
+        baseline["modeled_runs_per_sec"]
+    baseline = {k: v for k, v in baseline.items() if k != "sketches"}
+    return {
+        "benchmark": "control_plane",
+        "bugs": bench_bug_ids(),
+        "endpoints": ENDPOINTS,
+        "fleet_workers": WORKERS,
+        "equivalence": equivalence,
+        "sequential": baseline,
+        "concurrent": concurrent,
+        "throughput_ratio": round(ratio, 3),
+    }
+
+
+def _render(data: dict) -> str:
+    lines = [f"Multi-campaign control plane "
+             f"({len(data['bugs'])} bugs, {data['endpoints']} endpoints, "
+             f"cohort {data['concurrent']['cohort_size']})",
+             "=" * 72,
+             f"{'shards':>7} {'identical':>10} {'merge ok':>9} "
+             f"{'rounds':>7} {'peak round':>11} {'budget':>7}"]
+    for shards, row in sorted(data["equivalence"].items(),
+                              key=lambda kv: int(kv[0])):
+        lines.append(f"{shards:>7} "
+                     f"{row['identical_bugs']:>6}/{len(data['bugs'])} "
+                     f"{str(row['merge_verified']):>9} {row['rounds']:>7} "
+                     f"{row['max_round_runs']:>11} "
+                     f"{row['round_budget']:>7}")
+    lines.append("-" * 72)
+    seq = data["sequential"]
+    conc = data["concurrent"]
+    lines.append(f"sequential : {seq['physical_runs']} runs in "
+                 f"{seq['wall_seconds']:.2f}s "
+                 f"({seq['modeled_runs_per_sec']:,.0f} modeled runs/sec)")
+    lines.append(f"concurrent : {conc['physical_runs']} physical runs "
+                 f"modeling {conc['modeled_runs']:,} clients in "
+                 f"{conc['wall_seconds']:.2f}s "
+                 f"({conc['modeled_runs_per_sec']:,.0f} modeled runs/sec)")
+    lines.append(f"throughput ratio (concurrent/sequential): "
+                 f"{data['throughput_ratio']:,.1f}x  (bar: >= 1.5x)")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="control_plane")
+def test_bench_control_plane(benchmark):
+    data = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    emit("control_plane", _render(data))
+    OUT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")
+
+    # Claim 1: concurrency and sharding change nothing but scale.
+    for shards, row in data["equivalence"].items():
+        assert row["identical_bugs"] == len(data["bugs"]), (shards, row)
+        assert row["merge_verified"], shards
+        assert row["budget_respected"], shards
+    # Claim 2: cohort-weighted concurrent evidence rate clears the bar.
+    assert data["throughput_ratio"] >= 1.5, data["throughput_ratio"]

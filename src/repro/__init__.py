@@ -8,6 +8,8 @@ Top-level convenience re-exports; the subpackages are the real API surface:
 - :mod:`repro.pt` / :mod:`repro.hw` — the hardware simulators
 - :mod:`repro.instrument` — patch planning/application
 - :mod:`repro.core` — Gist itself
+- :mod:`repro.fleet` — wire transport, fault injection, execution engines
+- :mod:`repro.control` — sharded multi-campaign control plane
 - :mod:`repro.replay` — the record/replay baseline
 - :mod:`repro.corpus` — the 11-bug evaluation corpus
 """

@@ -10,6 +10,9 @@ A developer-facing front door to the whole pipeline::
     python -m repro corpus list                    # the 11 Table-1 bugs
     python -m repro corpus show pbzip2-1           # sources + ideal sketch
     python -m repro corpus diagnose pbzip2-1       # campaign on one bug
+    python -m repro corpus campaign pbzip2-1 curl-965 memcached-127 \\
+                             --shards 2 --cohort-size 1000 \\
+                             --scheduler infogain # concurrent campaigns
 
 Program arguments after the file are parsed as integers when possible and
 passed as strings otherwise (so ``run curl.minic '{}{' 400`` works).
@@ -186,7 +189,12 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
                 analysis_cache_dir=args.cache_dir,
                 transport=args.fleet_transport,
                 fault_plan=args.fault_plan,
-                interp_mode=args.interp)
+                interp_mode=args.interp,
+                shards=args.shards,
+                cohort_size=args.cohort_size,
+                cohort_share=args.cohort_share,
+                scheduler=args.scheduler,
+                quantum=args.quantum)
     workload = Workload(args=tuple(_parse_args_values(args.args)),
                         switch_prob=args.switch_prob,
                         max_steps=args.max_steps)
@@ -211,6 +219,9 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                   f"{spec.kind:<12} {spec.failure_kind.value:<18} "
                   f"{spec.description[:60]}")
         return 0
+
+    if args.corpus_command == "campaign":
+        return _cmd_corpus_campaign(args)
 
     spec = get_bug(args.bug_id)
     if args.corpus_command == "show":
@@ -251,6 +262,71 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unknown corpus command {args.corpus_command}")
+
+
+def _cmd_corpus_campaign(args: argparse.Namespace) -> int:
+    """``repro corpus campaign``: N concurrent campaigns, shared fleet."""
+    from .analysis.context import AnalysisContext
+    from .control import CampaignSpec, ControlPlane
+    from .corpus import all_bug_ids, get_bug
+
+    bug_ids = list(args.bug_ids)
+    if bug_ids == ["all"]:
+        bug_ids = all_bug_ids()
+    specs = []
+    contexts = []
+    for bug_id in bug_ids:
+        spec = get_bug(bug_id)
+        module = spec.module()
+        context = AnalysisContext(module, cache_dir=args.cache_dir)
+        contexts.append(context)
+        specs.append(CampaignSpec(bug=spec.bug_id, module=module,
+                                  workload_factory=spec.workload_factory,
+                                  stop_when=spec.sketch_has_root,
+                                  context=context))
+    plane = ControlPlane(specs, shards=args.shards,
+                         endpoints=args.endpoints,
+                         cohort_size=args.cohort_size,
+                         cohort_share=args.cohort_share,
+                         scheduler=args.scheduler, quantum=args.quantum,
+                         fleet_workers=_fleet_jobs(args),
+                         executor=args.executor,
+                         fault_plan=args.fault_plan,
+                         interp_mode=args.interp,
+                         max_iterations=args.max_iterations)
+    result = plane.run()
+    for context in contexts:
+        context.save()
+
+    print(f"control plane: {len(specs)} campaigns, {args.shards} shard(s), "
+          f"{args.endpoints} endpoints x cohort {args.cohort_size} "
+          f"= {result.fleet_scale:,} modeled clients")
+    print(f"scheduler: {args.scheduler}, {result.rounds} rounds, "
+          f"round budget {result.round_budget} runs "
+          f"(peak round used {result.max_round_runs}), "
+          f"{result.total_runs} total runs, {result.wall_seconds:.2f}s")
+    print(f"cross-shard merge verified: {result.merge_verified}")
+    all_found = True
+    for bug_id in bug_ids:
+        stats = result.stats[bug_id]
+        cluster_key = result.cluster_key_of.get(bug_id, "?")
+        shard = result.shard_of.get(cluster_key, "?")
+        status = "found" if stats.found else \
+            ("sketched" if stats.sketch is not None else "no sketch")
+        all_found = all_found and stats.found
+        print(f"  {bug_id:<18} shard {shard}  "
+              f"runs {result.runs_of[bug_id]:<5} "
+              f"iterations {stats.iterations}  {status}")
+        if stats.sketch is not None:
+            accuracy = score(stats.sketch, get_bug(bug_id).ideal_sketch())
+            print(f"  {'':<18} accuracy {accuracy.overall:.0f}% "
+                  f"(relevance {accuracy.relevance:.0f}%, "
+                  f"ordering {accuracy.ordering:.0f}%)")
+        if args.show_sketches and stats.sketch is not None:
+            print()
+            print(render_sketch(stats.sketch))
+            print()
+    return 0 if all_found else 1
 
 
 def _export(sketch, args: argparse.Namespace) -> None:
@@ -374,6 +450,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "'lossy:SEED', or 'drop=0.05,corrupt=0.02,"
                             "crashes=1,seed=7' (wire transport only)")
 
+    def control_flags(p):
+        from .control import SCHEDULER_KINDS
+
+        p.add_argument("--shards", type=positive_int, default=1,
+                       help="control-plane shard servers; campaigns are "
+                            "consistent-hashed onto shards by failure-"
+                            "cluster key (1 = classic single-server path)")
+        p.add_argument("--cohort-size", type=positive_int, default=1,
+                       metavar="K",
+                       help="each simulated endpoint stands in for K real "
+                            "clients; recurrence/predictor counts are "
+                            "weighted by cohort multiplicity")
+        p.add_argument("--cohort-share", type=float, default=1.0,
+                       help="fraction of each cohort participating per "
+                            "run (1.0 = whole cohort, ranking-invariant)")
+        p.add_argument("--scheduler", choices=SCHEDULER_KINDS,
+                       default="infogain",
+                       help="per-round fleet-budget policy: 'infogain' "
+                            "(weight by expected evidence; starve "
+                            "converged campaigns) or 'fair' (even split)")
+        p.add_argument("--quantum", type=positive_int, default=8,
+                       help="runs each endpoint affords per scheduler "
+                            "round (round budget = endpoints x quantum)")
+
     p = sub.add_parser("diagnose",
                        help="run a full Gist campaign on a program")
     p.add_argument("program")
@@ -381,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bug", default=None, help="bug name for the sketch")
     p.add_argument("--endpoints", type=int, default=4)
     fleet_flags(p)
+    control_flags(p)
     p.add_argument("--sigma", type=int, default=2,
                    help="initial AsT window (paper default: 2)")
     p.add_argument("--max-iterations", type=int, default=6)
@@ -406,6 +507,19 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--html", default=None)
     cp.add_argument("--json", default=None)
     fleet_flags(cp)
+    cp.set_defaults(func=cmd_corpus)
+    cp = csub.add_parser("campaign",
+                         help="run several corpus bugs as concurrent "
+                              "campaigns over one shared fleet")
+    cp.add_argument("bug_ids", nargs="+",
+                    help="corpus bug ids (or the single word 'all')")
+    interp_flag(cp)
+    cp.add_argument("--endpoints", type=int, default=4)
+    cp.add_argument("--max-iterations", type=int, default=6)
+    cp.add_argument("--show-sketches", action="store_true",
+                    help="print every campaign's failure sketch")
+    fleet_flags(cp)
+    control_flags(cp)
     cp.set_defaults(func=cmd_corpus)
 
     return parser

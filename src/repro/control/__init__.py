@@ -1,0 +1,39 @@
+"""Sharded multi-campaign control plane.
+
+One in-production fleet rarely has the luxury of chasing a single bug at a
+time: failures from many sites arrive together, and every endpoint has a
+fixed instrumentation budget (§3.1's "low overhead" constraint caps how
+many watchpoints and hooks a client may carry).  This package adds the
+layer the paper's single-campaign pipeline leaves implicit:
+
+- :class:`~repro.control.plane.ControlPlane` — owns N concurrent
+  diagnosis campaigns, consistent-hashes their failure-cluster keys across
+  shard servers, and merges per-shard cluster and predictor state through
+  the canonical wire/digest path;
+- :class:`~repro.control.scheduler.BudgetScheduler` — allocates each
+  round's fleet run budget across competing campaigns by expected
+  information gain (unconverged + high-recurrence campaigns first,
+  converged campaigns starved);
+- :class:`~repro.control.cohort.CohortModel` — one simulated endpoint
+  stands in for K real clients, folding sampled multiplicities into the
+  ranker counts so 100k–1M-endpoint fleets are cheap to model;
+- :class:`~repro.control.hashring.ConsistentHashRing` — the key→shard
+  mapping, stable under shard-count changes in the usual 1/N way.
+"""
+
+from .cohort import CohortModel
+from .hashring import ConsistentHashRing
+from .plane import CampaignSpec, ControlPlane, PlaneResult
+from .scheduler import SCHEDULER_KINDS, BudgetScheduler
+from .shard import ShardServer
+
+__all__ = [
+    "BudgetScheduler",
+    "CampaignSpec",
+    "CohortModel",
+    "ConsistentHashRing",
+    "ControlPlane",
+    "PlaneResult",
+    "SCHEDULER_KINDS",
+    "ShardServer",
+]

@@ -1,0 +1,56 @@
+"""Consistent hashing of campaign keys onto shard servers.
+
+The classic ring: each shard owns a set of virtual points on a 64-bit
+circle; a key maps to the first shard point clockwise from the key's own
+hash.  Virtual nodes smooth the load split, and consistency means a shard
+added or removed moves only ~1/N of the keys — the property that lets a
+deployment grow its control plane without re-homing every campaign.
+
+All hashing is SHA-256 over explicit strings, never Python's per-process
+``hash()``, so the key→shard map is identical across interpreter runs,
+worker processes, and machines.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Tuple
+
+
+def _point(material: str) -> int:
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """Maps string keys to shard ids ``0..shards-1`` deterministically."""
+
+    def __init__(self, shards: int, vnodes: int = 64) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        if vnodes < 1:
+            raise ValueError("need at least one virtual node per shard")
+        self.shards = shards
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for vnode in range(vnodes):
+                points.append((_point(f"shard-{shard}/vnode-{vnode}"),
+                               shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def lookup(self, key: str) -> int:
+        """The shard owning ``key``."""
+        if self.shards == 1:
+            return 0
+        index = bisect.bisect_right(self._points, _point(f"key/{key}"))
+        if index == len(self._points):
+            index = 0  # wrap around the circle
+        return self._owners[index]
+
+    def assignment(self, keys) -> Dict[str, int]:
+        """Bulk ``key -> shard`` mapping."""
+        return {key: self.lookup(key) for key in keys}

@@ -89,6 +89,74 @@ class FailureClusterer:
     def bucket_for(self, report: FailureReport) -> Optional[FailureBucket]:
         return self._buckets.get(self.site_key(report))
 
+    # -- cross-shard merging -------------------------------------------------
+
+    def merge(self, other: "FailureClusterer") -> None:
+        """Fold another clusterer's buckets into this one.
+
+        Associative and commutative: counts and exact-identity histograms
+        add; ``first_seen`` takes the minimum (shard-local arrival ordinals
+        — any total order works as long as the merged result is independent
+        of merge order); the representative is the one from the bucket with
+        the smaller ``first_seen``, tie-broken on report identity, so every
+        merge order elects the same sample.
+        """
+        self.total_reports += other.total_reports
+        for key, bucket in other._buckets.items():
+            mine = self._buckets.get(key)
+            if mine is None:
+                self._buckets[key] = FailureBucket(
+                    key=bucket.key, kind=bucket.kind, pc=bucket.pc,
+                    representative=bucket.representative,
+                    first_seen=bucket.first_seen, count=bucket.count,
+                    exact_identities=dict(bucket.exact_identities))
+                continue
+            if (bucket.first_seen, bucket.representative.identity()) < \
+                    (mine.first_seen, mine.representative.identity()):
+                mine.representative = bucket.representative
+            mine.first_seen = min(mine.first_seen, bucket.first_seen)
+            mine.count += bucket.count
+            for identity, hits in bucket.exact_identities.items():
+                mine.exact_identities[identity] = \
+                    mine.exact_identities.get(identity, 0) + hits
+
+    def state(self) -> Dict:
+        """JSON-able snapshot (rides inside a ``shard_state`` envelope)."""
+        from ..fleet.wire import failure_report_to_body
+
+        return {
+            "total_reports": self.total_reports,
+            "buckets": [
+                {
+                    "key": b.key,
+                    "kind": b.kind,
+                    "pc": b.pc,
+                    "first_seen": b.first_seen,
+                    "count": b.count,
+                    "exact": dict(b.exact_identities),
+                    "representative":
+                        failure_report_to_body(b.representative),
+                }
+                for b in self.buckets()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "FailureClusterer":
+        from ..fleet.wire import failure_report_from_body
+
+        clusterer = cls()
+        clusterer.total_reports = state["total_reports"]
+        for entry in state["buckets"]:
+            bucket = FailureBucket(
+                key=entry["key"], kind=entry["kind"], pc=entry["pc"],
+                representative=failure_report_from_body(
+                    entry["representative"]),
+                first_seen=entry["first_seen"], count=entry["count"],
+                exact_identities=dict(entry["exact"]))
+            clusterer._buckets[bucket.key] = bucket
+        return clusterer
+
     def next_to_diagnose(self,
                          already_diagnosed: Tuple[str, ...] = ()
                          ) -> Optional[FailureBucket]:

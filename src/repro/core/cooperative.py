@@ -92,7 +92,10 @@ class CooperativeDeployment:
                  engine: Optional["FleetExecutor"] = None,
                  transport: str = "wire",
                  fault_plan: Optional["FaultPlan"] = None,
-                 interp_mode: Optional[str] = None) -> None:
+                 interp_mode: Optional[str] = None,
+                 campaign_key: Optional[str] = None,
+                 cohort_model=None,
+                 ranker_stripes: int = 1) -> None:
         from ..fleet.executors import EXECUTOR_KINDS
 
         if endpoints < 1:
@@ -105,12 +108,16 @@ class CooperativeDeployment:
             raise ValueError(f"transport must be one of {TRANSPORTS}")
         if fault_plan is not None and transport != "wire":
             raise ValueError("fault injection requires the wire transport")
+        if cohort_model is not None and transport != "wire":
+            raise ValueError("cohort clients require the wire transport")
+        if campaign_key is not None and transport != "wire":
+            raise ValueError("campaign routing requires the wire transport")
         self.module = module
         self.workload_factory = workload_factory
         self.bug = bug
         self.server = GistServer(module,
                                  extended_predicates=extended_predicates,
-                                 context=context)
+                                 context=context, stripes=ranker_stripes)
         # Clients extract predictors endpoint-side, so their extended flag
         # must match the server's for the fleet statistics to line up.
         self.clients = [GistClient(module, endpoint_id=i, ptwrite=ptwrite,
@@ -131,6 +138,14 @@ class CooperativeDeployment:
         self._module_wire_cache: Optional[Tuple[str, bytes]] = None
         self.transport_mode = transport
         self.fault_plan = fault_plan
+        #: Campaign routing key.  ``None`` (solo deployments) keeps every
+        #: envelope untagged — byte-identical to the pre-campaign wire
+        #: format.  A control plane gives each campaign's deployment its
+        #: cluster key; all traffic is then tagged and routed by it.
+        self.campaign_key = campaign_key
+        #: Cohort model (see :mod:`repro.control.cohort`): when set, each
+        #: endpoint stands in for a sampled multiple of real clients.
+        self.cohort_model = cohort_model
         self.fleet_transport: Optional["FleetTransport"] = None
         if transport == "wire":
             from ..fleet.transport import FleetTransport
@@ -140,6 +155,7 @@ class CooperativeDeployment:
         self._runs_lost_to_crash = 0
         self._runs_lost_to_churn = 0
         self._patch_resends = 0
+        self._misrouted = 0
         self._next_run = 0
 
     # -- plumbing ------------------------------------------------------------
@@ -272,7 +288,8 @@ class CooperativeDeployment:
                     for e, c in zip(self._endpoints, self.clients)):
             self._endpoints = [
                 FleetEndpoint(client, self.fleet_transport, self.fault_plan,
-                              len(self.clients))
+                              len(self.clients),
+                              cohort_model=self.cohort_model)
                 for client in self.clients]
         return self._endpoints
 
@@ -289,7 +306,8 @@ class CooperativeDeployment:
 
         def one(item: Tuple[GistClient, Workload, int]):
             _client, workload, run_id = item
-            return fleet[run_id % len(fleet)].execute(workload, run_id)
+            return fleet[run_id % len(fleet)].execute(
+                workload, run_id, campaign=self.campaign_key)
 
         return list(zip(drawn, engine.map(one, drawn)))
 
@@ -313,7 +331,7 @@ class CooperativeDeployment:
         jobs = []
         for _client, workload, run_id in drawn:
             endpoint = fleet[run_id % len(fleet)]
-            plan = endpoint.plan_run(run_id)
+            plan = endpoint.plan_run(run_id, campaign=self.campaign_key)
             plans.append((endpoint, plan))
             if plan.kind != RUN_OK:
                 continue
@@ -326,7 +344,9 @@ class CooperativeDeployment:
                 patch_epoch=plan.patch_epoch,
                 ptwrite=endpoint.client.ptwrite,
                 extended=endpoint.client.extended_predicates,
-                interp_mode=endpoint.client.interp_mode))
+                interp_mode=endpoint.client.interp_mode,
+                cohort=plan.cohort,
+                campaign_key=self.campaign_key))
         job_results = iter(self._ensure_engine().run_jobs(jobs))
         results = []
         for endpoint, plan in plans:
@@ -364,6 +384,11 @@ class CooperativeDeployment:
             message = self.server.receive(blob)
             if message is None:
                 continue  # quarantined
+            if message.campaign != self.campaign_key:
+                # Routed by campaign id: traffic for another campaign
+                # never touches this campaign's statistics.
+                self._misrouted += 1
+                continue
             if message.type == wire.MSG_PATCH_ACK:
                 if campaign is not None:
                     campaign.note_ack(message.payload["endpoint_id"],
@@ -407,7 +432,8 @@ class CooperativeDeployment:
                 variant = patches[endpoint.endpoint_id % len(patches)]
                 self.fleet_transport.send_to_client(
                     endpoint.endpoint_id,
-                    wire.encode_patch(variant, epoch=epoch),
+                    wire.encode_patch(variant, epoch=epoch,
+                                      campaign=self.campaign_key),
                     msg_type=wire.MSG_PATCH,
                     key=(epoch, endpoint.endpoint_id, attempt))
             for endpoint in targets:
@@ -429,6 +455,7 @@ class CooperativeDeployment:
             client_decode_failures=sum(e.decode_failures
                                        for e in self._fleet()),
             patch_resends=self._patch_resends,
+            misrouted=self._misrouted,
             fault_plan=(self.fault_plan.describe()
                         if self.fault_plan is not None else "none"),
         )
@@ -609,82 +636,258 @@ class CooperativeDeployment:
 
         Structurally the same pipeline as :meth:`_run_campaign`, but every
         report, patch, and monitored run crosses the client↔server boundary
-        as encoded bytes through the (possibly faulty) transport.  With no
-        fault plan the loop consumes exactly the same run stream and
-        produces byte-identical campaign statistics and sketches — see
+        as encoded bytes through the (possibly faulty) transport.  The loop
+        itself lives in :class:`CampaignDriver` — stepping it with an
+        unbounded budget consumes exactly the same run stream as the old
+        monolithic loop, so with no fault plan this path still produces
+        byte-identical campaign statistics and sketches — see
         ``tests/fleet/test_transport_equivalence.py``.
         """
+        driver = CampaignDriver(
+            self, initial_sigma=initial_sigma, stop_when=stop_when,
+            max_iterations=max_iterations,
+            min_failing_per_iteration=min_failing_per_iteration,
+            min_successful_per_iteration=min_successful_per_iteration,
+            max_runs_per_iteration=max_runs_per_iteration,
+            max_bootstrap_runs=max_bootstrap_runs,
+            stats=stats)
+        while not driver.done:
+            driver.step(None)
+        return driver.stats
+
+
+#: Campaign driver phases.
+PHASE_BOOTSTRAP = "bootstrap"
+PHASE_MONITOR = "monitor"
+PHASE_DONE = "done"
+
+
+class CampaignDriver:
+    """Resumable wire-transport campaign: the AsT loop as a state machine.
+
+    Owns one diagnosis campaign end to end — bootstrap, patch delivery,
+    monitored batches, iteration bookkeeping — but yields control after
+    every budgeted slice of client runs, so a control plane can
+    time-multiplex many concurrent campaigns over one physical fleet.
+
+    :meth:`step` executes at most ``budget`` runs (``None`` = unbounded)
+    and returns how many it consumed.  Because batch results are always
+    aggregated in run-id order and surplus runs are rewound, the stream of
+    runs the campaign *consumes* is invariant to how the budget is
+    partitioned: stepping with any sequence of budgets consumes the same
+    stream the one-shot loop does, which is what keeps scheduler-sliced
+    campaigns byte-identical to solo ones (fault-free plans; under fault
+    plans only flush timing can differ, and flushes stay pinned to
+    iteration boundaries here).
+    """
+
+    def __init__(self, deployment: CooperativeDeployment,
+                 initial_sigma: int = DEFAULT_SIGMA,
+                 stop_when: Optional[StopPredicate] = None,
+                 max_iterations: int = 10,
+                 min_failing_per_iteration: int = 1,
+                 min_successful_per_iteration: int = 3,
+                 max_runs_per_iteration: int = 400,
+                 max_bootstrap_runs: int = 10_000,
+                 stats: Optional[CampaignStats] = None) -> None:
+        if deployment.transport_mode != "wire":
+            raise ValueError("CampaignDriver requires the wire transport")
+        self.dep = deployment
+        self.initial_sigma = initial_sigma
+        self.stop_when = stop_when
+        self.max_iterations = max_iterations
+        self.min_failing = min_failing_per_iteration
+        self.min_successful = min_successful_per_iteration
+        self.max_runs_per_iteration = max_runs_per_iteration
+        self.max_bootstrap_runs = max_bootstrap_runs
+        self.stats = stats if stats is not None \
+            else CampaignStats(bug=deployment.bug)
+        self.phase = PHASE_BOOTSTRAP
+        self.campaign: Optional[DiagnosisCampaign] = None
+        self._overheads: List[float] = []
+        # bootstrap state
+        self._bootstrap_begun = False
+        self._bootstrap_consumed = 0
+        # per-iteration state (valid while ``_iter_open``)
+        self._iter_open = False
+        self._iterations_started = 0
+        self._epoch = 0
+        self._patches: Sequence = ()
+        self._failing = 0
+        self._successful = 0
+        self._attempts = 0
+        self._satisfied = False
+
+    # -- status --------------------------------------------------------------
+
+    @property
+    def key(self) -> Optional[str]:
+        return self.dep.campaign_key
+
+    @property
+    def done(self) -> bool:
+        return self.phase == PHASE_DONE
+
+    @property
+    def converged(self) -> bool:
+        """Found a sketch the stop predicate accepted."""
+        return self.stats.found
+
+    def recurrences(self) -> int:
+        """Weighted failure recurrences so far (the scheduler's demand
+        signal: how hot this bug currently is in the fleet)."""
+        if self.campaign is None:
+            return 0
+        return self.campaign.total_failure_recurrences
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(self, budget: Optional[int]) -> int:
+        """Advance the campaign by at most ``budget`` client runs."""
+        limit = float("inf") if budget is None else budget
+        if limit <= 0 or self.done:
+            return 0
+        if self.phase == PHASE_BOOTSTRAP:
+            return self._step_bootstrap(limit)
+        return self._step_monitor(limit)
+
+    def _step_bootstrap(self, limit) -> int:
+        """Uninstrumented runs until the first failure report lands."""
+        dep = self.dep
         from ..fleet.endpoint import RUN_CHURNED, RUN_CRASHED
 
-        fleet = self._fleet()
-        report, bootstrap_runs = self.wait_for_failure(max_bootstrap_runs)
-        stats.bootstrap_runs = bootstrap_runs
-        stats.total_runs += bootstrap_runs
-        if report is None:
-            stats.fleet = self._fleet_report(None)
-            return stats
+        if not self._bootstrap_begun:
+            for endpoint in dep._fleet():
+                endpoint.begin_epoch(0, dep._next_run)
+            self._bootstrap_begun = True
+        consumed = 0
+        while consumed < limit and \
+                self._bootstrap_consumed < self.max_bootstrap_runs:
+            size = min(dep.fleet_workers, limit - consumed,
+                       self.max_bootstrap_runs - self._bootstrap_consumed)
+            for (_client, _workload, run_id), (kind, messages) \
+                    in dep._execute_batch_wire(size):
+                consumed += 1
+                self._bootstrap_consumed += 1
+                if kind == RUN_CHURNED:
+                    dep._runs_lost_to_churn += 1
+                    continue
+                if kind == RUN_CRASHED:
+                    dep._runs_lost_to_crash += 1
+                    continue
+                dep._transmit(0, run_id, messages)
+                _, _, _, report = dep._pump_uplink(None, None)
+                if report is not None:
+                    dep._rewind(run_id + 1)
+                    self._begin_campaign(report)
+                    return consumed
+            # Bootstrap has no iteration deadline: delayed reports simply
+            # arrive with the next batch instead of being lost forever.
+            if dep.fleet_transport.flush():
+                _, _, _, report = dep._pump_uplink(None, None)
+                if report is not None:
+                    self._begin_campaign(report)
+                    return consumed
+        if self._bootstrap_consumed >= self.max_bootstrap_runs:
+            # The failure never recurred: give up without a campaign.
+            self.stats.bootstrap_runs = self._bootstrap_consumed
+            self.stats.total_runs += self._bootstrap_consumed
+            self.stats.fleet = dep._fleet_report(None)
+            self.phase = PHASE_DONE
+        return consumed
 
-        campaign = self.server.handle_failure_report(
-            self.bug, report, initial_sigma)
+    def _begin_campaign(self, report: FailureReport) -> None:
+        self.stats.bootstrap_runs = self._bootstrap_consumed
+        self.stats.total_runs += self._bootstrap_consumed
+        self.campaign = self.dep.server.handle_failure_report(
+            self.dep.bug, report, self.initial_sigma, key=self.key)
+        self.phase = PHASE_MONITOR
 
-        overheads: List[float] = []
-        for _ in range(max_iterations):
-            campaign.begin_iteration()
-            epoch = campaign.epoch
-            for endpoint in fleet:
-                endpoint.begin_epoch(epoch, self._next_run)
-            patches = campaign.make_patches(len(self.clients))
-            self._deliver_patches(campaign, patches, epoch)
-            failing = 0
-            successful = 0
-            attempts = 0
-            satisfied = False
-            while attempts < max_runs_per_iteration and not satisfied:
-                size = min(self.fleet_workers,
-                           max_runs_per_iteration - attempts)
-                for (client, workload, run_id), (kind, messages) \
-                        in self._execute_batch_wire(size):
-                    attempts += 1
+    def _step_monitor(self, limit) -> int:
+        """Budgeted slice of the AsT iteration loop."""
+        dep = self.dep
+        campaign = self.campaign
+        from ..fleet.endpoint import RUN_CHURNED, RUN_CRASHED
+
+        consumed = 0
+        while consumed < limit and self.phase == PHASE_MONITOR:
+            if not self._iter_open:
+                if self._iterations_started >= self.max_iterations:
+                    self._finish()
+                    return consumed
+                campaign.begin_iteration()
+                self._iterations_started += 1
+                self._epoch = campaign.epoch
+                for endpoint in dep._fleet():
+                    endpoint.begin_epoch(self._epoch, dep._next_run)
+                self._patches = campaign.make_patches(len(dep.clients))
+                dep._deliver_patches(campaign, self._patches, self._epoch)
+                self._failing = 0
+                self._successful = 0
+                self._attempts = 0
+                self._satisfied = False
+                self._iter_open = True
+            size = min(dep.fleet_workers, limit - consumed,
+                       self.max_runs_per_iteration - self._attempts)
+            if size > 0:
+                for (_client, _workload, run_id), (kind, messages) \
+                        in dep._execute_batch_wire(size):
+                    self._attempts += 1
+                    consumed += 1
                     if kind == RUN_CHURNED:
-                        self._runs_lost_to_churn += 1
+                        dep._runs_lost_to_churn += 1
                         continue
-                    stats.total_runs += 1
+                    self.stats.total_runs += 1
                     if kind == RUN_CRASHED:
-                        self._runs_lost_to_crash += 1
+                        dep._runs_lost_to_crash += 1
                         continue
-                    self._transmit(epoch, run_id, messages)
+                    dep._transmit(self._epoch, run_id, messages)
                     f_add, s_add, run_overheads, _ = \
-                        self._pump_uplink(campaign, epoch)
-                    failing += f_add
-                    successful += s_add
-                    overheads.extend(run_overheads)
-                    stats.monitored_runs += len(run_overheads)
-                    if failing >= min_failing_per_iteration and \
-                            successful >= min_successful_per_iteration:
-                        self._rewind(run_id + 1)
-                        satisfied = True
+                        dep._pump_uplink(campaign, self._epoch)
+                    self._failing += f_add
+                    self._successful += s_add
+                    self._overheads.extend(run_overheads)
+                    self.stats.monitored_runs += len(run_overheads)
+                    if self._failing >= self.min_failing and \
+                            self._successful >= self.min_successful:
+                        dep._rewind(run_id + 1)
+                        self._satisfied = True
                         break
-            iteration = campaign.finish_iteration()
-            stats.iteration_results.append(iteration)
-            stats.iterations = iteration.iteration
-            sketch = iteration.sketch
-            if sketch is not None:
-                stats.sketch = sketch
-                if stop_when is None or stop_when(sketch):
-                    stats.found = True
-                    break
-            if campaign.exhausted:
-                break
-            campaign.grow()
-            # The iteration deadline has passed: stragglers and held
-            # reorders land now, and the epoch check discards them as
-            # stale at the next iteration's ingestion.
-            self.fleet_transport.flush()
+            if self._satisfied or \
+                    self._attempts >= self.max_runs_per_iteration:
+                self._close_iteration()
+        return consumed
 
+    def _close_iteration(self) -> None:
+        campaign = self.campaign
+        iteration = campaign.finish_iteration()
+        self.stats.iteration_results.append(iteration)
+        self.stats.iterations = iteration.iteration
+        self._iter_open = False
+        sketch = iteration.sketch
+        if sketch is not None:
+            self.stats.sketch = sketch
+            if self.stop_when is None or self.stop_when(sketch):
+                self.stats.found = True
+                self._finish()
+                return
+        if campaign.exhausted:
+            self._finish()
+            return
+        campaign.grow()
+        # The iteration deadline has passed: stragglers and held reorders
+        # land now, and the epoch check discards them as stale at the next
+        # iteration's ingestion.
+        self.dep.fleet_transport.flush()
+
+    def _finish(self) -> None:
+        stats = self.stats
+        campaign = self.campaign
         stats.failure_recurrences = campaign.total_failure_recurrences
-        if overheads:
-            stats.avg_overhead_percent = 100.0 * sum(overheads) / len(overheads)
-            stats.max_overhead_percent = 100.0 * max(overheads)
-        stats.offline_seconds = self.server.offline_analysis_seconds
-        stats.fleet = self._fleet_report(campaign)
-        return stats
+        if self._overheads:
+            stats.avg_overhead_percent = \
+                100.0 * sum(self._overheads) / len(self._overheads)
+            stats.max_overhead_percent = 100.0 * max(self._overheads)
+        stats.offline_seconds = self.dep.server.offline_analysis_seconds
+        stats.fleet = self.dep._fleet_report(campaign)
+        self.phase = PHASE_DONE

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..analysis.context import AnalysisContext
 from ..lang.codegen import compile_source
@@ -35,6 +35,11 @@ class DiagnosisResult:
     """What :meth:`Gist.diagnose` returns."""
 
     stats: CampaignStats
+    #: Filled when the diagnosis ran through the multi-campaign control
+    #: plane (``shards`` > 1 or ``cohort_size`` > 1): the full
+    #: :class:`~repro.control.plane.PlaneResult` with shard assignments,
+    #: scheduler round accounting, and the merged global cluster view.
+    plane: Optional[object] = None
 
     @property
     def sketch(self) -> Optional[FailureSketch]:
@@ -73,7 +78,12 @@ class Gist:
                  engine=None,
                  transport: str = "wire",
                  fault_plan=None,
-                 interp_mode: Optional[str] = None) -> None:
+                 interp_mode: Optional[str] = None,
+                 shards: int = 1,
+                 cohort_size: int = 1,
+                 cohort_share: float = 1.0,
+                 scheduler: str = "infogain",
+                 quantum: int = 8) -> None:
         self.module = module
         self.bug = bug
         self.endpoints = endpoints
@@ -103,6 +113,19 @@ class Gist:
         #: Interpreter tier for uninstrumented endpoint runs
         #: ("compiled"/"decoded"/"strict"; None = process default).
         self.interp_mode = interp_mode
+        #: Control-plane shard count.  With the defaults below (1 shard,
+        #: cohort of 1) diagnosis takes the classic single-campaign path,
+        #: byte-identical to pre-control-plane behaviour; any other value
+        #: routes through :class:`~repro.control.plane.ControlPlane`.
+        self.shards = shards
+        #: Real clients each simulated endpoint stands in for (K).
+        self.cohort_size = cohort_size
+        #: Fraction of a cohort participating per run (see CohortModel).
+        self.cohort_share = cohort_share
+        #: Budget-scheduler policy: ``"infogain"`` or ``"fair"``.
+        self.scheduler = scheduler
+        #: Runs each endpoint affords per scheduler round.
+        self.quantum = quantum
 
     @classmethod
     def from_source(cls, source: str, bug: str = "bug",
@@ -125,7 +148,18 @@ class Gist:
 
         ``stop_when`` models the developer deciding the sketch contains the
         root cause (§3.2.1); by default the first sketch wins.
+
+        With ``shards`` > 1 or ``cohort_size`` > 1 the campaign runs as a
+        one-campaign control plane (sharded state export, cohort-weighted
+        runs); the default configuration takes the classic path below,
+        byte-identical to pre-control-plane Gist.
         """
+        if self.shards > 1 or self.cohort_size > 1:
+            return self._diagnose_via_plane(
+                workload_factory, initial_sigma=initial_sigma,
+                stop_when=stop_when, max_iterations=max_iterations,
+                max_runs_per_iteration=max_runs_per_iteration,
+                min_successful_per_iteration=min_successful_per_iteration)
         deployment = CooperativeDeployment(
             self.module, workload_factory,
             endpoints=self.endpoints, bug=self.bug, ptwrite=self.ptwrite,
@@ -144,7 +178,55 @@ class Gist:
         self.context.save()
         return DiagnosisResult(stats=stats)
 
+    def _diagnose_via_plane(
+        self,
+        workload_factory: WorkloadFactory,
+        initial_sigma: int,
+        stop_when: Optional[StopPredicate],
+        max_iterations: int,
+        max_runs_per_iteration: int,
+        min_successful_per_iteration: int,
+    ) -> DiagnosisResult:
+        """Run this Gist's single campaign through the control plane."""
+        # Lazy import: repro.control imports repro.core submodules.
+        from ..control import CampaignSpec, ControlPlane
+
+        if self.transport != "wire":
+            raise ValueError("shards/cohorts need the wire transport")
+        spec = CampaignSpec(bug=self.bug, module=self.module,
+                            workload_factory=workload_factory,
+                            stop_when=stop_when, context=self.context)
+        plane = ControlPlane(
+            [spec], shards=self.shards, endpoints=self.endpoints,
+            cohort_size=self.cohort_size, cohort_share=self.cohort_share,
+            scheduler=self.scheduler, quantum=self.quantum,
+            fleet_workers=self.fleet_workers, executor=self.executor,
+            engine=self.engine, fault_plan=self.fault_plan,
+            interp_mode=self.interp_mode, ptwrite=self.ptwrite,
+            extended_predicates=self.extended_predicates,
+            initial_sigma=initial_sigma, max_iterations=max_iterations,
+            max_runs_per_iteration=max_runs_per_iteration,
+            min_successful_per_iteration=min_successful_per_iteration)
+        result = plane.run()
+        self.context.save()
+        return DiagnosisResult(stats=result.stats[self.bug], plane=result)
+
     def diagnose_workload(self, workload: Workload,
                           **kwargs) -> DiagnosisResult:
         """Convenience: diagnose with a single base workload, reseeded."""
         return self.diagnose(constant_factory(workload), **kwargs)
+
+    @staticmethod
+    def diagnose_many(specs: Sequence, **plane_options):
+        """Diagnose several bugs *concurrently* over a shared fleet.
+
+        ``specs`` is a sequence of :class:`~repro.control.plane.CampaignSpec`;
+        keyword options are forwarded to
+        :class:`~repro.control.plane.ControlPlane` (``shards``,
+        ``endpoints``, ``cohort_size``, ``scheduler``, ``quantum``,
+        ``fleet_workers``, ``executor``, ...).  Returns the
+        :class:`~repro.control.plane.PlaneResult`.
+        """
+        from ..control import ControlPlane
+
+        return ControlPlane(specs, **plane_options).run()

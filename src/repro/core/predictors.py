@@ -122,6 +122,30 @@ def predictors_from_body(body: List[List]) -> frozenset:
     return frozenset(out)
 
 
+def predictor_counts_to_body(counts: Dict["Predictor", int]) -> List[List]:
+    """Canonical JSON body of a predictor→count map: sorted
+    ``[kind, detail, count]`` triples — how a shard's partial ranker
+    counts travel over the wire for cross-shard merging."""
+    ordered = sorted(counts, key=predictor_sort_key)
+    return [[p.kind, _detail_to_jsonable(p.detail), counts[p]]
+            for p in ordered]
+
+
+def predictor_counts_from_body(body: List[List]) -> Dict["Predictor", int]:
+    """Decode :func:`predictor_counts_to_body` output.  Raises
+    ``ValueError`` on malformed entries."""
+    out: Dict[Predictor, int] = {}
+    for entry in body:
+        if not (isinstance(entry, list) and len(entry) == 3
+                and isinstance(entry[0], str)
+                and isinstance(entry[1], list)
+                and isinstance(entry[2], int)
+                and not isinstance(entry[2], bool)):
+            raise ValueError("malformed predictor count entry")
+        out[Predictor(entry[0], _detail_from_jsonable(entry[1]))] = entry[2]
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Extraction
 # ---------------------------------------------------------------------------

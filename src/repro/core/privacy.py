@@ -113,6 +113,7 @@ class Anonymizer:
             traps=[self.anonymize_trap(t) for t in run.traps],
             overhead=run.overhead,
             trace_bytes=run.trace_bytes,
+            cohort=run.cohort,
         )
 
 

@@ -47,6 +47,12 @@ class MonitoredRun:
     overhead: float = 0.0
     #: PT bytes shipped (for §5.3-style accounting).
     trace_bytes: int = 0
+    #: Cohort multiplicity: how many real clients this run stands for.
+    #: A cohort endpoint executes one representative run and reports that
+    #: ``cohort`` members of its cohort exhibited the same outcome; the
+    #: server folds the multiplicity into recurrence totals and predictor
+    #: counts.  1 (the default) is an ordinary single client.
+    cohort: int = 1
     #: Failure predictors extracted *on the endpoint* (a frozenset of
     #: :class:`repro.core.predictors.Predictor`), so the server ingests
     #: pre-extracted predictor sets instead of re-walking every trace on

@@ -52,11 +52,20 @@ class DiagnosisCampaign:
 
     def __init__(self, server: "GistServer", bug: str,
                  first_report: FailureReport,
-                 initial_sigma: int = DEFAULT_SIGMA) -> None:
+                 initial_sigma: int = DEFAULT_SIGMA,
+                 key: Optional[str] = None,
+                 stripes: int = 1) -> None:
+        if stripes < 1:
+            raise ValueError("need at least one ingest stripe")
         self.server = server
         self.bug = bug
         self.first_report = first_report
         self.identity = first_report.identity()
+        #: The campaign's failure-cluster key — what the control plane
+        #: consistent-hashes across shards and what wire envelopes carry in
+        #: their ``campaign`` field.  Defaults to the clusterer's site key.
+        self.key = key if key is not None \
+            else f"{first_report.kind.value}@{first_report.pc}"
         # Served by the shared context: a second campaign (or a second
         # whole diagnosis) for the same failing pc reuses the slice.
         self.slice: StaticSlice = server.context.slice_from(first_report.pc)
@@ -66,18 +75,29 @@ class DiagnosisCampaign:
         self._current: Optional[AstIteration] = None
         self._current_plan: Optional[InstrumentationPlan] = None
         self._runs: List[MonitoredRun] = []
-        #: One ranker for the whole campaign, maintained *incrementally*:
-        #: every ingested run's predictor set is added exactly once and
-        #: carries over across AsT iterations (predictor identity is
-        #: structural, so facts observed under a σ=2 window stay valid
-        #: when the window doubles).  The paper leans on exactly this
-        #: accumulation — "Gist's refinement uses multiple failure
+        #: Predictor statistics for the whole campaign, maintained
+        #: *incrementally*: every ingested run's predictor set is added
+        #: exactly once and carries over across AsT iterations (predictor
+        #: identity is structural, so facts observed under a σ=2 window
+        #: stay valid when the window doubles).  The paper leans on exactly
+        #: this accumulation — "Gist's refinement uses multiple failure
         #: recurrences" — and :meth:`rebuild_ranker` is the from-scratch
         #: reference the incremental path is tested against.
-        self._ranker = PredictorRanker(failure_pc=first_report.pc)
-        #: Per-ingest (predictor set, recurrence) log, in ingest order —
-        #: what :meth:`rebuild_ranker` replays.
-        self._predictor_log: List[Tuple[FrozenSet, bool]] = []
+        #:
+        #: The counts live in ``stripes`` partial rankers, one per ingest
+        #: shard: a sharded control plane distributes monitored-run
+        #: ingestion by endpoint, and :meth:`ranker` folds the partials
+        #: through :class:`PredictorRanker.merge` — whose commutativity is
+        #: what makes campaign results independent of the shard count.
+        #: With ``stripes=1`` (the default, and the whole single-campaign
+        #: path) there is exactly one partial and merge is the identity.
+        self.stripes = stripes
+        self._stripe_rankers = [PredictorRanker(failure_pc=first_report.pc)
+                                for _ in range(stripes)]
+        self._merged_ranker: Optional[PredictorRanker] = None
+        #: Per-ingest (predictor set, recurrence, weight) log, in ingest
+        #: order — what :meth:`rebuild_ranker` replays.
+        self._predictor_log: List[Tuple[FrozenSet, bool, int]] = []
         self._last_failing_run: Optional[MonitoredRun] = None
         # -- wire-facing hardening state (fleet transport) -----------------
         #: The patch epoch currently being monitored (== iteration number).
@@ -140,22 +160,49 @@ class DiagnosisCampaign:
         server extracts — through the shared context's digest-keyed cache
         when ``digest`` is known, so a re-ingested duplicate run never
         pays extraction twice.
+
+        ``run.cohort`` is the cohort multiplicity: the run stands for that
+        many real clients, and the statistics (recurrence totals, predictor
+        counts) fold it in, while trace-shaped state (refinement run list,
+        last failing run) counts the representative execution once.
         """
         assert self._current is not None, "begin_iteration first"
+        weight = max(1, run.cohort)
         self._runs.append(run)
         recurrence = bool(
             run.failed and run.failure is not None
             and run.failure.identity() == self.identity)
         if recurrence:
-            self._current.failing_runs_seen += 1
-            self.total_failure_recurrences += 1
+            self._current.failing_runs_seen += weight
+            self.total_failure_recurrences += weight
             self._last_failing_run = run
         elif not run.failed:
-            self._current.successful_runs_seen += 1
+            self._current.successful_runs_seen += weight
         predictors = self.server.predictors_of(run, digest=digest)
-        self._predictor_log.append((predictors, recurrence))
-        self._ranker.add_run(predictors, failed=recurrence)
+        self._predictor_log.append((predictors, recurrence, weight))
+        stripe = run.endpoint_id % self.stripes
+        self._stripe_rankers[stripe].add_run(predictors, failed=recurrence,
+                                             weight=weight)
+        self._merged_ranker = None
         return recurrence
+
+    def ranker(self) -> PredictorRanker:
+        """The campaign's predictor statistics: the stripe partials folded
+        through :meth:`PredictorRanker.merge` (cached until the next
+        ingest).  One stripe short-circuits to the partial itself."""
+        if self.stripes == 1:
+            return self._stripe_rankers[0]
+        if self._merged_ranker is None:
+            merged = PredictorRanker(failure_pc=self.first_report.pc)
+            for partial in self._stripe_rankers:
+                merged.merge(partial)
+            self._merged_ranker = merged
+        return self._merged_ranker
+
+    def stripe_states(self) -> List[Dict]:
+        """Each ingest stripe's partial-ranker snapshot, in stripe order —
+        what a shard exports over the wire for cross-shard merging."""
+        return [r.state() for r in self._stripe_rankers]
 
     def rebuild_ranker(self) -> PredictorRanker:
         """A from-scratch ranker over every run ingested so far — the
@@ -205,7 +252,7 @@ class DiagnosisCampaign:
                 failure=self._last_failing_run.failure or self.first_report,
                 refinement=refinement,
                 failing_run=self._last_failing_run,
-                best_predictors=self._ranker.best_per_kind(),
+                best_predictors=self.ranker().best_per_kind(),
                 sigma=self._current.sigma,
                 iterations=self._current.number,
                 failure_recurrences=self.total_failure_recurrences,
@@ -254,7 +301,8 @@ class GistServer:
 
     def __init__(self, module: Module,
                  extended_predicates: bool = False,
-                 context: Optional[AnalysisContext] = None) -> None:
+                 context: Optional[AnalysisContext] = None,
+                 stripes: int = 1) -> None:
         self.module = module
         #: All static artifacts live here; pass one context to many servers
         #: (or many diagnoses) and nothing is ever rebuilt.
@@ -262,6 +310,10 @@ class GistServer:
         self.slicer = self.context.slicer()
         self.planner = self.context.planner()
         self.campaigns: Dict[str, DiagnosisCampaign] = {}
+        #: Ingest stripes for every campaign this server starts: a sharded
+        #: control plane sets this to its shard count so predictor
+        #: statistics accumulate in per-shard partials (merged on demand).
+        self.stripes = stripes
         self.offline_analysis_seconds = 0.0
         #: §6 future work: also rank range/inequality value predicates.
         self.extended_predicates = extended_predicates
@@ -316,7 +368,8 @@ class GistServer:
         return frozenset(extract_all(run, self.module, extended=extended))
 
     def handle_failure_report(self, bug: str, report: FailureReport,
-                              initial_sigma: int = DEFAULT_SIGMA
+                              initial_sigma: int = DEFAULT_SIGMA,
+                              key: Optional[str] = None
                               ) -> DiagnosisCampaign:
         """Start (or return) the campaign for this failure identity.
         Slicing time is accounted as offline analysis time (Table 1)."""
@@ -324,7 +377,8 @@ class GistServer:
         if identity in self.campaigns:
             return self.campaigns[identity]
         started = time.perf_counter()
-        campaign = DiagnosisCampaign(self, bug, report, initial_sigma)
+        campaign = DiagnosisCampaign(self, bug, report, initial_sigma,
+                                     key=key, stripes=self.stripes)
         self.offline_analysis_seconds += time.perf_counter() - started
         self.campaigns[identity] = campaign
         return campaign

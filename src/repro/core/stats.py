@@ -68,16 +68,28 @@ class PredictorRanker:
 
     # -- accumulation ----------------------------------------------------------
 
-    def add_run(self, predictors: Iterable[Predictor], failed: bool) -> None:
+    def add_run(self, predictors: Iterable[Predictor], failed: bool,
+                weight: int = 1) -> None:
+        """Count one run (or, with ``weight`` > 1, one *cohort* of runs).
+
+        A cohort endpoint stands in for ``weight`` real clients whose runs
+        all exhibited the same outcome and predictor set; folding the
+        multiplicity here is what lets a campaign simulate fleets far
+        larger than the number of runs it actually executes.  Scores are
+        ratios of these counts, so a uniform weight leaves every
+        precision/recall/F-measure unchanged.
+        """
+        if weight < 1:
+            raise ValueError("weight must be >= 1")
         seen = set(predictors)
         if failed:
-            self.total_failing += 1
+            self.total_failing += weight
             counts = self._failing_counts
         else:
-            self.total_successful += 1
+            self.total_successful += weight
             counts = self._successful_counts
         for p in seen:
-            counts[p] = counts.get(p, 0) + 1
+            counts[p] = counts.get(p, 0) + weight
 
     def merge(self, other: "PredictorRanker") -> None:
         """Fold another ranker's counts into this one.
@@ -100,14 +112,33 @@ class PredictorRanker:
                 self._successful_counts.get(p, 0) + n
 
     @classmethod
-    def from_runs(cls, runs: Sequence[Tuple[Iterable[Predictor], bool]],
+    def from_runs(cls, runs: Sequence[Tuple],
                   beta: float = DEFAULT_BETA,
                   failure_pc: Optional[int] = None) -> "PredictorRanker":
-        """Rebuild a ranker from scratch out of ``(predictors, failed)``
-        pairs — the reference the incremental path is tested against."""
+        """Rebuild a ranker from scratch out of ``(predictors, failed)`` or
+        ``(predictors, failed, weight)`` tuples — the reference the
+        incremental path is tested against."""
         ranker = cls(beta=beta, failure_pc=failure_pc)
-        for predictors, failed in runs:
-            ranker.add_run(predictors, failed)
+        for entry in runs:
+            predictors, failed = entry[0], entry[1]
+            weight = entry[2] if len(entry) > 2 else 1
+            ranker.add_run(predictors, failed, weight=weight)
+        return ranker
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "PredictorRanker":
+        """Reconstruct a ranker from a :meth:`state` snapshot.
+
+        The inverse of :meth:`state`: cross-shard merging round-trips each
+        shard's partial counts through this pair (serialized over the
+        canonical wire, see :mod:`repro.fleet.wire`) before folding them
+        with :meth:`merge`.
+        """
+        ranker = cls(beta=state["beta"], failure_pc=state["failure_pc"])
+        ranker.total_failing = state["total_failing"]
+        ranker.total_successful = state["total_successful"]
+        ranker._failing_counts = dict(state["failing"])
+        ranker._successful_counts = dict(state["successful"])
         return ranker
 
     def state(self) -> Dict[str, Any]:

@@ -64,6 +64,12 @@ class RunJob:
     #: Interpreter tier for the worker ("compiled"/"decoded"/"strict";
     #: None = the worker process's default).
     interp_mode: Optional[str] = None
+    #: Cohort multiplicity, resolved main-side: the worker stamps it onto
+    #: the monitored run before encoding so the envelope carries it.
+    cohort: int = 1
+    #: Campaign routing key; the worker tags its outbound envelopes with
+    #: it so results route back to the owning campaign.
+    campaign_key: Optional[str] = None
 
 
 @dataclass(frozen=True)

@@ -113,6 +113,22 @@ class FaultPlan:
                    messages={"*": MessageFaults(drop=0.05, corrupt=0.02)},
                    clients=ClientFaults(crashes_per_iteration=1))
 
+    def derive(self, campaign_key: str) -> "FaultPlan":
+        """A per-campaign sub-plan with the campaign key mixed into the seed.
+
+        Concurrent campaigns must not share fault schedules — the same
+        ``(epoch, run_id)`` occurs in every campaign, and an undifferentiated
+        seed would crash/drop the *same* logical positions in each one.
+        The derived seed is a pure SHA-256 function of ``(seed,
+        campaign_key)``, so it is reproducible under any shard count, worker
+        count, or campaign arrival order.  Knobs are inherited unchanged;
+        deriving a null plan stays null.
+        """
+        material = repr((self.seed, "campaign", campaign_key))
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        derived_seed = int.from_bytes(digest[:8], "big")
+        return replace(self, seed=derived_seed)
+
     @property
     def is_null(self) -> bool:
         """True when no fault can ever fire (the fast path)."""

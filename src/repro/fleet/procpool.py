@@ -92,11 +92,15 @@ def _worker_run(job: RunJob) -> JobResult:
     result = client.run(job.workload, patch=patch, run_id=job.run_id)
     failure_blob = None
     if result.outcome.failed and result.outcome.failure is not None:
-        failure_blob = wire.encode_failure_report(result.outcome.failure)
+        failure_blob = wire.encode_failure_report(
+            result.outcome.failure, campaign=job.campaign_key)
     monitored_blob = None
     if result.monitored is not None:
-        monitored_blob = wire.encode_monitored_run(result.monitored,
-                                                   epoch=job.patch_epoch)
+        if job.cohort > 1:
+            result.monitored.cohort = job.cohort
+        monitored_blob = wire.encode_monitored_run(
+            result.monitored, epoch=job.patch_epoch,
+            campaign=job.campaign_key)
     return JobResult(run_id=job.run_id, failed=result.outcome.failed,
                      failure_blob=failure_blob,
                      monitored_blob=monitored_blob)

@@ -229,6 +229,9 @@ class FleetReport:
     runs_lost_to_churn: int = 0
     client_decode_failures: int = 0
     patch_resends: int = 0
+    #: Messages whose campaign routing key did not match the consuming
+    #: campaign (multi-campaign deployments only; always 0 solo).
+    misrouted: int = 0
     fault_plan: str = ""
 
     def as_dict(self) -> Dict:
@@ -242,5 +245,6 @@ class FleetReport:
             "runs_lost_to_churn": self.runs_lost_to_churn,
             "client_decode_failures": self.client_decode_failures,
             "patch_resends": self.patch_resends,
+            "misrouted": self.misrouted,
             "fault_plan": self.fault_plan,
         }

@@ -31,10 +31,18 @@ from ..hw.watchpoints import TrapRecord
 from ..instrument.patch import Patch
 from ..instrument.planner import HookSpec
 from ..runtime.failures import FailureKind, FailureReport, StackFrameInfo
-from ..core.predictors import predictors_from_body, predictors_to_body
+from ..core.predictors import (
+    predictor_counts_from_body,
+    predictor_counts_to_body,
+    predictors_from_body,
+    predictors_to_body,
+)
 from ..core.refinement import MonitoredRun
 
 #: Bump when the envelope or any body schema changes incompatibly.
+#: (Optional envelope/body fields that are *absent* when unset — the
+#: ``campaign`` routing key, a monitored run's ``cohort`` multiplicity —
+#: keep old payloads byte-identical and decodable, so they do not bump.)
 WIRE_VERSION = 1
 
 MSG_FAILURE_REPORT = "failure_report"
@@ -42,6 +50,7 @@ MSG_MONITORED_RUN = "monitored_run"
 MSG_PATCH = "patch"
 MSG_PATCH_ACK = "patch_ack"
 MSG_TRAP_RECORD = "trap_record"
+MSG_SHARD_STATE = "shard_state"
 
 
 class WireError(Exception):
@@ -149,6 +158,10 @@ def monitored_run_to_body(run: MonitoredRun) -> Dict[str, Any]:
     # pre-extraction payloads stay byte-for-byte encodable and decodable.
     if run.predictors is not None:
         body["predictors"] = predictors_to_body(run.predictors)
+    # Cohort multiplicity: absent for ordinary single clients, so every
+    # pre-cohort payload keeps its exact bytes (and digest).
+    if run.cohort > 1:
+        body["cohort"] = run.cohort
     return body
 
 
@@ -175,6 +188,11 @@ def monitored_run_from_body(body: Dict[str, Any]) -> MonitoredRun:
                 _require(body, "predictors", list))
         except ValueError as err:
             raise WireError(str(err))
+    cohort = 1
+    if "cohort" in body:
+        cohort = _require(body, "cohort", int)
+        if isinstance(cohort, bool) or cohort < 2:
+            raise WireError("malformed cohort multiplicity")
     return MonitoredRun(
         run_id=_require(body, "run_id", int),
         endpoint_id=_require(body, "endpoint_id", int),
@@ -185,6 +203,7 @@ def monitored_run_from_body(body: Dict[str, Any]) -> MonitoredRun:
                for t in _require(body, "traps", list)],
         overhead=float(overhead),
         trace_bytes=_require(body, "trace_bytes", int),
+        cohort=cohort,
         predictors=predictors,
     )
 
@@ -226,6 +245,86 @@ def patch_ack_from_body(body: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def ranker_state_to_body(state: Dict[str, Any]) -> Dict[str, Any]:
+    """Canonical body of one :meth:`PredictorRanker.state` snapshot —
+    the unit of cross-shard predictor-set merging."""
+    return {
+        "beta": state["beta"],
+        "failure_pc": state["failure_pc"],
+        "total_failing": state["total_failing"],
+        "total_successful": state["total_successful"],
+        "failing": predictor_counts_to_body(state["failing"]),
+        "successful": predictor_counts_to_body(state["successful"]),
+    }
+
+
+def ranker_state_from_body(body: Dict[str, Any]) -> Dict[str, Any]:
+    failure_pc = body.get("failure_pc")
+    if failure_pc is not None and (not isinstance(failure_pc, int)
+                                   or isinstance(failure_pc, bool)):
+        raise WireError("malformed failure_pc")
+    try:
+        failing = predictor_counts_from_body(
+            _require(body, "failing", list))
+        successful = predictor_counts_from_body(
+            _require(body, "successful", list))
+    except ValueError as err:
+        raise WireError(str(err))
+    return {
+        "beta": float(_require(body, "beta", (int, float))),
+        "failure_pc": failure_pc,
+        "total_failing": _require(body, "total_failing", int),
+        "total_successful": _require(body, "total_successful", int),
+        "failing": failing,
+        "successful": successful,
+    }
+
+
+def shard_state_to_body(shard: int,
+                        campaigns: List[Dict[str, Any]],
+                        clusters: Dict[str, Any]) -> Dict[str, Any]:
+    """One shard's exportable control-plane state.
+
+    ``campaigns`` entries carry ``{"key", "bug", "recurrences",
+    "stripes": [ranker state, ...]}``; ``clusters`` is a
+    :meth:`FailureClusterer.state` snapshot.  The control plane merges
+    these digested envelopes into its global view, so shard state crosses
+    the same canonical-wire path as fleet traffic.
+    """
+    return {
+        "shard": shard,
+        "campaigns": [
+            {
+                "key": c["key"],
+                "bug": c["bug"],
+                "recurrences": c["recurrences"],
+                "stripes": [ranker_state_to_body(s) for s in c["stripes"]],
+            }
+            for c in campaigns
+        ],
+        "clusters": clusters,
+    }
+
+
+def shard_state_from_body(body: Dict[str, Any]) -> Dict[str, Any]:
+    campaigns = []
+    for entry in _require(body, "campaigns", list):
+        if not isinstance(entry, dict):
+            raise WireError("malformed shard campaign entry")
+        campaigns.append({
+            "key": _require(entry, "key", str),
+            "bug": _require(entry, "bug", str),
+            "recurrences": _require(entry, "recurrences", int),
+            "stripes": [ranker_state_from_body(s)
+                        for s in _require(entry, "stripes", list)],
+        })
+    return {
+        "shard": _require(body, "shard", int),
+        "campaigns": campaigns,
+        "clusters": _require(body, "clusters", dict),
+    }
+
+
 _TO_BODY = {
     MSG_FAILURE_REPORT: failure_report_to_body,
     MSG_MONITORED_RUN: monitored_run_to_body,
@@ -239,6 +338,7 @@ _FROM_BODY = {
     MSG_PATCH: patch_from_body,
     MSG_TRAP_RECORD: trap_record_from_body,
     MSG_PATCH_ACK: patch_ack_from_body,
+    MSG_SHARD_STATE: shard_state_from_body,
 }
 
 
@@ -256,52 +356,77 @@ class Message:
     digest: str
     payload: Union[FailureReport, MonitoredRun, Patch, TrapRecord,
                    Dict[str, Any]]
+    #: Campaign routing key (multi-campaign control plane).  ``None`` for
+    #: legacy single-campaign traffic — the envelope key is then absent,
+    #: keeping pre-campaign payload bytes (and digests) unchanged.
+    campaign: Optional[str] = None
 
 
 def encode_message(msg_type: str, obj: Any,
-                   epoch: Optional[int] = None) -> bytes:
+                   epoch: Optional[int] = None,
+                   campaign: Optional[str] = None) -> bytes:
     """Wrap an object of a known message class into envelope bytes."""
     if msg_type not in _TO_BODY:
         raise ValueError(f"unknown message type {msg_type!r}")
     body = _TO_BODY[msg_type](obj)
-    return _encode_envelope(msg_type, body, epoch)
+    return _encode_envelope(msg_type, body, epoch, campaign)
 
 
 def _encode_envelope(msg_type: str, body: Any,
-                     epoch: Optional[int]) -> bytes:
-    return _canonical({
+                     epoch: Optional[int],
+                     campaign: Optional[str] = None) -> bytes:
+    envelope = {
         "wire": WIRE_VERSION,
         "type": msg_type,
         "epoch": epoch,
         "digest": body_digest(body),
         "body": body,
-    })
+    }
+    # Routing key is absent (not null) when unset: single-campaign
+    # envelopes keep their exact legacy bytes.
+    if campaign is not None:
+        envelope["campaign"] = campaign
+    return _canonical(envelope)
 
 
 def encode_failure_report(report: FailureReport,
-                          epoch: Optional[int] = None) -> bytes:
-    return encode_message(MSG_FAILURE_REPORT, report, epoch)
+                          epoch: Optional[int] = None,
+                          campaign: Optional[str] = None) -> bytes:
+    return encode_message(MSG_FAILURE_REPORT, report, epoch, campaign)
 
 
 def encode_monitored_run(run: MonitoredRun,
-                         epoch: Optional[int] = None) -> bytes:
-    return encode_message(MSG_MONITORED_RUN, run, epoch)
+                         epoch: Optional[int] = None,
+                         campaign: Optional[str] = None) -> bytes:
+    return encode_message(MSG_MONITORED_RUN, run, epoch, campaign)
 
 
-def encode_patch(patch: Patch, epoch: Optional[int] = None) -> bytes:
-    return encode_message(MSG_PATCH, patch, epoch)
+def encode_patch(patch: Patch, epoch: Optional[int] = None,
+                 campaign: Optional[str] = None) -> bytes:
+    return encode_message(MSG_PATCH, patch, epoch, campaign)
 
 
 def encode_trap_record(trap: TrapRecord,
-                       epoch: Optional[int] = None) -> bytes:
-    return encode_message(MSG_TRAP_RECORD, trap, epoch)
+                       epoch: Optional[int] = None,
+                       campaign: Optional[str] = None) -> bytes:
+    return encode_message(MSG_TRAP_RECORD, trap, epoch, campaign)
 
 
 def encode_patch_ack(endpoint_id: int, epoch: int,
-                     patch_digest: str) -> bytes:
+                     patch_digest: str,
+                     campaign: Optional[str] = None) -> bytes:
     return _encode_envelope(
         MSG_PATCH_ACK,
-        patch_ack_to_body(endpoint_id, epoch, patch_digest), epoch)
+        patch_ack_to_body(endpoint_id, epoch, patch_digest), epoch,
+        campaign)
+
+
+def encode_shard_state(shard: int, campaigns: List[Dict[str, Any]],
+                       clusters: Dict[str, Any],
+                       epoch: Optional[int] = None) -> bytes:
+    return _encode_envelope(
+        MSG_SHARD_STATE,
+        shard_state_to_body(shard, campaigns, clusters), epoch)
 
 
 def decode_message(blob: bytes) -> Message:
@@ -328,6 +453,10 @@ def decode_message(blob: bytes) -> Message:
     if epoch is not None and (not isinstance(epoch, int)
                               or isinstance(epoch, bool)):
         raise WireError("malformed epoch")
+    campaign = payload.get("campaign")
+    if campaign is not None and (not isinstance(campaign, str)
+                                 or not campaign):
+        raise WireError("malformed campaign key")
     if "body" not in payload or "digest" not in payload:
         raise WireError("envelope missing body or digest")
     body = payload["body"]
@@ -341,4 +470,4 @@ def decode_message(blob: bytes) -> Message:
     except (KeyError, TypeError, ValueError, AttributeError) as err:
         raise WireError(f"malformed {msg_type} body: {err}")
     return Message(type=msg_type, epoch=epoch, digest=digest,
-                   payload=decoded)
+                   payload=decoded, campaign=campaign)

@@ -1,0 +1,1 @@
+"""Tests for the multi-campaign control plane (repro.control)."""

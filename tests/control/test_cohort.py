@@ -1,0 +1,55 @@
+"""Cohort multiplicity model: determinism, bounds, and the exact case."""
+
+import pytest
+
+from repro.control import CohortModel
+
+
+class TestExactCase:
+    def test_size_one_is_always_one(self):
+        model = CohortModel(size=1)
+        assert model.multiplicity("bug", 3, 99) == 1
+
+    def test_full_share_reports_exactly_k(self):
+        model = CohortModel(size=1000)
+        assert all(model.multiplicity("bug", e, r) == 1000
+                   for e in range(4) for r in range(10))
+
+
+class TestSampledCase:
+    def test_bounds_and_determinism(self):
+        model = CohortModel(size=1000, share=0.4, seed=7)
+        again = CohortModel(size=1000, share=0.4, seed=7)
+        for e in range(4):
+            for r in range(25):
+                m = model.multiplicity("bug", e, r)
+                assert 1 <= m <= 1000
+                assert m == again.multiplicity("bug", e, r)
+
+    def test_mean_tracks_share(self):
+        model = CohortModel(size=1000, share=0.4, seed=7)
+        samples = [model.multiplicity("bug", e, r)
+                   for e in range(8) for r in range(50)]
+        mean = sum(samples) / len(samples)
+        assert 350 < mean < 450  # B(1000, 0.4): mean 400, sd ~15.5
+
+    def test_keyed_by_campaign_endpoint_and_run(self):
+        model = CohortModel(size=1000, share=0.4, seed=7)
+        base = model.multiplicity("bug-a", 0, 0)
+        varied = {model.multiplicity("bug-b", 0, 0),
+                  model.multiplicity("bug-a", 1, 0),
+                  model.multiplicity("bug-a", 0, 1)}
+        assert len(varied | {base}) > 1
+
+
+class TestScaleAndValidation:
+    def test_fleet_scale(self):
+        assert CohortModel(size=250).fleet_scale(8) == 2000
+
+    def test_rejects_bad_size_and_share(self):
+        with pytest.raises(ValueError):
+            CohortModel(size=0)
+        with pytest.raises(ValueError):
+            CohortModel(size=10, share=0.0)
+        with pytest.raises(ValueError):
+            CohortModel(size=10, share=1.5)

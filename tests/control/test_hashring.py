@@ -1,0 +1,53 @@
+"""Consistent-hash ring: determinism, spread, and bounded key movement."""
+
+import pytest
+
+from repro.control import ConsistentHashRing
+
+KEYS = [f"cluster/{kind}@{pc}" for kind in ("assert", "segv", "race")
+        for pc in range(80)]
+
+
+class TestLookup:
+    def test_deterministic_across_instances(self):
+        a = ConsistentHashRing(4)
+        b = ConsistentHashRing(4)
+        assert [a.lookup(k) for k in KEYS] == [b.lookup(k) for k in KEYS]
+
+    def test_single_shard_owns_everything(self):
+        ring = ConsistentHashRing(1)
+        assert {ring.lookup(k) for k in KEYS} == {0}
+
+    def test_owners_in_range(self):
+        ring = ConsistentHashRing(3)
+        assert all(0 <= ring.lookup(k) < 3 for k in KEYS)
+
+    def test_every_shard_gets_keys(self):
+        # 240 keys over 4 shards with 64 vnodes each: all shards populated.
+        ring = ConsistentHashRing(4)
+        assert {ring.lookup(k) for k in KEYS} == {0, 1, 2, 3}
+
+    def test_assignment_matches_lookup(self):
+        ring = ConsistentHashRing(4)
+        assert ring.assignment(KEYS) == {k: ring.lookup(k) for k in KEYS}
+
+
+class TestConsistency:
+    def test_growing_the_ring_moves_a_bounded_fraction(self):
+        # The property that earns "consistent": going 4 -> 5 shards moves
+        # roughly 1/5 of the keys, and keys that move go to the NEW shard.
+        before = ConsistentHashRing(4).assignment(KEYS)
+        after = ConsistentHashRing(5).assignment(KEYS)
+        moved = [k for k in KEYS if before[k] != after[k]]
+        assert len(moved) < len(KEYS) // 2
+        assert all(after[k] == 4 for k in moved)
+
+
+class TestValidation:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(0)
+
+    def test_rejects_zero_vnodes(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(2, vnodes=0)

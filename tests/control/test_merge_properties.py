@@ -1,0 +1,94 @@
+"""Hypothesis properties: cross-shard merging is a commutative monoid.
+
+The control plane's global view is built by folding per-shard partial
+rankers (and cluster tables) in whatever order shards export them, over
+any shard count.  That is only sound if merge is associative and
+commutative with an identity — so we let Hypothesis hunt for a
+counterexample over arbitrary weighted run histories, including the
+cohort-weighted runs the plane actually produces.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.predictors import Predictor
+from repro.core.stats import PredictorRanker
+
+# A small closed predictor universe keeps collision (the interesting
+# case: the same predictor counted on both sides of a merge) likely.
+_PREDICTORS = [Predictor("branch", (uid, taken))
+               for uid in (3, 7, 11) for taken in (False, True)] + \
+              [Predictor("value", (5, value)) for value in (0, 1)]
+
+# One run: a predictor subset, failed?, and a cohort weight in [1, K].
+runs = st.lists(
+    st.tuples(st.sets(st.sampled_from(_PREDICTORS), max_size=4),
+              st.booleans(),
+              st.integers(min_value=1, max_value=1000)),
+    max_size=12)
+
+
+def ranker_of(history):
+    return PredictorRanker.from_runs(
+        [(sorted(ps, key=repr), failed, weight)
+         for ps, failed, weight in history],
+        failure_pc=11)
+
+
+rankers = runs.map(ranker_of)
+
+
+@settings(max_examples=200, deadline=None)
+@given(rankers, rankers)
+def test_merge_is_commutative(a, b):
+    ab = ranker_of([])
+    ab.merge(a)
+    ab.merge(b)
+    ba = ranker_of([])
+    ba.merge(b)
+    ba.merge(a)
+    assert ab.state() == ba.state()
+
+
+@settings(max_examples=200, deadline=None)
+@given(rankers, rankers, rankers)
+def test_merge_is_associative(a, b, c):
+    left = ranker_of([])
+    left.merge(a)
+    left.merge(b)
+    left.merge(c)
+
+    bc = ranker_of([])
+    bc.merge(b)
+    bc.merge(c)
+    right = ranker_of([])
+    right.merge(a)
+    right.merge(bc)
+
+    assert left.state() == right.state()
+
+
+@settings(max_examples=100, deadline=None)
+@given(rankers)
+def test_empty_ranker_is_the_identity(a):
+    merged = ranker_of([])
+    merged.merge(a)
+    assert merged.state() == a.state()
+    other = ranker_of([])
+    copy = PredictorRanker.from_state(a.state())
+    copy.merge(other)
+    assert copy.state() == a.state()
+
+
+@settings(max_examples=200, deadline=None)
+@given(runs, runs)
+def test_sharded_ingest_equals_central_ingest(left, right):
+    """Splitting one run stream across two shards then merging yields
+    exactly the ranker a single central server would have built — the
+    invariant the plane's merge_verified check enforces end to end."""
+    central = ranker_of(left + right)
+    sharded = ranker_of(left)
+    sharded.merge(ranker_of(right))
+    assert sharded.state() == central.state()
+    for predictor in _PREDICTORS:
+        assert sharded.stats_for(predictor).f_measure == \
+            central.stats_for(predictor).f_measure

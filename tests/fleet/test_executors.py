@@ -126,9 +126,9 @@ def test_incremental_ranker_equals_rebuilt():
     campaign = campaign_of(deployment)
     assert campaign._predictor_log  # every ingested run is logged
     rebuilt = campaign.rebuild_ranker()
-    assert campaign._ranker.state() == rebuilt.state()
+    assert campaign.ranker().state() == rebuilt.state()
     incremental = [(s.predictor, s.f_measure, s.precision, s.recall)
-                   for s in campaign._ranker.ranked()]
+                   for s in campaign.ranker().ranked()]
     reference = [(s.predictor, s.f_measure, s.precision, s.recall)
                  for s in rebuilt.ranked()]
     assert incremental == reference
@@ -147,7 +147,7 @@ def test_ranker_carries_over_across_iterations():
     assert stats.iterations > 1
     # One campaign-lifetime ranker: its totals cover *every* ingested run,
     # not just the final iteration's.
-    ranker = campaign._ranker
+    ranker = campaign.ranker()
     assert ranker.total_failing + ranker.total_successful == \
         len(campaign._predictor_log)
     last_iteration = stats.iteration_results[-1]

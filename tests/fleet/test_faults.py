@@ -89,6 +89,25 @@ class TestDeterminism:
         assert plan.faults_for("patch").corrupt == 0.5
 
 
+class TestCampaignDerivation:
+    def test_derive_is_pure_and_deterministic(self):
+        plan = FaultPlan.standard_lossy(seed=42)
+        assert plan.derive("pbzip2-1").seed == plan.derive("pbzip2-1").seed
+        assert plan.derive("pbzip2-1").seed != plan.seed
+
+    def test_campaigns_get_independent_fault_streams(self):
+        plan = FaultPlan.standard_lossy(seed=42)
+        seeds = {plan.derive(key).seed
+                 for key in ("pbzip2-1", "curl-965", "memcached-127")}
+        assert len(seeds) == 3
+
+    def test_derive_changes_only_the_seed(self):
+        plan = FaultPlan.standard_lossy(seed=42)
+        derived = plan.derive("pbzip2-1")
+        assert derived.messages == plan.messages
+        assert derived.clients == plan.clients
+
+
 class TestParser:
     def test_none_forms(self):
         assert parse_fault_plan(None) is None

@@ -122,6 +122,21 @@ class TestCorpus:
         assert "next_url" in out
         assert "ideal sketch" in out
 
+    def test_campaign_concurrent_bugs(self, capsys):
+        rc = main(["corpus", "campaign", "pbzip2-1", "curl-965",
+                   "--shards", "2", "--cohort-size", "100",
+                   "--max-iterations", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 campaigns, 2 shard(s)" in out
+        assert "cross-shard merge verified: True" in out
+        assert out.count("found") == 2
+
+    def test_campaign_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            main(["corpus", "campaign", "pbzip2-1",
+                  "--scheduler", "bogus"])
+
 
 class TestCoverage:
     def test_coverage_listing(self, tmp_path, capsys):
