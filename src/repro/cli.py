@@ -194,7 +194,10 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
                 cohort_size=args.cohort_size,
                 cohort_share=args.cohort_share,
                 scheduler=args.scheduler,
-                quantum=args.quantum)
+                quantum=args.quantum,
+                journal_dir=args.journal_dir,
+                batch_bytes=args.batch_bytes,
+                batch_ms=args.batch_ms)
     workload = Workload(args=tuple(_parse_args_values(args.args)),
                         switch_prob=args.switch_prob,
                         max_steps=args.max_steps)
@@ -245,7 +248,10 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                 executor=args.executor,
                 transport=args.fleet_transport,
                 fault_plan=args.fault_plan,
-                interp_mode=args.interp) as deployment:
+                interp_mode=args.interp,
+                journal_dir=args.journal_dir,
+                batch_bytes=args.batch_bytes,
+                batch_ms=args.batch_ms) as deployment:
             stats = deployment.run_campaign(
                 stop_when=spec.sketch_has_root,
                 max_iterations=args.max_iterations)
@@ -292,6 +298,8 @@ def _cmd_corpus_campaign(args: argparse.Namespace) -> int:
                          fleet_workers=_fleet_jobs(args),
                          executor=args.executor,
                          fault_plan=args.fault_plan,
+                         transport=args.fleet_transport,
+                         journal_dir=args.journal_dir,
                          interp_mode=args.interp,
                          max_iterations=args.max_iterations)
     result = plane.run()
@@ -327,6 +335,28 @@ def _cmd_corpus_campaign(args: argparse.Namespace) -> int:
             print(render_sketch(stats.sketch))
             print()
     return 0 if all_found else 1
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """``repro fleet serve|client``: a diagnosis as separate processes."""
+    from .fleet.serve import client_main, serve_main
+
+    batch = dict(batch_messages=args.batch_messages,
+                 batch_ms=args.batch_ms if args.batch_ms is not None
+                 else 0.0)
+    if args.batch_bytes is not None:
+        batch["batch_bytes"] = args.batch_bytes
+    if args.fleet_command == "serve":
+        return serve_main(
+            args.bug_id, args.socket,
+            journal_dir=args.journal_dir,
+            initial_sigma=args.sigma,
+            max_iterations=args.max_iterations,
+            timeout=args.timeout, **batch)
+    return client_main(
+        args.bug_id, args.socket,
+        endpoints=args.endpoints, base=args.base,
+        timeout=args.timeout, **batch)
 
 
 def _export(sketch, args: argparse.Namespace) -> None:
@@ -440,15 +470,33 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None,
                        help="directory for the on-disk analysis-artifact "
                             "cache (repeat invocations skip cold analysis)")
-        p.add_argument("--fleet-transport", choices=("wire", "direct"),
+        p.add_argument("--fleet-transport",
+                       choices=("wire", "socket", "direct"),
                        default="wire",
                        help="'wire' (encoded-bytes fleet transport, "
-                            "default) or 'direct' (in-process hand-off)")
+                            "default), 'socket' (the same bytes over a "
+                            "real Unix socket with batching and "
+                            "backpressure), or 'direct' (in-process "
+                            "hand-off)")
         p.add_argument("--fault-plan", type=fault_plan, default=None,
                        metavar="SPEC",
-                       help="inject transport/client faults: 'lossy', "
-                            "'lossy:SEED', or 'drop=0.05,corrupt=0.02,"
-                            "crashes=1,seed=7' (wire transport only)")
+                       help="inject transport/client/server faults: "
+                            "'lossy', 'lossy:SEED', or 'drop=0.05,"
+                            "corrupt=0.02,crashes=1,server_crash_every=40,"
+                            "ack_delay=0.1,seed=7' (wire-like transports "
+                            "only; server_crash_every needs --journal-dir)")
+        p.add_argument("--journal-dir", default=None, metavar="DIR",
+                       help="write-ahead campaign journal directory: every "
+                            "campaign transition is journaled before apply "
+                            "so a killed server resumes mid-campaign")
+        p.add_argument("--batch-bytes", type=positive_int, default=None,
+                       metavar="N",
+                       help="socket transport: coalesce up to N payload "
+                            "bytes per write (default 262144)")
+        p.add_argument("--batch-ms", type=float, default=None,
+                       metavar="MS",
+                       help="socket transport: linger up to MS ms filling "
+                            "a batch before writing (default 0)")
 
     def control_flags(p):
         from .control import SCHEDULER_KINDS
@@ -521,6 +569,45 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_flags(cp)
     control_flags(cp)
     cp.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser("fleet",
+                       help="run server and fleet clients as separate OS "
+                            "processes over a real socket")
+    fsub = p.add_subparsers(dest="fleet_command", required=True)
+
+    def fleet_proc_flags(fp):
+        fp.add_argument("bug_id", help="corpus bug id to diagnose")
+        fp.add_argument("--socket", required=True, metavar="ADDR",
+                        help="unix:/path, tcp:HOST:PORT, or a bare Unix "
+                             "socket path")
+        fp.add_argument("--timeout", type=float, default=300.0,
+                        help="overall wall-clock budget in seconds")
+        fp.add_argument("--batch-messages", type=positive_int, default=256,
+                        help="coalesce up to N envelopes per socket write "
+                             "(1 = unbatched)")
+        fp.add_argument("--batch-bytes", type=positive_int, default=None,
+                        metavar="N", help="batch payload-byte cap")
+        fp.add_argument("--batch-ms", type=float, default=None,
+                        metavar="MS", help="batch linger window in ms")
+
+    fp = fsub.add_parser("serve",
+                         help="host the GistServer behind a socket")
+    fleet_proc_flags(fp)
+    fp.add_argument("--journal-dir", default=None, metavar="DIR",
+                    help="write-ahead journal directory; restart on the "
+                         "same journal to resume after a kill")
+    fp.add_argument("--sigma", type=int, default=2)
+    fp.add_argument("--max-iterations", type=int, default=10)
+    fp.set_defaults(func=cmd_fleet)
+
+    fp = fsub.add_parser("client",
+                         help="run N fleet endpoints against a server")
+    fleet_proc_flags(fp)
+    fp.add_argument("--endpoints", type=positive_int, default=2,
+                    help="endpoints this client process simulates")
+    fp.add_argument("--base", type=int, default=0,
+                    help="first endpoint id (processes must not overlap)")
+    fp.set_defaults(func=cmd_fleet)
 
     return parser
 

@@ -111,6 +111,8 @@ class ControlPlane:
                  executor: str = "threads",
                  engine: Optional[FleetExecutor] = None,
                  fault_plan: Optional[FaultPlan] = None,
+                 transport: str = "wire",
+                 journal_dir: Optional[str] = None,
                  interp_mode: Optional[str] = None,
                  ptwrite: bool = False,
                  extended_predicates: bool = False,
@@ -148,10 +150,10 @@ class ControlPlane:
                 endpoints=endpoints, bug=spec.bug,
                 ptwrite=ptwrite, extended_predicates=extended_predicates,
                 context=spec.context, fleet_workers=fleet_workers,
-                engine=self._engine, transport="wire",
+                engine=self._engine, transport=transport,
                 fault_plan=fault_plan, interp_mode=interp_mode,
                 campaign_key=spec.bug, cohort_model=self.cohort,
-                ranker_stripes=shards)
+                ranker_stripes=shards, journal_dir=journal_dir)
             driver = CampaignDriver(
                 deployment, initial_sigma=initial_sigma,
                 stop_when=spec.stop_when,

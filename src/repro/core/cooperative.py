@@ -45,11 +45,18 @@ if TYPE_CHECKING:
     from ..fleet.faults import FaultPlan
     from ..fleet.transport import FleetTransport
 
-#: The two ways client↔server traffic can move.  ``"wire"`` (the default)
+#: The ways client↔server traffic can move.  ``"wire"`` (the default)
 #: routes everything — failure reports, patches, monitored runs, acks —
-#: through :mod:`repro.fleet` as encoded bytes; ``"direct"`` is the
-#: original in-process object hand-off, kept as the A/B reference.
-TRANSPORTS = ("wire", "direct")
+#: through :mod:`repro.fleet` as encoded bytes; ``"socket"`` routes the
+#: same bytes over a real Unix-domain/TCP socket pair with frame batching
+#: and credit backpressure (:mod:`repro.fleet.socket_transport`);
+#: ``"direct"`` is the original in-process object hand-off, kept as the
+#: A/B reference.
+TRANSPORTS = ("wire", "socket", "direct")
+
+#: The transports that speak encoded bytes end to end — everything the
+#: fault layer, cohorts, campaign routing, and journaling require.
+WIRE_LIKE_TRANSPORTS = ("wire", "socket")
 
 #: Decide whether a sketch is good enough to stop AsT.  The evaluation
 #: passes the ideal-sketch oracle; interactive use passes a developer
@@ -95,7 +102,11 @@ class CooperativeDeployment:
                  interp_mode: Optional[str] = None,
                  campaign_key: Optional[str] = None,
                  cohort_model=None,
-                 ranker_stripes: int = 1) -> None:
+                 ranker_stripes: int = 1,
+                 journal_dir: Optional[str] = None,
+                 batch_bytes: Optional[int] = None,
+                 batch_ms: Optional[float] = None,
+                 socket_family: str = "unix") -> None:
         from ..fleet.executors import EXECUTOR_KINDS
 
         if endpoints < 1:
@@ -106,12 +117,21 @@ class CooperativeDeployment:
             raise ValueError(f"executor must be one of {EXECUTOR_KINDS}")
         if transport not in TRANSPORTS:
             raise ValueError(f"transport must be one of {TRANSPORTS}")
-        if fault_plan is not None and transport != "wire":
-            raise ValueError("fault injection requires the wire transport")
-        if cohort_model is not None and transport != "wire":
-            raise ValueError("cohort clients require the wire transport")
-        if campaign_key is not None and transport != "wire":
-            raise ValueError("campaign routing requires the wire transport")
+        wire_like = transport in WIRE_LIKE_TRANSPORTS
+        if fault_plan is not None and not wire_like:
+            raise ValueError("fault injection requires a wire transport")
+        if cohort_model is not None and not wire_like:
+            raise ValueError("cohort clients require a wire transport")
+        if campaign_key is not None and not wire_like:
+            raise ValueError("campaign routing requires a wire transport")
+        if journal_dir is not None and not wire_like:
+            raise ValueError("the campaign journal requires a wire "
+                             "transport (envelopes are what it records)")
+        if fault_plan is not None and \
+                fault_plan.servers.crash_every_ingests > 0 and \
+                journal_dir is None:
+            raise ValueError("server_crash faults need journal_dir: "
+                             "recovery replays the write-ahead journal")
         self.module = module
         self.workload_factory = workload_factory
         self.bug = bug
@@ -151,12 +171,36 @@ class CooperativeDeployment:
             from ..fleet.transport import FleetTransport
 
             self.fleet_transport = FleetTransport(endpoints, fault_plan)
+        elif transport == "socket":
+            from ..fleet.socket_transport import SocketFleetTransport
+
+            socket_kwargs = {}
+            if batch_bytes is not None:
+                socket_kwargs["batch_bytes"] = batch_bytes
+            if batch_ms is not None:
+                socket_kwargs["batch_ms"] = batch_ms
+            self.fleet_transport = SocketFleetTransport(
+                endpoints, fault_plan, family=socket_family,
+                **socket_kwargs)
+        #: Directory for the write-ahead campaign journal (None = off).
+        #: The journal file itself opens lazily when a campaign starts.
+        self.journal_dir = journal_dir
         self._endpoints: Optional[List["FleetEndpoint"]] = None
         self._runs_lost_to_crash = 0
         self._runs_lost_to_churn = 0
         self._patch_resends = 0
         self._misrouted = 0
+        self._server_crashes = 0
+        self._acks_delayed = 0
+        #: Acks the fault plan deferred: they land at the start of the
+        #: next pump round instead of the one they arrived in.
+        self._held_acks: List = []
         self._next_run = 0
+
+    @property
+    def wire_like(self) -> bool:
+        """True for transports that move encoded bytes (wire, socket)."""
+        return self.transport_mode in WIRE_LIKE_TRANSPORTS
 
     # -- plumbing ------------------------------------------------------------
 
@@ -191,13 +235,19 @@ class CooperativeDeployment:
         return self._engine.live_pool if self._engine is not None else None
 
     def close(self) -> None:
-        """Shut the execution engine down (idempotent).
+        """Shut the execution engine down, stop the socket hub if one is
+        running, and close the journal (idempotent).
 
         Injected engines belong to the caller and are left running.
         """
         if self._engine is not None and self._owns_engine:
             self._engine.close()
             self._engine = None
+        transport = self.fleet_transport
+        if transport is not None and hasattr(transport, "hub"):
+            transport.close()
+        if self.server.journal is not None:
+            self.server.journal.close()
 
     def __enter__(self) -> "CooperativeDeployment":
         return self
@@ -366,13 +416,79 @@ class CooperativeDeployment:
                 payload, msg_type=msg_type, key=(epoch, run_id, msg_type),
                 straggle=straggles)
 
+    # -- journal + simulated server crashes -----------------------------------
+
+    def _journal_path(self) -> str:
+        import os
+        import re
+
+        safe = re.sub(r"[^A-Za-z0-9_.-]", "_", self.bug) or "campaign"
+        return os.path.join(self.journal_dir, f"{safe}.wal")
+
+    def _open_journal(self) -> None:
+        """Attach a fresh write-ahead journal to the server (no-op when
+        journaling is off or one is already attached)."""
+        if self.journal_dir is None or self.server.journal is not None:
+            return
+        from ..fleet.journal import CampaignJournal
+
+        self.server.journal = CampaignJournal(self._journal_path(),
+                                              fresh=True)
+
+    def _live_campaign(self, campaign: Optional[DiagnosisCampaign]
+                       ) -> Optional[DiagnosisCampaign]:
+        """The *current* server's campaign for the same failure identity —
+        a different object after a simulated crash was recovered."""
+        if campaign is None:
+            return None
+        return self.server.campaigns.get(campaign.identity, campaign)
+
+    def _crash_and_recover(self) -> None:
+        """Simulate a server kill: throw the live server object away and
+        rebuild it from the write-ahead journal, exactly as a restarted
+        process would.  The analysis context survives (static artifacts
+        are immutable); every piece of campaign state must come back
+        through replay."""
+        from ..fleet.journal import CampaignJournal, recover_server
+
+        old = self.server
+        path = old.journal.path
+        old.journal.close()
+        state = recover_server(
+            path, self.module, context=old.context,
+            extended_predicates=old.extended_predicates,
+            stripes=old.stripes)
+        server = state.server
+        server.journal = CampaignJournal(path, fresh=False)
+        self.server = server
+        self._server_crashes += 1
+
+    def _maybe_crash_server(self, campaign: Optional[DiagnosisCampaign]
+                            ) -> Optional[DiagnosisCampaign]:
+        """Fire the seeded ``server_crash_every`` fault if this ingest is
+        its trigger; returns the (possibly recovered) live campaign."""
+        plan = self.fault_plan
+        if plan is None or self.server.journal is None or \
+                not plan.server_crashes_after(self.server.ingests_applied):
+            return campaign
+        self._crash_and_recover()
+        return self._live_campaign(campaign)
+
+    #: How many uplink payloads one ``recv_many`` pass pops — bounds the
+    #: working set without changing drain semantics (the pump loops until
+    #: the uplink is empty).
+    PUMP_BATCH = 256
+
     def _pump_uplink(self, campaign: Optional[DiagnosisCampaign],
                      epoch: Optional[int]):
         """Drain the server's inbox, routing each decodable message.
 
         Returns ``(failing_delta, successful_delta, overheads,
         first_failure_report)``; quarantining, duplicate suppression, and
-        stale-epoch discards all happen on the way through.
+        stale-epoch discards all happen on the way through.  Acks the
+        fault plan defers land at the start of the *next* pump round; a
+        triggered ``server_crash_every`` fault swaps the server for its
+        journal-recovered twin mid-drain.
         """
         from ..fleet import wire
 
@@ -380,36 +496,56 @@ class CooperativeDeployment:
         successful = 0
         overheads: List[float] = []
         first_report: Optional[FailureReport] = None
-        for blob in self.fleet_transport.uplink.drain():
-            message = self.server.receive(blob)
-            if message is None:
-                continue  # quarantined
-            if message.campaign != self.campaign_key:
-                # Routed by campaign id: traffic for another campaign
-                # never touches this campaign's statistics.
-                self._misrouted += 1
-                continue
-            if message.type == wire.MSG_PATCH_ACK:
-                if campaign is not None:
+        campaign = self._live_campaign(campaign)
+        if self._held_acks:
+            held, self._held_acks = self._held_acks, []
+            if campaign is not None:
+                for message in held:
                     campaign.note_ack(message.payload["endpoint_id"],
                                       message.epoch)
-            elif message.type == wire.MSG_MONITORED_RUN:
-                if campaign is None:
+        uplink = self.fleet_transport.uplink
+        while True:
+            blobs = uplink.recv_many(self.PUMP_BATCH)
+            if not blobs:
+                break
+            for blob in blobs:
+                message = self.server.receive(blob)
+                if message is None:
+                    continue  # quarantined
+                if message.campaign != self.campaign_key:
+                    # Routed by campaign id: traffic for another campaign
+                    # never touches this campaign's statistics.
+                    self._misrouted += 1
                     continue
-                verdict = campaign.ingest_wire(message)
-                if verdict is None:
-                    continue  # stale epoch or duplicate digest
-                recurrence, run = verdict
-                overheads.append(run.overhead)
-                if recurrence:
-                    failing += 1
-                elif not run.failed:
-                    successful += 1
-            elif message.type == wire.MSG_FAILURE_REPORT:
-                if campaign is not None:
-                    campaign.note_unmonitored_report(message.payload)
-                elif first_report is None:
-                    first_report = message.payload
+                if message.type == wire.MSG_PATCH_ACK:
+                    if campaign is None:
+                        continue
+                    endpoint_id = message.payload["endpoint_id"]
+                    if self.fault_plan is not None and \
+                            self.fault_plan.ack_delayed(
+                                message.epoch or 0, endpoint_id):
+                        self._acks_delayed += 1
+                        self._held_acks.append(message)
+                    else:
+                        campaign.note_ack(endpoint_id, message.epoch)
+                elif message.type == wire.MSG_MONITORED_RUN:
+                    if campaign is None:
+                        continue
+                    verdict = campaign.ingest_wire(message)
+                    if verdict is None:
+                        continue  # stale epoch or duplicate digest
+                    recurrence, run = verdict
+                    overheads.append(run.overhead)
+                    if recurrence:
+                        failing += 1
+                    elif not run.failed:
+                        successful += 1
+                    campaign = self._maybe_crash_server(campaign)
+                elif message.type == wire.MSG_FAILURE_REPORT:
+                    if campaign is not None:
+                        campaign.note_unmonitored_report(message.payload)
+                    elif first_report is None:
+                        first_report = message.payload
         return failing, successful, overheads, first_report
 
     def _deliver_patches(self, campaign: DiagnosisCampaign,
@@ -420,6 +556,7 @@ class CooperativeDeployment:
 
         fleet = self._fleet()
         for attempt in (0, 1):
+            campaign = self._live_campaign(campaign)
             if attempt == 0:
                 targets = fleet
             else:
@@ -447,8 +584,11 @@ class CooperativeDeployment:
                       campaign: Optional[DiagnosisCampaign]) -> Dict:
         from ..fleet.transport import FleetReport
 
+        transport_stats = self.fleet_transport.stats.as_dict()
+        if hasattr(self.fleet_transport, "socket_stats"):
+            transport_stats["socket"] = self.fleet_transport.socket_stats()
         report = FleetReport(
-            transport=self.fleet_transport.stats.as_dict(),
+            transport=transport_stats,
             quarantined=self.server.quarantined_count,
             runs_lost_to_crash=self._runs_lost_to_crash,
             runs_lost_to_churn=self._runs_lost_to_churn,
@@ -456,9 +596,14 @@ class CooperativeDeployment:
                                        for e in self._fleet()),
             patch_resends=self._patch_resends,
             misrouted=self._misrouted,
+            server_crashes=self._server_crashes,
+            acks_delayed=self._acks_delayed,
             fault_plan=(self.fault_plan.describe()
                         if self.fault_plan is not None else "none"),
         )
+        if self.server.journal is not None:
+            report.journal = self.server.journal.stats()
+        campaign = self._live_campaign(campaign)
         if campaign is not None:
             report.stale_discarded = campaign.stale_runs_discarded
             report.duplicates_ignored = campaign.duplicate_runs_ignored
@@ -481,7 +626,7 @@ class CooperativeDeployment:
         to bootstrap); the direct transport hands the report over
         in-process, exactly as before.
         """
-        if self.transport_mode == "wire":
+        if self.wire_like:
             return self._wait_for_failure_wire(max_runs)
         consumed = 0
         while consumed < max_runs:
@@ -541,7 +686,7 @@ class CooperativeDeployment:
         """Full pipeline: bootstrap failure → AsT iterations → sketch."""
         stats = CampaignStats(bug=self.bug)
         t0 = time.perf_counter()
-        runner = (self._run_campaign_wire if self.transport_mode == "wire"
+        runner = (self._run_campaign_wire if self.wire_like
                   else self._run_campaign)
         try:
             return runner(
@@ -690,8 +835,8 @@ class CampaignDriver:
                  max_runs_per_iteration: int = 400,
                  max_bootstrap_runs: int = 10_000,
                  stats: Optional[CampaignStats] = None) -> None:
-        if deployment.transport_mode != "wire":
-            raise ValueError("CampaignDriver requires the wire transport")
+        if not deployment.wire_like:
+            raise ValueError("CampaignDriver requires a wire transport")
         self.dep = deployment
         self.initial_sigma = initial_sigma
         self.stop_when = stop_when
@@ -799,6 +944,9 @@ class CampaignDriver:
     def _begin_campaign(self, report: FailureReport) -> None:
         self.stats.bootstrap_runs = self._bootstrap_consumed
         self.stats.total_runs += self._bootstrap_consumed
+        # The journal attaches before the campaign exists, so its first
+        # record is this campaign's start.
+        self.dep._open_journal()
         self.campaign = self.dep.server.handle_failure_report(
             self.dep.bug, report, self.initial_sigma, key=self.key)
         self.phase = PHASE_MONITOR
@@ -822,6 +970,7 @@ class CampaignDriver:
                     endpoint.begin_epoch(self._epoch, dep._next_run)
                 self._patches = campaign.make_patches(len(dep.clients))
                 dep._deliver_patches(campaign, self._patches, self._epoch)
+                campaign = self.campaign = dep._live_campaign(campaign)
                 self._failing = 0
                 self._successful = 0
                 self._attempts = 0
@@ -844,6 +993,9 @@ class CampaignDriver:
                     dep._transmit(self._epoch, run_id, messages)
                     f_add, s_add, run_overheads, _ = \
                         dep._pump_uplink(campaign, self._epoch)
+                    # A simulated server crash inside the pump swapped the
+                    # campaign for its journal-recovered twin.
+                    campaign = self.campaign = dep._live_campaign(campaign)
                     self._failing += f_add
                     self._successful += s_add
                     self._overheads.extend(run_overheads)
@@ -859,7 +1011,7 @@ class CampaignDriver:
         return consumed
 
     def _close_iteration(self) -> None:
-        campaign = self.campaign
+        campaign = self.campaign = self.dep._live_campaign(self.campaign)
         iteration = campaign.finish_iteration()
         self.stats.iteration_results.append(iteration)
         self.stats.iterations = iteration.iteration
@@ -882,7 +1034,7 @@ class CampaignDriver:
 
     def _finish(self) -> None:
         stats = self.stats
-        campaign = self.campaign
+        campaign = self.campaign = self.dep._live_campaign(self.campaign)
         stats.failure_recurrences = campaign.total_failure_recurrences
         if self._overheads:
             stats.avg_overhead_percent = \

@@ -83,7 +83,10 @@ class Gist:
                  cohort_size: int = 1,
                  cohort_share: float = 1.0,
                  scheduler: str = "infogain",
-                 quantum: int = 8) -> None:
+                 quantum: int = 8,
+                 journal_dir: Optional[os.PathLike] = None,
+                 batch_bytes: Optional[int] = None,
+                 batch_ms: Optional[float] = None) -> None:
         self.module = module
         self.bug = bug
         self.endpoints = endpoints
@@ -104,8 +107,10 @@ class Gist:
         #: Pre-built :class:`repro.fleet.FleetExecutor` to reuse across
         #: diagnoses (caller owns its lifecycle); overrides ``executor``.
         self.engine = engine
-        #: ``"wire"`` (encoded-bytes fleet transport, default) or
-        #: ``"direct"`` (the pre-transport in-process hand-off).
+        #: ``"wire"`` (encoded-bytes fleet transport, default),
+        #: ``"socket"`` (the same bytes over a real Unix/TCP socket with
+        #: batching and backpressure), or ``"direct"`` (the pre-transport
+        #: in-process hand-off).
         self.transport = transport
         #: Optional :class:`repro.fleet.FaultPlan` injected at the
         #: transport boundary (wire transport only).
@@ -126,6 +131,11 @@ class Gist:
         self.scheduler = scheduler
         #: Runs each endpoint affords per scheduler round.
         self.quantum = quantum
+        #: Write-ahead campaign journal directory (None = no journal).
+        self.journal_dir = journal_dir
+        #: Socket-transport batching knobs (None = transport defaults).
+        self.batch_bytes = batch_bytes
+        self.batch_ms = batch_ms
 
     @classmethod
     def from_source(cls, source: str, bug: str = "bug",
@@ -167,7 +177,8 @@ class Gist:
             context=self.context, fleet_workers=self.fleet_workers,
             executor=self.executor, engine=self.engine,
             transport=self.transport, fault_plan=self.fault_plan,
-            interp_mode=self.interp_mode)
+            interp_mode=self.interp_mode, journal_dir=self.journal_dir,
+            batch_bytes=self.batch_bytes, batch_ms=self.batch_ms)
         stats = deployment.run_campaign(
             initial_sigma=initial_sigma,
             stop_when=stop_when,
@@ -191,8 +202,8 @@ class Gist:
         # Lazy import: repro.control imports repro.core submodules.
         from ..control import CampaignSpec, ControlPlane
 
-        if self.transport != "wire":
-            raise ValueError("shards/cohorts need the wire transport")
+        if self.transport not in ("wire", "socket"):
+            raise ValueError("shards/cohorts need a wire transport")
         spec = CampaignSpec(bug=self.bug, module=self.module,
                             workload_factory=workload_factory,
                             stop_when=stop_when, context=self.context)
@@ -202,6 +213,7 @@ class Gist:
             scheduler=self.scheduler, quantum=self.quantum,
             fleet_workers=self.fleet_workers, executor=self.executor,
             engine=self.engine, fault_plan=self.fault_plan,
+            transport=self.transport, journal_dir=self.journal_dir,
             interp_mode=self.interp_mode, ptwrite=self.ptwrite,
             extended_predicates=self.extended_predicates,
             initial_sigma=initial_sigma, max_iterations=max_iterations,

@@ -61,6 +61,12 @@ class DiagnosisCampaign:
         self.bug = bug
         self.first_report = first_report
         self.identity = first_report.identity()
+        #: The key exactly as the caller passed it (``None`` for solo
+        #: campaigns).  Wire envelopes and journal records carry *this*
+        #: value, so a journal replayed into a fresh server routes
+        #: messages identically; ``self.key`` below is the display/cluster
+        #: key with the default filled in.
+        self.wire_key = key
         #: The campaign's failure-cluster key — what the control plane
         #: consistent-hashes across shards and what wire envelopes carry in
         #: their ``campaign`` field.  Defaults to the clusterer's site key.
@@ -114,6 +120,8 @@ class DiagnosisCampaign:
     # -- iteration lifecycle --------------------------------------------------
 
     def begin_iteration(self) -> Tuple[AstIteration, InstrumentationPlan]:
+        if self.server.journal is not None:
+            self.server.journal.append_begin_iteration(self.wire_key)
         self._current = self.tracker.begin_iteration()
         self._current_plan = self.server.planner.plan_window(
             self.slice, self._current.window_uids)
@@ -219,6 +227,12 @@ class DiagnosisCampaign:
         stale or straggling client must not poison refinement, §3.2.3's
         cooperative invariant) or its content digest was already ingested
         (a duplicated message is a no-op) — else ``(recurrence, run)``.
+
+        When the server carries a write-ahead journal, the run's canonical
+        envelope bytes are appended *after* both gates pass and *before*
+        the ingest mutates campaign state — so the journal records exactly
+        the applied-envelope stream, and replaying it folds up the same
+        state (see :mod:`repro.fleet.journal`).
         """
         if message.epoch != self.epoch:
             self.stale_runs_discarded += 1
@@ -228,6 +242,14 @@ class DiagnosisCampaign:
             return None
         self._seen_digests.add(message.digest)
         run = message.payload
+        if self.server.journal is not None:
+            from ..fleet import wire  # local import: fleet ↔ core layering
+
+            self.server.journal.append_ingest(
+                message.digest,
+                wire.encode_monitored_run(run, epoch=message.epoch,
+                                          campaign=message.campaign))
+        self.server.ingests_applied += 1
         return self.ingest(run, digest=message.digest), run
 
     def note_ack(self, endpoint_id: int, epoch: Optional[int]) -> None:
@@ -242,6 +264,10 @@ class DiagnosisCampaign:
 
     def finish_iteration(self) -> IterationResult:
         assert self._current is not None and self._current_plan is not None
+        if self.server.journal is not None:
+            # Iteration boundaries are the journal's durability points:
+            # this append also fsyncs everything buffered so far.
+            self.server.journal.append_finish_iteration(self.wire_key)
         refinement = refine(self._current.window_uids, self._runs,
                             slice_uids=self.slice.uids)
         sketch: Optional[FailureSketch] = None
@@ -270,6 +296,8 @@ class DiagnosisCampaign:
         return result
 
     def grow(self) -> int:
+        if self.server.journal is not None:
+            self.server.journal.append_grow(self.wire_key)
         return self.tracker.grow()
 
     @property
@@ -322,6 +350,19 @@ class GistServer:
         self.messages_received = 0
         self.quarantined_count = 0
         self.quarantine: List[QuarantineRecord] = []
+        #: Optional write-ahead journal (:class:`repro.fleet.journal.
+        #: CampaignJournal`): when attached, every state-mutating campaign
+        #: transition is appended before it is applied, so a crashed
+        #: server resumes by replaying the journal.  ``None`` (the
+        #: default) journals nothing; a server built by
+        #: :func:`~repro.fleet.journal.recover_server` also replays with
+        #: ``journal=None`` so replayed records are never re-appended.
+        self.journal = None
+        #: Lifetime count of *applied* monitored-run ingests (rejected
+        #: traffic excluded).  Journal replay reconstructs it, which is
+        #: what keeps a seeded ``server_crash_every`` fault schedule
+        #: stable across the very recoveries it triggers.
+        self.ingests_applied = 0
 
     def receive(self, blob: bytes):
         """Decode one payload from the uplink.
@@ -376,6 +417,12 @@ class GistServer:
         identity = report.identity()
         if identity in self.campaigns:
             return self.campaigns[identity]
+        if self.journal is not None:
+            from ..fleet import wire  # local import: fleet ↔ core layering
+
+            self.journal.append_campaign_start(
+                bug, key, initial_sigma, self.stripes,
+                wire.encode_failure_report(report, campaign=key))
         started = time.perf_counter()
         campaign = DiagnosisCampaign(self, bug, report, initial_sigma,
                                      key=key, stripes=self.stripes)

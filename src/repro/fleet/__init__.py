@@ -15,7 +15,14 @@ supplies that network for the simulated fleet:
 - :mod:`repro.fleet.endpoint` — the wire-speaking endpoint wrapper;
 - :mod:`repro.fleet.executors` / :mod:`repro.fleet.procpool` — the
   pluggable execution engines (serial / threads / warm process pool)
-  the deployment schedules client runs through.
+  the deployment schedules client runs through;
+- :mod:`repro.fleet.socket_transport` — the same channel contract over a
+  real Unix-domain/TCP socket with frame batching, pipelined delivery,
+  and credit-based backpressure;
+- :mod:`repro.fleet.journal` — the write-ahead campaign journal a crashed
+  server replays to resume mid-campaign;
+- :mod:`repro.fleet.serve` — the standalone server/client programs that
+  run a diagnosis as genuinely separate OS processes.
 
 With a fault-free plan the transport is an exact, byte-level loopback:
 campaign statistics and sketches are identical to the pre-transport
@@ -38,6 +45,22 @@ from .transport import (
 )
 from .endpoint import RUN_CHURNED, RUN_CRASHED, RUN_OK, FleetEndpoint, \
     RunPlan
+from .journal import (
+    CampaignJournal,
+    JournalError,
+    RecoveredState,
+    iter_records,
+    prefix_journal,
+    recover_server,
+)
+from .serve import FleetClientProcess, FleetServer, parse_address
+from .socket_transport import (
+    SocketChannel,
+    SocketFleetTransport,
+    SocketHub,
+    SocketPeer,
+    SocketProtocolError,
+)
 from .executors import (
     EXECUTOR_KINDS,
     FleetExecutor,
@@ -68,20 +91,30 @@ from .wire import (
 )
 
 __all__ = [
+    "CampaignJournal",
     "Channel",
     "ClientFaults",
     "EXECUTOR_KINDS",
     "FaultDecision",
     "FaultPlan",
+    "FleetClientProcess",
     "FleetEndpoint",
     "FleetExecutor",
     "FleetReport",
+    "FleetServer",
     "FleetTransport",
     "JobResult",
+    "JournalError",
     "ProcessExecutor",
+    "RecoveredState",
     "RunJob",
     "RunPlan",
     "SerialExecutor",
+    "SocketChannel",
+    "SocketFleetTransport",
+    "SocketHub",
+    "SocketPeer",
+    "SocketProtocolError",
     "ThreadExecutor",
     "Message",
     "MessageFaults",
@@ -105,7 +138,11 @@ __all__ = [
     "encode_patch",
     "encode_patch_ack",
     "encode_trap_record",
+    "iter_records",
     "make_executor",
     "module_payload",
+    "parse_address",
     "parse_fault_plan",
+    "prefix_journal",
+    "recover_server",
 ]

@@ -6,7 +6,10 @@ production failure modes fire: message **drop**, **duplicate**, **reorder**,
 plus the client-level faults — **crash mid-run** (the run dies before
 reporting, and the restarted client has lost its in-memory patch),
 **churn** (the endpoint leaves the fleet for some iterations), and
-**straggle** (the run's report arrives after the deadline).
+**straggle** (the run's report arrives after the deadline) — and the
+server-level faults — **server kill** after every K applied ingests
+(survivable only through the write-ahead campaign journal) and
+**ack delay** (the server sits on patch acks for a pump round).
 
 Every decision is a pure function of ``(seed, fault kind, stable key)``
 hashed through SHA-256 — never a draw from a shared RNG stream — so a plan
@@ -70,6 +73,30 @@ class ClientFaults:
 
 
 @dataclass(frozen=True)
+class ServerFaults:
+    """Server-level fault knobs (the journal-recovery chaos path).
+
+    These simulate the *collection side* failing: the Gist server process
+    being killed mid-campaign (and resuming from its write-ahead journal)
+    and the server sitting on patch acknowledgements long enough to force
+    the deployment's resend round.
+    """
+
+    #: Kill the server after every K applied monitored-run ingests (0 =
+    #: never).  The counter is the server's lifetime applied-ingest count,
+    #: which journal recovery restores, so the schedule is deterministic
+    #: across the kill: ingests K, 2K, 3K, … each trigger exactly one kill.
+    crash_every_ingests: int = 0
+    #: Per-ack probability that the server defers acting on a patch ack
+    #: for one uplink pump round (pipelined acks mean the uplink keeps
+    #: flowing; the deployment's resend round covers the gap).
+    ack_delay: float = 0.0
+
+    def any_active(self) -> bool:
+        return bool(self.crash_every_ingests) or self.ack_delay > 0.0
+
+
+@dataclass(frozen=True)
 class FaultDecision:
     """What happens to one particular message."""
 
@@ -97,6 +124,7 @@ class FaultPlan:
     seed: int = 0
     messages: Mapping[str, MessageFaults] = field(default_factory=dict)
     clients: ClientFaults = field(default_factory=ClientFaults)
+    servers: ServerFaults = field(default_factory=ServerFaults)
 
     # -- construction -------------------------------------------------------
 
@@ -133,6 +161,7 @@ class FaultPlan:
     def is_null(self) -> bool:
         """True when no fault can ever fire (the fast path)."""
         return (not self.clients.any_active()
+                and not self.servers.any_active()
                 and not any(f.any_active()
                             for f in self.messages.values()))
 
@@ -216,6 +245,25 @@ class FaultPlan:
         return c.straggle > 0.0 and \
             _unit(self.seed, "straggle", epoch, run_id) < c.straggle
 
+    # -- server-level decisions --------------------------------------------
+
+    def server_crashes_after(self, ingests_applied: int) -> bool:
+        """Is the server killed right after its N-th applied ingest?
+
+        Keyed by the server's lifetime applied-ingest count (restored by
+        journal recovery), so the kill schedule survives the kill itself:
+        every multiple of ``crash_every_ingests`` fires exactly once.
+        """
+        every = self.servers.crash_every_ingests
+        return every > 0 and ingests_applied > 0 \
+            and ingests_applied % every == 0
+
+    def ack_delayed(self, epoch: int, endpoint_id: int) -> bool:
+        """Does the server defer this patch ack one pump round?"""
+        s = self.servers
+        return s.ack_delay > 0.0 and \
+            _unit(self.seed, "ack-delay", epoch, endpoint_id) < s.ack_delay
+
     # -- description --------------------------------------------------------
 
     def describe(self) -> str:
@@ -233,6 +281,11 @@ class FaultPlan:
                             ("crashes/iter", c.crashes_per_iteration),
                             ("churn", c.churn),
                             ("straggle", c.straggle)):
+            if value:
+                parts.append(f"{name}={value}")
+        s = self.servers
+        for name, value in (("server_crash_every", s.crash_every_ingests),
+                            ("ack_delay", s.ack_delay)):
             if value:
                 parts.append(f"{name}={value}")
         return " ".join(parts)
@@ -255,7 +308,9 @@ def parse_fault_plan(spec: Optional[str]) -> Optional[FaultPlan]:
       (``drop``, ``duplicate``, ``reorder``, ``delay``, ``truncate``,
       ``corrupt``) apply to every message class; client keys are ``crash``
       (per-run probability), ``crashes`` (count per iteration), ``churn``,
-      ``churn_epochs``, ``straggle``; plus ``seed``.
+      ``churn_epochs``, ``straggle``; server keys are
+      ``server_crash_every`` (kill the server after every K applied
+      ingests — needs ``--journal-dir``) and ``ack_delay``; plus ``seed``.
     """
     if spec is None:
         return None
@@ -271,6 +326,7 @@ def parse_fault_plan(spec: Optional[str]) -> Optional[FaultPlan]:
             raise ValueError(f"bad lossy seed in fault plan {spec!r}")
     message_knobs: Dict[str, float] = {}
     clients = ClientFaults()
+    servers = ServerFaults()
     seed = 0
     for item in text.split(","):
         item = item.strip()
@@ -296,6 +352,10 @@ def parse_fault_plan(spec: Optional[str]) -> Optional[FaultPlan]:
                 clients = replace(clients, churn_epochs=int(value))
             elif key == "straggle":
                 clients = replace(clients, straggle=float(value))
+            elif key == "server_crash_every":
+                servers = replace(servers, crash_every_ingests=int(value))
+            elif key == "ack_delay":
+                servers = replace(servers, ack_delay=float(value))
             elif key == "seed":
                 seed = int(value)
             else:
@@ -308,4 +368,5 @@ def parse_fault_plan(spec: Optional[str]) -> Optional[FaultPlan]:
     messages = {}
     if message_knobs:
         messages["*"] = MessageFaults(**message_knobs)
-    return FaultPlan(seed=seed, messages=messages, clients=clients)
+    return FaultPlan(seed=seed, messages=messages, clients=clients,
+                     servers=servers)

@@ -67,6 +67,22 @@ class Channel:
             self.received += len(out)
             return out
 
+    def recv_many(self, max_n: int) -> List[bytes]:
+        """Pop up to ``max_n`` payloads, oldest first, under one lock
+        acquisition — the amortized alternative to calling :meth:`recv`
+        in a loop when the consumer wants bounded batches."""
+        if max_n <= 0:
+            return []
+        with self._lock:
+            queue = self._queue
+            if len(queue) <= max_n:
+                out = list(queue)
+                queue.clear()
+            else:
+                out = [queue.popleft() for _ in range(max_n)]
+            self.received += len(out)
+            return out
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._queue)
@@ -232,6 +248,12 @@ class FleetReport:
     #: Messages whose campaign routing key did not match the consuming
     #: campaign (multi-campaign deployments only; always 0 solo).
     misrouted: int = 0
+    #: Server-side fault accounting: simulated server kills survived via
+    #: journal replay, and acks the server deferred one pump round.
+    server_crashes: int = 0
+    acks_delayed: int = 0
+    #: Write-ahead journal accounting (``{}`` when journaling is off).
+    journal: Dict = field(default_factory=dict)
     fault_plan: str = ""
 
     def as_dict(self) -> Dict:
@@ -246,5 +268,8 @@ class FleetReport:
             "client_decode_failures": self.client_decode_failures,
             "patch_resends": self.patch_resends,
             "misrouted": self.misrouted,
+            "server_crashes": self.server_crashes,
+            "acks_delayed": self.acks_delayed,
+            "journal": self.journal,
             "fault_plan": self.fault_plan,
         }

@@ -137,3 +137,45 @@ class TestParser:
             parse_fault_plan("drop=lots")
         with pytest.raises(ValueError, match="key=value"):
             parse_fault_plan("justaword")
+
+
+class TestServerFaults:
+    def test_parse_server_keys(self):
+        plan = parse_fault_plan("server_crash_every=40,ack_delay=0.25,"
+                                "seed=3")
+        assert plan.servers.crash_every_ingests == 40
+        assert plan.servers.ack_delay == 0.25
+        assert not plan.is_null
+
+    def test_crash_schedule_fires_on_every_multiple(self):
+        plan = parse_fault_plan("server_crash_every=5")
+        fired = [n for n in range(0, 21) if plan.server_crashes_after(n)]
+        assert fired == [5, 10, 15, 20]
+        assert not parse_fault_plan("seed=1").server_crashes_after(5)
+
+    def test_ack_delay_is_deterministic_and_seeded(self):
+        plan = parse_fault_plan("ack_delay=0.5,seed=11")
+        keys = [(e, i) for e in range(4) for i in range(8)]
+        first = {k for k in keys if plan.ack_delayed(*k)}
+        second = {k for k in keys if plan.ack_delayed(*k)}
+        assert first == second
+        assert 0 < len(first) < len(keys)
+        other = {k for k in keys
+                 if parse_fault_plan("ack_delay=0.5,seed=12").ack_delayed(*k)}
+        assert first != other
+
+    def test_derive_inherits_server_knobs_with_new_seed(self):
+        plan = parse_fault_plan("server_crash_every=7,ack_delay=0.3,seed=5")
+        derived = plan.derive("campaign-a")
+        assert derived.servers == plan.servers
+        assert derived.seed != plan.seed
+        assert derived == plan.derive("campaign-a")  # reproducible
+        assert derived.seed != plan.derive("campaign-b").seed
+        # a derived schedule is a different ack-delay schedule
+        keys = [(e, i) for e in range(4) for i in range(8)]
+        assert {k for k in keys if plan.ack_delayed(*k)} != \
+            {k for k in keys if derived.ack_delayed(*k)}
+
+    def test_null_plan_stays_null_under_derive(self):
+        plan = FaultPlan.none()
+        assert plan.is_null and plan.derive("x").is_null

@@ -1,0 +1,92 @@
+"""Server and fleet clients as genuinely separate OS processes.
+
+One corpus bug is driven end-to-end over a real Unix-domain socket:
+``repro fleet serve`` hosts the GistServer, two ``repro fleet client``
+processes stream failure reports / monitored runs / acks across the
+socket, and the campaign must converge to the root cause.  The second
+test SIGKILLs the server mid-campaign and restarts it on the same
+write-ahead journal: the clients reconnect and the resumed server still
+converges.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.corpus import get_bug
+
+BUG = "transmission-1818"
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+
+
+def _spawn(role, sock, base=0, journal_dir=None, timeout=90):
+    argv = [sys.executable, "-m", "repro.cli", "fleet", role, BUG,
+            "--socket", sock, "--timeout", str(timeout)]
+    if role == "client":
+        argv += ["--endpoints", "4", "--base", str(base)]
+    if journal_dir is not None:
+        argv += ["--journal-dir", journal_dir]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(SRC) + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    return subprocess.Popen(argv, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+
+
+def _finish(proc, timeout=120):
+    try:
+        out, _ = proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        out, _ = proc.communicate()
+        pytest.fail(f"process did not finish: {out[-2000:]}")
+    return proc.returncode, out
+
+
+def test_corpus_bug_end_to_end_over_unix_socket(tmp_path):
+    sock = str(tmp_path / "gist.sock")
+    server = _spawn("serve", sock)
+    time.sleep(1.0)
+    clients = [_spawn("client", sock, base=b) for b in (0, 4)]
+    rc, out = _finish(server)
+    assert rc == 0, out
+    assert "campaign converged" in out
+    # The sketch the server printed names the bug's root cause.
+    spec = get_bug(BUG)
+    assert "Failure Sketch" in out
+    for rc_client, out_client in map(_finish, clients):
+        assert rc_client == 0, out_client
+        assert "found=True" in out_client
+    assert spec is not None
+
+
+def test_server_sigkill_resumes_from_journal(tmp_path):
+    sock = str(tmp_path / "gist.sock")
+    jdir = str(tmp_path)
+    wal = tmp_path / f"{BUG}.wal"
+    server = _spawn("serve", sock, journal_dir=jdir)
+    time.sleep(1.0)
+    clients = [_spawn("client", sock, base=b, timeout=150) for b in (0, 4)]
+    # Wait for the campaign-start record (synced immediately), then kill.
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if wal.exists() and wal.stat().st_size > 8:
+            break
+        time.sleep(0.02)
+    else:
+        pytest.fail("campaign never bootstrapped")
+    server.send_signal(signal.SIGKILL)
+    server.wait(timeout=10)
+    restarted = _spawn("serve", sock, journal_dir=jdir)
+    rc, out = _finish(restarted)
+    assert rc == 0, out
+    assert "resumed from journal" in out
+    assert "campaign converged" in out
+    for rc_client, out_client in map(_finish, clients):
+        assert rc_client == 0, out_client
+        assert "reconnecting" in out_client
+        assert "found=True" in out_client

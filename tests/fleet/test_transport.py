@@ -34,6 +34,21 @@ class TestChannel:
         with pytest.raises(TransportClosed):
             ch.send(b"x")
 
+    def test_recv_many_drains_in_order_up_to_n(self):
+        ch = Channel("t")
+        for i in range(5):
+            ch.send(b"m%d" % i)
+        assert ch.recv_many(2) == [b"m0", b"m1"]
+        assert ch.recv_many(99) == [b"m2", b"m3", b"m4"]
+        assert ch.recv_many(1) == []
+        assert ch.received == 5
+
+    def test_recv_many_rejects_nonpositive(self):
+        ch = Channel("t")
+        ch.send(b"x")
+        assert ch.recv_many(0) == []
+        assert len(ch) == 1
+
 
 class TestFaultMechanics:
     def test_clean_transport_delivers_everything(self):
