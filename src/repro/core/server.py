@@ -240,15 +240,19 @@ class DiagnosisCampaign:
         if message.digest in self._seen_digests:
             self.duplicate_runs_ignored += 1
             return None
-        self._seen_digests.add(message.digest)
         run = message.payload
         if self.server.journal is not None:
             from ..fleet import wire  # local import: fleet ↔ core layering
 
+            # WAL ordering: the journal append must precede every in-memory
+            # mutation (including the digest gate) — if the append raises,
+            # the client's retry of the same envelope must not be dropped
+            # as a duplicate.
             self.server.journal.append_ingest(
                 message.digest,
                 wire.encode_monitored_run(run, epoch=message.epoch,
                                           campaign=message.campaign))
+        self._seen_digests.add(message.digest)
         self.server.ingests_applied += 1
         return self.ingest(run, digest=message.digest), run
 

@@ -79,12 +79,37 @@ def _control_payload(key: Optional[str]) -> bytes:
                       separators=(",", ":")).encode("utf-8")
 
 
+def intact_prefix_end(path: os.PathLike) -> int:
+    """Byte offset just past the last intact record — where the torn tail
+    (if any) starts, and where a reopened journal must resume appending.
+    Raises :class:`JournalError` on a bad header magic."""
+    with open(path, "rb") as fh:
+        if fh.read(len(JOURNAL_MAGIC)) != JOURNAL_MAGIC:
+            raise JournalError(f"{path}: not a campaign journal")
+        end = len(JOURNAL_MAGIC)
+        while True:
+            head = fh.read(_HEADER.size)
+            if len(head) < _HEADER.size:
+                return end
+            rec_type, length, crc = _HEADER.unpack(head)
+            if rec_type not in _RECORD_TYPES:
+                return end
+            payload = fh.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                return end
+            end += _HEADER.size + length
+
+
 class CampaignJournal:
     """An append-only write-ahead log for one deployment's campaigns.
 
     ``fresh=True`` truncates any existing file (a deployment starting a
     new campaign); ``fresh=False`` opens in append mode and is how a
-    recovered server continues journaling into the same file.
+    recovered server continues journaling into the same file.  Reopening
+    an existing journal first truncates any torn tail (a partial record
+    left by a crash mid-append): appending after the garbage would make
+    every later record unreachable to :func:`iter_records`, silently
+    losing all state journaled after the first recovery.
     """
 
     def __init__(self, path: os.PathLike, fresh: bool = False,
@@ -93,13 +118,18 @@ class CampaignJournal:
         self.fsync_bytes = max(int(fsync_bytes), 1)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         exists = self.path.exists() and self.path.stat().st_size > 0
+        self.torn_bytes_truncated = 0
         if fresh or not exists:
             self._file = open(self.path, "wb")
             self._file.write(JOURNAL_MAGIC)
         else:
-            head = open(self.path, "rb").read(len(JOURNAL_MAGIC))
-            if head != JOURNAL_MAGIC:
-                raise JournalError(f"{self.path}: not a campaign journal")
+            end = intact_prefix_end(self.path)
+            size = self.path.stat().st_size
+            if end < size:
+                with open(self.path, "rb+") as fh:
+                    fh.truncate(end)
+                    os.fsync(fh.fileno())
+                self.torn_bytes_truncated = size - end
             self._file = open(self.path, "ab")
         self._closed = False
         self._unsynced = len(JOURNAL_MAGIC) if fresh or not exists else 0
@@ -186,6 +216,7 @@ class CampaignJournal:
             "bytes_appended": self.bytes_appended,
             "syncs": self.syncs,
             "fsync_bytes": self.fsync_bytes,
+            "torn_bytes_truncated": self.torn_bytes_truncated,
         }
 
 

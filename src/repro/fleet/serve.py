@@ -230,28 +230,64 @@ class FleetServer:
                     messages.append(message)
         return messages
 
+    @staticmethod
+    def _remove_stale_unix_socket(path: str) -> None:
+        """Unlink a leftover Unix socket only after a connect() probe
+        confirms no server is behind it — unconditionally unlinking would
+        orphan a live server's socket and split-brain its clients."""
+        import socket as socket_mod
+
+        if not os.path.exists(path):
+            return
+        probe = socket_mod.socket(socket_mod.AF_UNIX,
+                                  socket_mod.SOCK_STREAM)
+        try:
+            probe.settimeout(1.0)
+            probe.connect(path)
+        except (ConnectionRefusedError, FileNotFoundError):
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+        except OSError as exc:
+            raise TransportClosed(
+                f"cannot probe socket path {path!r} ({exc}); "
+                "refusing to unlink")
+        else:
+            raise TransportClosed(
+                f"socket path {path!r} is in use by a live server")
+        finally:
+            probe.close()
+
     # -- the campaign loop ---------------------------------------------------
 
     def run(self) -> int:
-        hub = SocketHub(name="gist-serve-hub").start()
-        if self.address[0] == "unix":
-            try:
-                os.unlink(self.address[1])
-            except FileNotFoundError:
-                pass
-        hub.serve(self.address, on_peer=lambda peer: None,
-                  **self.peer_opts)
-        self.log(f"[serve] listening on {self.address} "
-                 f"for bug {self.bug_id}")
+        # Boot (and journal-replay) before listening: a client connecting
+        # to a resuming server must be welcomed with ``fresh=False``, or
+        # it discards its installed patches and regresses to unpatched
+        # runs until the next patch broadcast.
         self._boot_server()
-        deadline = time.monotonic() + self.timeout
+        hub = None
+        bound = False
         try:
+            hub = SocketHub(name="gist-serve-hub").start()
+            if self.address[0] == "unix":
+                self._remove_stale_unix_socket(self.address[1])
+            hub.serve(self.address, on_peer=lambda peer: None,
+                      **self.peer_opts)
+            bound = True
+            self.log(f"[serve] listening on {self.address} "
+                     f"for bug {self.bug_id}")
+            deadline = time.monotonic() + self.timeout
             return self._campaign_loop(deadline)
         finally:
             if self.server is not None and self.server.journal is not None:
                 self.server.journal.close()
-            hub.close()
-            if self.address[0] == "unix":
+            if hub is not None:
+                hub.close()
+            # Only remove a socket this server actually bound — never a
+            # live sibling's that the stale-probe refused to displace.
+            if bound and self.address[0] == "unix":
                 try:
                     os.unlink(self.address[1])
                 except OSError:
@@ -448,8 +484,11 @@ class FleetClientProcess:
                     return 0 if obj.get("found") else 1
                 if self._peer.eof:
                     # Server gone (killed?): reconnect and keep running.
-                    self.log(f"[client {self.base}] connection lost; "
-                             "reconnecting")
+                    # A protocol error is not a clean disconnect — say so.
+                    cause = self._peer.protocol_error
+                    self.log(f"[client {self.base}] connection lost"
+                             + (f" (protocol error: {cause})" if cause
+                                else "") + "; reconnecting")
                     if not self._connect(
                             hub, min(deadline, time.monotonic()
                                      + self.reconnect_seconds)):

@@ -138,6 +138,7 @@ class _CreditGate:
         # envelope on the producer's hot path.
         self._cond = threading.Condition(threading.Lock())
         self._closed = False
+        self._close_reason: Optional[str] = None
         self._stall_timeout = stall_timeout
         self.stalls = 0
 
@@ -152,7 +153,10 @@ class _CreditGate:
                         f"channel {name!r}: backpressure stall (no credits "
                         f"granted within {self._stall_timeout}s)")
             if self._closed:
-                raise TransportClosed(f"channel {name!r} is closed")
+                detail = f" ({self._close_reason})" if self._close_reason \
+                    else ""
+                raise TransportClosed(
+                    f"channel {name!r} is closed{detail}")
             self._credits -= 1
 
     def grant(self, n: int) -> None:
@@ -160,9 +164,11 @@ class _CreditGate:
             self._credits += n
             self._cond.notify_all()
 
-    def close(self) -> None:
+    def close(self, reason: Optional[str] = None) -> None:
         with self._cond:
             self._closed = True
+            if reason and self._close_reason is None:
+                self._close_reason = reason
             self._cond.notify_all()
 
 
@@ -280,6 +286,10 @@ class SocketPeer:
         self.messages_received = 0
         self.unrouted = 0
         self.protocol_errors = 0
+        #: Set when the reader died on a malformed frame — distinguishes a
+        #: corrupted/desynced stream from a clean disconnect for every
+        #: wait path that observes this peer's EOF.
+        self.protocol_error: Optional[str] = None
 
     # -- wiring --------------------------------------------------------------
 
@@ -484,17 +494,20 @@ class SocketPeer:
         except (asyncio.IncompleteReadError, ConnectionResetError,
                 OSError, asyncio.CancelledError):
             pass
-        except SocketProtocolError:
+        except SocketProtocolError as exc:
             self.protocol_errors += 1
+            self.protocol_error = str(exc)
         finally:
             self._mark_eof()
 
     def _mark_eof(self) -> None:
         self.eof = True
+        reason = (f"protocol error: {self.protocol_error}"
+                  if self.protocol_error else None)
         for queue in self.router.values():
             queue._mark_eof()
         for gate in self.gates.values():
-            gate.close()
+            gate.close(reason)
         if self._on_eof is not None:
             self._on_eof(self)
 
@@ -709,6 +722,11 @@ class SocketChannel:
             return
         self._peer.request_flush()
         if not queue.wait_delivered(target, timeout=self._stall_timeout):
+            cause = queue._peer.protocol_error
+            if cause is not None:
+                raise TransportClosed(
+                    f"channel {self.name!r}: socket protocol error "
+                    f"({cause}; {queue.delivered}/{target} delivered)")
             raise TransportClosed(
                 f"channel {self.name!r}: socket transport stalled "
                 f"({queue.delivered}/{target} delivered after "

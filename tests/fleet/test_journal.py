@@ -152,6 +152,34 @@ class TestFormat:
             pass
         assert list(iter_records(path)) == []
 
+    def test_append_mode_truncates_torn_tail(self, tmp_path):
+        # The double-crash scenario: a SIGKILL tears the last record; the
+        # reopened journal must truncate the garbage before appending, or
+        # everything journaled after the first recovery is unreachable
+        # behind it and a second crash silently loses all of it.
+        path = tmp_path / "j.wal"
+        with CampaignJournal(path, fresh=True) as journal:
+            journal.append_begin_iteration(None)
+            journal.append_grow(None)
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-3])  # tear the last record's payload
+        with CampaignJournal(path, fresh=False) as journal:
+            assert journal.torn_bytes_truncated > 0
+            assert journal.stats()["torn_bytes_truncated"] > 0
+            journal.append_grow("post-recovery")
+            journal.append_finish_iteration("post-recovery")
+        assert [r[0] for r in iter_records(path)] == [
+            REC_BEGIN_ITERATION, REC_GROW, REC_FINISH_ITERATION]
+        # And strict mode agrees the file is whole again.
+        assert len(list(iter_records(path, strict=True))) == 3
+
+    def test_clean_reopen_truncates_nothing(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with CampaignJournal(path, fresh=True) as journal:
+            journal.append_grow(None)
+        with CampaignJournal(path, fresh=False) as journal:
+            assert journal.torn_bytes_truncated == 0
+
     def test_lifecycle_records_are_durability_points(self, tmp_path):
         journal = CampaignJournal(tmp_path / "j.wal", fresh=True)
         journal.append_campaign_start("bug", None, 2, 1, b"\x01")
