@@ -179,11 +179,26 @@ def _fleet_jobs(args: argparse.Namespace) -> int:
     return args.jobs if args.jobs is not None else args.fleet_workers
 
 
+def _detectors(args: argparse.Namespace, spec=None) -> tuple:
+    """Detector names for a run: ``--detectors`` wins; corpus bugs fall
+    back to the detectors their spec declares."""
+    from .detect import validate_detectors
+
+    raw = getattr(args, "detectors", None)
+    if raw is None:
+        return tuple(spec.detectors) if spec is not None else ()
+    if raw in ("", "none"):
+        return ()
+    return validate_detectors(raw.split(","))
+
+
 def cmd_diagnose(args: argparse.Namespace) -> int:
     """``repro diagnose``: run a full Gist campaign on a program."""
     module = _load_module(args.program)
     gist = Gist(module, bug=args.bug or args.program,
                 endpoints=args.endpoints, ptwrite=args.ptwrite,
+                detectors=_detectors(args),
+                ranker=args.ranker,
                 fleet_workers=_fleet_jobs(args),
                 executor=args.executor,
                 analysis_cache_dir=args.cache_dir,
@@ -217,10 +232,21 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     from .corpus import all_bugs, get_bug
 
     if args.corpus_command == "list":
-        for spec in all_bugs():
-            print(f"{spec.bug_id:<18} {spec.software:<14} "
+        specs = all_bugs(include_extra=True)
+        if args.kind:
+            specs = [spec for spec in specs
+                     if spec.failure_kind.value == args.kind]
+        for spec in specs:
+            marker = "extra" if spec.extra else "T1"
+            detectors = ",".join(spec.detectors) or "-"
+            print(f"{spec.bug_id:<18} {spec.software[:24]:<24} "
                   f"{spec.kind:<12} {spec.failure_kind.value:<18} "
-                  f"{spec.description[:60]}")
+                  f"{marker:<6} {detectors:<18} "
+                  f"{spec.description[:48]}")
+        if not specs:
+            print(f"no corpus bugs with failure kind {args.kind!r}",
+                  file=sys.stderr)
+            return 1
         return 0
 
     if args.corpus_command == "campaign":
@@ -251,7 +277,9 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                 interp_mode=args.interp,
                 journal_dir=args.journal_dir,
                 batch_bytes=args.batch_bytes,
-                batch_ms=args.batch_ms) as deployment:
+                batch_ms=args.batch_ms,
+                detectors=_detectors(args, spec),
+                ranker=args.ranker) as deployment:
             stats = deployment.run_campaign(
                 stop_when=spec.sketch_has_root,
                 max_iterations=args.max_iterations)
@@ -289,7 +317,8 @@ def _cmd_corpus_campaign(args: argparse.Namespace) -> int:
         specs.append(CampaignSpec(bug=spec.bug_id, module=module,
                                   workload_factory=spec.workload_factory,
                                   stop_when=spec.sketch_has_root,
-                                  context=context))
+                                  context=context,
+                                  detectors=_detectors(args, spec)))
     plane = ControlPlane(specs, shards=args.shards,
                          endpoints=args.endpoints,
                          cohort_size=args.cohort_size,
@@ -301,7 +330,8 @@ def _cmd_corpus_campaign(args: argparse.Namespace) -> int:
                          transport=args.fleet_transport,
                          journal_dir=args.journal_dir,
                          interp_mode=args.interp,
-                         max_iterations=args.max_iterations)
+                         max_iterations=args.max_iterations,
+                         ranker=args.ranker)
     result = plane.run()
     for context in contexts:
         context.save()
@@ -498,6 +528,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="socket transport: linger up to MS ms filling "
                             "a batch before writing (default 0)")
 
+    def detect_flags(p):
+        from .detect.invariants import RANKER_KINDS
+
+        p.add_argument("--detectors", default=None, metavar="KINDS",
+                       help="comma-separated detection tracers to attach "
+                            "to every endpoint run: 'races' (happens-"
+                            "before data-race detector), 'nullorigin' "
+                            "(null-origin causality tracer), or 'none'; "
+                            "corpus bugs default to their declared "
+                            "detectors")
+        p.add_argument("--ranker", choices=RANKER_KINDS,
+                       default="fmeasure",
+                       help="predictor ranking engine: 'fmeasure' (the "
+                            "paper's F-measure, default) or 'invariants' "
+                            "(error-invariant recall x specificity)")
+
     def control_flags(p):
         from .control import SCHEDULER_KINDS
 
@@ -530,6 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--endpoints", type=int, default=4)
     fleet_flags(p)
     control_flags(p)
+    detect_flags(p)
     p.add_argument("--sigma", type=int, default=2,
                    help="initial AsT window (paper default: 2)")
     p.add_argument("--max-iterations", type=int, default=6)
@@ -543,6 +590,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("corpus", help="work with the 11-bug corpus")
     csub = p.add_subparsers(dest="corpus_command", required=True)
     cp = csub.add_parser("list", help="list the corpus bugs")
+    cp.add_argument("--kind", default=None, metavar="FAILURE_KIND",
+                    help="only bugs of this failure class (e.g. "
+                         "'data race', 'null dereference', 'segfault')")
     cp.set_defaults(func=cmd_corpus)
     cp = csub.add_parser("show", help="print a bug's source + ideal sketch")
     cp.add_argument("bug_id")
@@ -555,6 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--html", default=None)
     cp.add_argument("--json", default=None)
     fleet_flags(cp)
+    detect_flags(cp)
     cp.set_defaults(func=cmd_corpus)
     cp = csub.add_parser("campaign",
                          help="run several corpus bugs as concurrent "
@@ -568,6 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print every campaign's failure sketch")
     fleet_flags(cp)
     control_flags(cp)
+    detect_flags(cp)
     cp.set_defaults(func=cmd_corpus)
 
     p = sub.add_parser("fleet",

@@ -63,6 +63,9 @@ class CampaignSpec:
     workload_factory: Callable
     stop_when: Optional[StopPredicate] = None
     context: Optional[AnalysisContext] = None
+    #: Detection tracers (:data:`repro.detect.DETECTOR_KINDS` names) every
+    #: endpoint run of this campaign attaches.
+    detectors: Sequence[str] = ()
 
 
 @dataclass
@@ -121,7 +124,8 @@ class ControlPlane:
                  min_failing_per_iteration: int = 1,
                  min_successful_per_iteration: int = 3,
                  max_runs_per_iteration: int = 400,
-                 max_bootstrap_runs: int = 10_000) -> None:
+                 max_bootstrap_runs: int = 10_000,
+                 ranker: str = "fmeasure") -> None:
         if not specs:
             raise ValueError("need at least one campaign spec")
         if shards < 1:
@@ -153,7 +157,8 @@ class ControlPlane:
                 engine=self._engine, transport=transport,
                 fault_plan=fault_plan, interp_mode=interp_mode,
                 campaign_key=spec.bug, cohort_model=self.cohort,
-                ranker_stripes=shards, journal_dir=journal_dir)
+                ranker_stripes=shards, journal_dir=journal_dir,
+                detectors=spec.detectors, ranker=ranker)
             driver = CampaignDriver(
                 deployment, initial_sigma=initial_sigma,
                 stop_when=spec.stop_when,

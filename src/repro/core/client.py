@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..detect import apply_detectors, make_detectors, validate_detectors
 from ..hw.watchpoints import TrapRecord
 from ..instrument.patch import AppliedInstrumentation, Patch, apply_patch
 from ..lang.ir import Module
@@ -39,7 +40,8 @@ class GistClient:
     def __init__(self, module: Module, endpoint_id: int = 0,
                  ptwrite: bool = False,
                  extended_predicates: bool = False,
-                 interp_mode: Optional[str] = None) -> None:
+                 interp_mode: Optional[str] = None,
+                 detectors: tuple = ()) -> None:
         self.module = module
         self.endpoint_id = endpoint_id
         self.runs_executed = 0
@@ -52,6 +54,10 @@ class GistClient:
         #: the process default.  Instrumented runs fall back to the decoded
         #: tier automatically, so this only shapes uninstrumented runs.
         self.interp_mode = interp_mode
+        #: Detection-subsystem tracers attached to every run of this
+        #: endpoint (see :mod:`repro.detect`): fresh instances per run,
+        #: and their verdicts amend the outcome before it is reported.
+        self.detectors = validate_detectors(detectors)
 
     def prepare_patch(self, patch: Optional[Patch]) -> Optional[Patch]:
         """Transform a server patch before applying it (identity here).
@@ -76,6 +82,9 @@ class GistClient:
             applied = apply_patch(patch, self.module, ptwrite=self.ptwrite)
             tracers = applied.tracers()
             hooks = applied.hooks
+        detectors = make_detectors(self.detectors)
+        if detectors:
+            tracers = list(tracers) + detectors
         interp = Interpreter(
             self.module,
             entry=workload.entry,
@@ -87,6 +96,8 @@ class GistClient:
             mode=self.interp_mode,
         )
         outcome = interp.run()
+        if detectors:
+            outcome = apply_detectors(outcome, detectors)
         monitored = None
         if applied is not None:
             decoded = applied.driver.decode_all()

@@ -106,7 +106,10 @@ class CooperativeDeployment:
                  journal_dir: Optional[str] = None,
                  batch_bytes: Optional[int] = None,
                  batch_ms: Optional[float] = None,
-                 socket_family: str = "unix") -> None:
+                 socket_family: str = "unix",
+                 detectors: Sequence[str] = (),
+                 ranker: str = "fmeasure") -> None:
+        from ..detect import validate_detectors
         from ..fleet.executors import EXECUTOR_KINDS
 
         if endpoints < 1:
@@ -135,14 +138,20 @@ class CooperativeDeployment:
         self.module = module
         self.workload_factory = workload_factory
         self.bug = bug
+        #: Detection-subsystem tracers every endpoint attaches to every
+        #: run of this deployment (:mod:`repro.detect`), canonicalized so
+        #: job descriptors carry one spelling.
+        self.detectors = validate_detectors(detectors)
         self.server = GistServer(module,
                                  extended_predicates=extended_predicates,
-                                 context=context, stripes=ranker_stripes)
+                                 context=context, stripes=ranker_stripes,
+                                 ranker=ranker)
         # Clients extract predictors endpoint-side, so their extended flag
         # must match the server's for the fleet statistics to line up.
         self.clients = [GistClient(module, endpoint_id=i, ptwrite=ptwrite,
                                    extended_predicates=extended_predicates,
-                                   interp_mode=interp_mode)
+                                   interp_mode=interp_mode,
+                                   detectors=self.detectors)
                         for i in range(endpoints)]
         #: Interpreter tier for uninstrumented endpoint runs (None = the
         #: process default; instrumented runs always take the decoded tier).
@@ -309,7 +318,8 @@ class CooperativeDeployment:
                             if patch is not None else None),
                 ptwrite=client.ptwrite,
                 extended=client.extended_predicates,
-                interp_mode=client.interp_mode))
+                interp_mode=client.interp_mode,
+                detectors=client.detectors))
         results: List[ClientRunResult] = []
         for job_result in self._ensure_engine().run_jobs(jobs):
             failure = None
@@ -395,6 +405,7 @@ class CooperativeDeployment:
                 ptwrite=endpoint.client.ptwrite,
                 extended=endpoint.client.extended_predicates,
                 interp_mode=endpoint.client.interp_mode,
+                detectors=endpoint.client.detectors,
                 cohort=plan.cohort,
                 campaign_key=self.campaign_key))
         job_results = iter(self._ensure_engine().run_jobs(jobs))

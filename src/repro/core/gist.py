@@ -86,7 +86,9 @@ class Gist:
                  quantum: int = 8,
                  journal_dir: Optional[os.PathLike] = None,
                  batch_bytes: Optional[int] = None,
-                 batch_ms: Optional[float] = None) -> None:
+                 batch_ms: Optional[float] = None,
+                 detectors: Sequence[str] = (),
+                 ranker: str = "fmeasure") -> None:
         self.module = module
         self.bug = bug
         self.endpoints = endpoints
@@ -136,6 +138,11 @@ class Gist:
         #: Socket-transport batching knobs (None = transport defaults).
         self.batch_bytes = batch_bytes
         self.batch_ms = batch_ms
+        #: Detection-subsystem tracers endpoints attach to every run
+        #: (:data:`repro.detect.DETECTOR_KINDS` names).
+        self.detectors = tuple(detectors)
+        #: Predictor ranking engine: ``"fmeasure"`` | ``"invariants"``.
+        self.ranker = ranker
 
     @classmethod
     def from_source(cls, source: str, bug: str = "bug",
@@ -178,7 +185,8 @@ class Gist:
             executor=self.executor, engine=self.engine,
             transport=self.transport, fault_plan=self.fault_plan,
             interp_mode=self.interp_mode, journal_dir=self.journal_dir,
-            batch_bytes=self.batch_bytes, batch_ms=self.batch_ms)
+            batch_bytes=self.batch_bytes, batch_ms=self.batch_ms,
+            detectors=self.detectors, ranker=self.ranker)
         stats = deployment.run_campaign(
             initial_sigma=initial_sigma,
             stop_when=stop_when,
@@ -206,7 +214,8 @@ class Gist:
             raise ValueError("shards/cohorts need a wire transport")
         spec = CampaignSpec(bug=self.bug, module=self.module,
                             workload_factory=workload_factory,
-                            stop_when=stop_when, context=self.context)
+                            stop_when=stop_when, context=self.context,
+                            detectors=self.detectors)
         plane = ControlPlane(
             [spec], shards=self.shards, endpoints=self.endpoints,
             cohort_size=self.cohort_size, cohort_share=self.cohort_share,
@@ -218,7 +227,8 @@ class Gist:
             extended_predicates=self.extended_predicates,
             initial_sigma=initial_sigma, max_iterations=max_iterations,
             max_runs_per_iteration=max_runs_per_iteration,
-            min_successful_per_iteration=min_successful_per_iteration)
+            min_successful_per_iteration=min_successful_per_iteration,
+            ranker=self.ranker)
         result = plane.run()
         self.context.save()
         return DiagnosisResult(stats=result.stats[self.bug], plane=result)

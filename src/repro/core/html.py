@@ -31,6 +31,12 @@ td.values { color: #0b6623; width: 16em; }
 .meta { color: #666; font-size: 0.85em; margin-top: 1.5em; }
 .pred { background: #fff; border: 1px solid #ddd; padding: 0.8em 1em;
         margin-top: 1em; font-size: 0.9em; }
+.race { background: #fff; border: 1px solid #e0b4b4; padding: 0.8em 1em;
+        margin-top: 1em; font-size: 0.9em; }
+.race .arrow { text-align: center; color: #c0392b; }
+.origin { background: #fff; border: 1px solid #b4c7e0; padding: 0.8em 1em;
+          margin-top: 1em; font-size: 0.9em; }
+.role { color: #888; display: inline-block; width: 8em; }
 """
 
 
@@ -80,6 +86,38 @@ def render_html(sketch: FailureSketch) -> str:
                       f'(F-measure, β=0.5)</b>{"".join(predictors)}</div>'
                       if predictors else "")
 
+    race_html = ""
+    if sketch.race_steps:
+        race_rows = []
+        for i, step in enumerate(sketch.race_steps):
+            body = esc(step.source or f"{step.func}:{step.line}")
+            race_rows.append(
+                f'<div><span class="role">{esc(step.role)}</span> '
+                f'T{step.tid} <span class="highlight">{body}</span> '
+                f'({esc(step.func)}:{step.line})</div>')
+            if i == 0:
+                race_rows.append('<div class="arrow">'
+                                 '&#8645; no happens-before edge &#8645;'
+                                 '</div>')
+        race_html = (f'<div class="race"><b>Racing accesses on '
+                     f'{hex(sketch.race_address)} (locksets disjoint)</b>'
+                     f'{"".join(race_rows)}</div>')
+
+    origin_html = ""
+    if sketch.origin_steps:
+        origin_rows = []
+        for step in sketch.origin_steps:
+            note = ", ".join(f"{esc(str(n))}={hex(v)}"
+                             for n, v in step.values)
+            suffix = f" [{note}]" if note else ""
+            origin_rows.append(
+                f'<div><span class="role">{esc(step.role)}</span> '
+                f'T{step.tid} {esc(step.source or "")} '
+                f'({esc(step.func)}:{step.line}){suffix}</div>')
+        origin_html = (f'<div class="origin"><b>Null-pointer causality '
+                       f'(origin &rarr; propagation &rarr; deref)</b>'
+                       f'{"".join(origin_rows)}</div>')
+
     return f"""<!DOCTYPE html>
 <html><head><meta charset="utf-8">
 <title>Failure Sketch — {esc(sketch.bug)}</title>
@@ -91,6 +129,8 @@ def render_html(sketch: FailureSketch) -> str:
 <tr>{header}</tr>
 {chr(10).join(rows)}
 </table>
+{race_html}
+{origin_html}
 {predictor_html}
 <div class="meta">AsT: σ={sketch.sigma}, iterations={sketch.iterations},
 failure recurrences={sketch.failure_recurrences};

@@ -74,6 +74,8 @@ def render_sketch(sketch: FailureSketch, show_predictors: bool = True) -> str:
     lines.append("")
     lines.append(f"Failure at step {len(sketch.steps)}: "
                  f"{sketch.failure_type}")
+    lines.extend(_race_section(sketch, threads))
+    lines.extend(_origin_section(sketch))
     if show_predictors and sketch.predictors:
         lines.append("")
         lines.append("Best failure predictors (F-measure, beta=0.5):")
@@ -89,6 +91,46 @@ def render_sketch(sketch: FailureSketch, show_predictors: bool = True) -> str:
     lines.append(f"AsT: sigma={sketch.sigma}, iterations={sketch.iterations},"
                  f" failure recurrences={sketch.failure_recurrences}")
     return "\n".join(lines)
+
+
+def _race_section(sketch: FailureSketch, threads: List[int]) -> List[str]:
+    """The data-race rows: one column per thread, an arrow between the
+    two racing accesses (the paper's sketches draw the problematic
+    inter-thread orderings as arrows between thread columns)."""
+    if not sketch.race_steps:
+        return []
+    lines = ["", f"Racing accesses on {hex(sketch.race_address)} "
+                 f"(no happens-before edge, locksets disjoint):"]
+    arrow_width = 4 + 3 + _COL_WIDTH * len(threads) + 3 * (len(threads) - 1)
+    for i, step in enumerate(sketch.race_steps):
+        cells = [str(i + 1).rjust(4)]
+        for tid in threads:
+            if tid == step.tid:
+                body = _clip(step.source or f"{step.func}:{step.line}",
+                             _COL_WIDTH - 6)
+                cells.append(f"[[ {body} ]]".ljust(_COL_WIDTH))
+            else:
+                cells.append(" " * _COL_WIDTH)
+        lines.append(" | ".join(cells) +
+                     f"  {step.role} T{step.tid} ({step.func}:{step.line})")
+        if i == 0:
+            lines.append(("<" + "~" * 18 + " races with " + "~" * 18 + ">")
+                         .center(arrow_width))
+    return lines
+
+
+def _origin_section(sketch: FailureSketch) -> List[str]:
+    """The null-pointer causality rows (Casper-style origin chain)."""
+    if not sketch.origin_steps:
+        return []
+    lines = ["", "Null-pointer causality (origin -> propagation -> deref):"]
+    for step in sketch.origin_steps:
+        source = _clip(step.source or "", _COL_WIDTH)
+        note = ", ".join(f"{name}={hex(value)}" for name, value in step.values)
+        suffix = f"  [{note}]" if note else ""
+        lines.append(f"  {step.role:<12} T{step.tid} "
+                     f"{step.func}:{step.line:<4} {source}{suffix}")
+    return lines
 
 
 def render_compact(sketch: FailureSketch) -> str:

@@ -71,24 +71,46 @@ def sketch_to_json(sketch: FailureSketch) -> str:
         "failure_recurrences": sketch.failure_recurrences,
         "statement_uids": sorted(sketch.statement_uids),
         "access_order": [list(k) for k in sketch.access_order],
-        "steps": [
-            {
-                "order": s.order,
-                "tid": s.tid,
-                "uid": s.uid,
-                "func": s.func,
-                "line": s.line,
-                "source": s.source,
-                "highlight": s.highlight,
-                "anchored": s.anchored,
-                "values": [[name, value] for name, value in s.values],
-            }
-            for s in sketch.steps
-        ],
+        "steps": [_step_to_dict(s) for s in sketch.steps],
         "predictors": {kind: _predictor_to_dict(stats)
                        for kind, stats in sketch.predictors.items()},
     }
+    # Detection rows are additive: sketches without them serialize to the
+    # exact bytes version-1 readers already accept.
+    if sketch.race_steps:
+        payload["race_steps"] = [_step_to_dict(s) for s in sketch.race_steps]
+        payload["race_address"] = sketch.race_address
+    if sketch.origin_steps:
+        payload["origin_steps"] = [_step_to_dict(s)
+                                   for s in sketch.origin_steps]
     return json.dumps(payload, indent=2)
+
+
+def _step_to_dict(s: SketchStep) -> Dict[str, Any]:
+    payload = {
+        "order": s.order,
+        "tid": s.tid,
+        "uid": s.uid,
+        "func": s.func,
+        "line": s.line,
+        "source": s.source,
+        "highlight": s.highlight,
+        "anchored": s.anchored,
+        "values": [[name, value] for name, value in s.values],
+    }
+    if s.role:
+        payload["role"] = s.role
+    return payload
+
+
+def _step_from_dict(s: Dict[str, Any]) -> SketchStep:
+    return SketchStep(
+        order=s["order"], tid=s["tid"], uid=s["uid"], func=s["func"],
+        line=s["line"], source=s["source"], highlight=s["highlight"],
+        anchored=s["anchored"],
+        values=[(name, value) for name, value in s["values"]],
+        role=s.get("role", ""),
+    )
 
 
 def sketch_from_json(text: str) -> FailureSketch:
@@ -97,15 +119,7 @@ def sketch_from_json(text: str) -> FailureSketch:
     if payload.get("version") != FORMAT_VERSION:
         raise ValueError(
             f"unsupported sketch format version {payload.get('version')!r}")
-    steps = [
-        SketchStep(
-            order=s["order"], tid=s["tid"], uid=s["uid"], func=s["func"],
-            line=s["line"], source=s["source"], highlight=s["highlight"],
-            anchored=s["anchored"],
-            values=[(name, value) for name, value in s["values"]],
-        )
-        for s in payload["steps"]
-    ]
+    steps = [_step_from_dict(s) for s in payload["steps"]]
     return FailureSketch(
         bug=payload["bug"],
         failure_type=payload["failure_type"],
@@ -120,4 +134,9 @@ def sketch_from_json(text: str) -> FailureSketch:
         sigma=payload["sigma"],
         iterations=payload["iterations"],
         failure_recurrences=payload["failure_recurrences"],
+        race_steps=[_step_from_dict(s)
+                    for s in payload.get("race_steps", [])],
+        race_address=payload.get("race_address"),
+        origin_steps=[_step_from_dict(s)
+                      for s in payload.get("origin_steps", [])],
     )

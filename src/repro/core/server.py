@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..analysis.context import AnalysisContext
 from ..analysis.slicing import StaticSlice
+from ..detect.invariants import RANKER_KINDS, make_ranker
 from ..hw.watchpoints import NUM_DEBUG_REGISTERS
 from ..instrument.patch import Patch
 from ..instrument.planner import InstrumentationPlan, InstrumentationPlanner
@@ -98,7 +99,8 @@ class DiagnosisCampaign:
         #: With ``stripes=1`` (the default, and the whole single-campaign
         #: path) there is exactly one partial and merge is the identity.
         self.stripes = stripes
-        self._stripe_rankers = [PredictorRanker(failure_pc=first_report.pc)
+        self._stripe_rankers = [make_ranker(server.ranker_kind,
+                                            failure_pc=first_report.pc)
                                 for _ in range(stripes)]
         self._merged_ranker: Optional[PredictorRanker] = None
         #: Per-ingest (predictor set, recurrence, weight) log, in ingest
@@ -201,7 +203,8 @@ class DiagnosisCampaign:
         if self.stripes == 1:
             return self._stripe_rankers[0]
         if self._merged_ranker is None:
-            merged = PredictorRanker(failure_pc=self.first_report.pc)
+            merged = make_ranker(self.server.ranker_kind,
+                                 failure_pc=self.first_report.pc)
             for partial in self._stripe_rankers:
                 merged.merge(partial)
             self._merged_ranker = merged
@@ -214,8 +217,10 @@ class DiagnosisCampaign:
 
     def rebuild_ranker(self) -> PredictorRanker:
         """A from-scratch ranker over every run ingested so far — the
-        reference the incrementally maintained one must equal."""
-        return PredictorRanker.from_runs(
+        reference the incrementally maintained one must equal.  Built with
+        the campaign's ranking-engine class, so invariants campaigns are
+        replay-checked against invariants scoring."""
+        return type(self._stripe_rankers[0]).from_runs(
             self._predictor_log, failure_pc=self.first_report.pc)
 
     def ingest_wire(self, message) -> Optional[Tuple[bool, MonitoredRun]]:
@@ -334,8 +339,17 @@ class GistServer:
     def __init__(self, module: Module,
                  extended_predicates: bool = False,
                  context: Optional[AnalysisContext] = None,
-                 stripes: int = 1) -> None:
+                 stripes: int = 1,
+                 ranker: str = "fmeasure") -> None:
+        if ranker not in RANKER_KINDS:
+            raise ValueError(f"unknown ranker kind {ranker!r} "
+                             f"(expected one of {RANKER_KINDS})")
         self.module = module
+        #: Ranking engine every campaign on this server scores with
+        #: (``fmeasure`` | ``invariants`` — see :mod:`repro.detect.
+        #: invariants`).  A plain string so job descriptors and journal
+        #: recovery can carry it across process boundaries.
+        self.ranker_kind = ranker
         #: All static artifacts live here; pass one context to many servers
         #: (or many diagnoses) and nothing is ever rebuilt.
         self.context = context or AnalysisContext(module)

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..lang.ir import Module, Opcode
-from ..runtime.failures import FailureReport
+from ..runtime.failures import FailureReport, OriginHop, RaceInfo
 from .predictors import Predictor
 from .refinement import (
     MonitoredRun,
@@ -49,6 +49,11 @@ class SketchStep:
     anchored: bool = False         # order comes from a watchpoint trap
     #: >1 when this step closes a collapsed run of identical loop cycles.
     repeats: int = 1
+    #: Detection-subsystem rows carry a role: ``"race write"`` /
+    #: ``"race read"`` for the two accesses of a data race, or
+    #: ``"origin"`` / ``"propagation"`` / ``"deref"`` for the hops of a
+    #: null-pointer causality chain.  Ordinary steps leave it empty.
+    role: str = ""
 
 
 @dataclass
@@ -69,12 +74,24 @@ class FailureSketch:
     sigma: int = 0
     iterations: int = 0
     failure_recurrences: int = 0
+    #: Data-race rows (two accesses with no happens-before edge), present
+    #: when the failure came from the happens-before detector.
+    race_steps: List[SketchStep] = field(default_factory=list)
+    race_address: Optional[int] = None
+    #: Null-pointer causality rows (origin → propagation → dereference),
+    #: present when the failure came from the null-origin tracer.
+    origin_steps: List[SketchStep] = field(default_factory=list)
 
     def statements(self) -> List[Tuple[str, int]]:
-        """Distinct (function, line) statements, in first-step order."""
+        """Distinct (function, line) statements, in first-step order.
+
+        Detection rows (racing accesses, null-origin hops) are sketch
+        content like any other row: the line that created a null three
+        frames away *is* part of what the developer reads.
+        """
         seen: Set[Tuple[str, int]] = set()
         out: List[Tuple[str, int]] = []
-        for step in self.steps:
+        for step in self.steps + self.race_steps + self.origin_steps:
             key = (step.func, step.line)
             if key not in seen:
                 seen.add(key)
@@ -202,6 +219,11 @@ def build_sketch(
     access_order = sorted(last_anchor, key=lambda k: last_anchor[k])
 
     failure_type = _classify(failure, threads)
+    race_steps = _race_steps(module, failure.race)
+    origin_steps = _origin_steps(module, failure.origin)
+    statement_uids = set(refined)
+    statement_uids.update(s.uid for s in race_steps)
+    statement_uids.update(s.uid for s in origin_steps)
     return FailureSketch(
         bug=bug,
         failure_type=failure_type,
@@ -209,13 +231,59 @@ def build_sketch(
         failing_uid=failure.pc,
         threads=sorted(threads),
         steps=steps,
-        statement_uids=set(refined),
+        statement_uids=statement_uids,
         access_order=access_order,
         predictors=dict(best_predictors),
         sigma=sigma,
         iterations=iterations,
         failure_recurrences=failure_recurrences,
+        race_steps=race_steps,
+        race_address=failure.race.address if failure.race else None,
+        origin_steps=origin_steps,
     )
+
+
+def _race_steps(module: Module,
+                race: Optional[RaceInfo]) -> List[SketchStep]:
+    """The two racing accesses as sketch rows, in access order."""
+    if race is None:
+        return []
+    steps = []
+    for i, access in enumerate((race.first, race.second)):
+        ins = module.instr(access.pc)
+        steps.append(SketchStep(
+            order=i + 1,
+            tid=access.tid,
+            uid=access.pc,
+            func=ins.func_name,
+            line=ins.line,
+            source=module.source_line(ins.line),
+            highlight=True,
+            role="race write" if access.is_write else "race read",
+        ))
+    return steps
+
+
+def _origin_steps(module: Module,
+                  origin: Sequence[OriginHop]) -> List[SketchStep]:
+    """A null-pointer causality chain as sketch rows, in hop order."""
+    steps = []
+    for i, hop in enumerate(origin):
+        ins = module.instr(hop.pc)
+        step = SketchStep(
+            order=i + 1,
+            tid=hop.tid,
+            uid=hop.pc,
+            func=ins.func_name,
+            line=ins.line,
+            source=module.source_line(ins.line),
+            highlight=hop.kind == "origin",
+            role=hop.kind,
+        )
+        if hop.address is not None:
+            step.values.append(("addr", hop.address))
+        steps.append(step)
+    return steps
 
 
 def _collapse_cycles(steps: List[SketchStep]) -> List[SketchStep]:

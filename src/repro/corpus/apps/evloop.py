@@ -1,0 +1,147 @@
+"""Extension bug: event-loop server with a lock-free stats-counter race.
+
+Models the classic worker-pool statistics race: an accept loop feeds a
+mutex-protected request queue that two workers drain, and the per-request
+accounting is split across two paths.  The slow path bumps the server's
+``handled`` counter under the queue mutex; the *fast path* — cache-hit
+responses that skip the heavy handler — bumps a global ``fast_hits``
+counter **without any lock**, on the theory that "it's just a counter".
+Two workers that take the fast path in overlapping windows race on the
+read-modify-write, and increments are lost.
+
+The program never crashes on its own: the lost update is silent, which is
+exactly why this failure class needs the happens-before detector
+(``detectors=("races",)``).  With the detector attached, the racing
+accesses are reported as :data:`FailureKind.DATA_RACE` with both stacks.
+
+Whether the two unlocked bumps are *happens-before concurrent* depends on
+the schedule: each worker keeps acquiring the queue mutex between
+requests, so a bump is ordered after the other thread's earlier bump
+whenever a release→acquire chain slipped between them.  The race fires
+only when both workers sit in their mutex-free handler windows at once,
+which keeps the failure rate in the in-production regime.
+
+Not part of the paper's Table 1 (``extra=True``); first of the
+detection-subsystem corpus bugs.
+"""
+
+from __future__ import annotations
+
+from ..registry import BugSpec, register
+from ...core.workload import Workload
+from ...runtime.failures import FailureKind
+
+SOURCE = """\
+// Event-loop server model: accept loop + two queue-draining workers.
+struct server {
+    void* mut;
+    int queue[16];
+    int head;
+    int tail;
+    int shutdown;
+    int handled;      // slow-path stats, protected by mut
+};
+
+struct server* srv;
+int fast_hits = 0;    // fast-path stats -- "just a counter", no lock
+
+int handle(int req, int rounds) {
+    // The heavy handler: parse + render, mutex-free by design.
+    int acc = req * 13 + 7;
+    int i;
+    for (i = 0; i < rounds; i++) {
+        acc = (acc * 131 + req) % 32749;
+    }
+    return acc;
+}
+
+void worker(int hot) {
+    int more = 1;
+    while (more) {
+        int got = 0;
+        int req = 0;
+        mutex_lock(srv->mut);                              //@ ideal
+        if (srv->head < srv->tail) {
+            req = srv->queue[srv->head % 16];               //@ ideal
+            srv->head = srv->head + 1;
+            got = 1;
+        }
+        if (srv->shutdown && srv->head >= srv->tail) {
+            more = 0;
+        }
+        mutex_unlock(srv->mut);                            //@ ideal
+        if (got) {
+            int r = handle(req, 40);
+            if (req % hot == 0) {                          //@ ideal
+                // BUG: fast-path cache hits skip the lock for "speed".
+                fast_hits = fast_hits + 1;                  //@ root
+            } else {
+                mutex_lock(srv->mut);
+                srv->handled = srv->handled + r % 2;
+                mutex_unlock(srv->mut);
+            }
+        }
+    }
+}
+
+int main(int nreq, int hot) {
+    srv = malloc(sizeof(struct server));                   //@ ideal
+    srv->mut = mutex_create();
+    srv->head = 0;
+    srv->tail = 0;
+    srv->shutdown = 0;
+    srv->handled = 0;
+    int t1 = thread_create(worker, hot);                   //@ ideal
+    int t2 = thread_create(worker, hot);                   //@ ideal
+    int i;
+    for (i = 0; i < nreq; i++) {
+        mutex_lock(srv->mut);
+        if (srv->tail - srv->head < 16) {
+            srv->queue[srv->tail % 16] = i;
+            srv->tail = srv->tail + 1;
+        }
+        mutex_unlock(srv->mut);
+    }
+    mutex_lock(srv->mut);
+    srv->shutdown = 1;
+    mutex_unlock(srv->mut);
+    thread_join(t1);
+    thread_join(t2);
+    print(fast_hits + srv->handled);
+    mutex_destroy(srv->mut);
+    free(srv);
+    return 0;
+}
+"""
+
+
+def _workload_factory(index: int) -> Workload:
+    # Heavy traffic: 24 requests through the queue; ``hot`` sets how many
+    # take the lock-free fast path (every hot-th request).
+    hot = 2 + index % 2
+    return Workload(args=(24, hot), seed=91000 + index, switch_prob=0.10,
+                    max_steps=400_000)
+
+
+@register("evloop-1")
+def make_spec() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="evloop-1",
+        software="Event-loop server (worker-pool model)",
+        software_version="N/A",
+        software_loc=28_000,
+        bug_db_id="N/A",
+        kind="concurrency",
+        failure_kind=FailureKind.DATA_RACE,
+        description=("fast-path cache-hit accounting bumps a shared "
+                     "counter outside the queue mutex; two workers race "
+                     "on the read-modify-write and lose increments"),
+        source=SOURCE,
+        workload_factory=_workload_factory,
+        failing_probe=Workload(args=(24, 2), seed=91000,
+                               switch_prob=0.10, max_steps=400_000),
+        module_name="evloop",
+        extra=True,
+        detectors=("races",),
+    )

@@ -1,0 +1,128 @@
+"""Extension bug: lock-free ring buffer with an unsynchronized index race.
+
+Models the single-producer ring buffer pressed into multi-producer
+service: the ring's publish path is intentionally lock-free (correct
+under the SPSC contract — one producer owns ``tail``, the consumer owns
+``head``), but a later change adds a *priority producer* thread that
+publishes through the same path.  Two producers now do unsynchronized
+read-modify-writes on ``tail`` (and on the slot the stale index points
+at): published items are overwritten and the count drifts.
+
+The program never crashes — the consumer (the main thread, after joining
+both producers, so its reads are happens-before ordered) just sees fewer
+items than were produced.  With the happens-before detector attached
+(``detectors=("races",)``) the concurrent ``tail`` accesses have no
+ordering edge and empty locksets, so they are reported as
+:data:`FailureKind.DATA_RACE`.
+
+Failure is input-dependent: the priority producer only runs when the
+workload carries priority items (``nprio > 0``), which a minority of
+workloads do — the SPSC contract holds for the rest.
+
+Not part of the paper's Table 1 (``extra=True``); third of the
+detection-subsystem corpus bugs.
+"""
+
+from __future__ import annotations
+
+from ..registry import BugSpec, register
+from ...core.workload import Workload
+from ...runtime.failures import FailureKind
+
+SOURCE = """\
+// Lock-free SPSC ring, wrongly shared by two producers.
+struct ring {
+    int tail;         // owned by THE producer -- under the SPSC contract
+    int head;         // owned by the consumer
+    int slots[16];
+};
+
+struct ring* rb;
+int produced = 0;
+
+void publish(int item) {
+    // The SPSC publish path: no fence, no lock -- by design.
+    int t = rb->tail;                                      //@ ideal
+    rb->slots[t % 16] = item;                              //@ ideal
+    rb->tail = t + 1;                                      //@ root
+}
+
+void producer(int nitems) {
+    int i;
+    for (i = 0; i < nitems; i++) {                         //@ ideal
+        publish(i * 3 + 1);
+        usleep(1);
+    }
+}
+
+void prio_producer(int nprio) {
+    // BUG: the priority path reuses the SPSC publish path -- two
+    // producers now race on tail and on the slot it points at.
+    int i;
+    for (i = 0; i < nprio; i++) {                          //@ ideal
+        publish(1000 + i);
+        usleep(1);
+    }
+}
+
+int main(int nitems, int nprio) {
+    rb = malloc(sizeof(struct ring));                      //@ ideal
+    rb->tail = 0;
+    rb->head = 0;
+    int i;
+    for (i = 0; i < 16; i++) {
+        rb->slots[i] = 0;
+    }
+    int t1 = thread_create(producer, nitems);              //@ ideal
+    int t2 = 0 - 1;
+    if (nprio > 0) {
+        t2 = thread_create(prio_producer, nprio);          //@ ideal
+    }
+    thread_join(t1);
+    if (t2 >= 0) {
+        thread_join(t2);
+    }
+    // Consumer side: joins order these reads after both producers.
+    int sum = 0;
+    while (rb->head < rb->tail && rb->head < 16) {
+        sum = sum + rb->slots[rb->head % 16];
+        rb->head = rb->head + 1;
+    }
+    produced = rb->tail;
+    print(sum + produced);
+    free(rb);
+    return 0;
+}
+"""
+
+
+def _workload_factory(index: int) -> Workload:
+    # Heavy traffic on the ring; every third workload carries priority
+    # items, which is when the second producer (and the race) appears.
+    nprio = 6 if index % 3 == 0 else 0
+    return Workload(args=(12, nprio), seed=95000 + index, switch_prob=0.06,
+                    max_steps=400_000)
+
+
+@register("ringbuf-1")
+def make_spec() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="ringbuf-1",
+        software="Lock-free ring buffer (SPSC model)",
+        software_version="N/A",
+        software_loc=3_100,
+        bug_db_id="N/A",
+        kind="concurrency",
+        failure_kind=FailureKind.DATA_RACE,
+        description=("a priority producer reuses the lock-free SPSC "
+                     "publish path; two producers race on the unfenced "
+                     "tail index and overwrite each other's slots"),
+        source=SOURCE,
+        workload_factory=_workload_factory,
+        failing_probe=Workload(args=(12, 6), seed=95000,
+                               switch_prob=0.06, max_steps=400_000),
+        module_name="ringbuf",
+        extra=True,
+        detectors=("races",),
+    )

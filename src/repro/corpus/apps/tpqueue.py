@@ -1,0 +1,162 @@
+"""Extension bug: thread-pool work queue with a null task handoff.
+
+Models the futures-style cancellation bug: a submitter fills task slots
+that pool workers drain, and task *cancellation* tombstones the slot by
+storing a null pointer — without clearing the slot's ready flag.  A
+worker that claims the slot copies the (null) task pointer into its
+current-task cell and dereferences it in the run loop: a classic null
+handoff, where the dereference site is three hops away from the line
+that actually created the null.
+
+The crash itself is an ordinary segfault in the null page; what the
+detection subsystem adds is the *origin chain*.  With the Casper-style
+null-origin tracer attached (``detectors=("nullorigin",)``) the report is
+reclassified :data:`FailureKind.NULL_DEREF` and carries
+origin → propagation → dereference hops: the cancel store in ``main``,
+the handoff into ``cur`` in ``take``, and the faulting load in ``run_task``.
+
+Whether a run fails is input-dependent (like the corpus's Curl entry):
+cancellation strikes whenever the workload's request stream hashes a
+task onto the cancel path, which a minority of workloads do.
+
+Not part of the paper's Table 1 (``extra=True``); second of the
+detection-subsystem corpus bugs.
+"""
+
+from __future__ import annotations
+
+from ..registry import BugSpec, register
+from ...core.workload import Workload
+from ...runtime.failures import FailureKind
+
+SOURCE = """\
+// Thread-pool model: submitter fills slots, two workers drain them.
+struct task {
+    int payload;
+    int weight;
+};
+
+struct pool {
+    void* mut;
+    struct task* slots[8];
+    int ready[8];
+    int taken[8];
+    int submitted;
+    int shutdown;
+};
+
+struct pool* pool;
+struct task* cur = 0;    // the claiming worker's current-task handoff cell
+int checksum = 0;
+
+int run_task(struct task* t) {
+    int w = t->weight;                                     //@ ideal
+    int acc = t->payload;
+    int i;
+    for (i = 0; i < w; i++) {
+        acc = (acc * 31 + i) % 32749;
+    }
+    return acc;
+}
+
+void worker(int id) {
+    int more = 1;
+    while (more) {
+        int slot = 0 - 1;
+        mutex_lock(pool->mut);
+        int i;
+        for (i = 0; i < 8; i++) {
+            if (pool->ready[i] && pool->taken[i] == 0) {
+                pool->taken[i] = 1;
+                slot = i;
+            }
+        }
+        if (pool->shutdown && slot < 0) {
+            more = 0;
+        }
+        mutex_unlock(pool->mut);
+        if (slot >= 0) {
+            cur = pool->slots[slot];                        //@ ideal
+            int r = run_task(cur);                          //@ ideal
+            mutex_lock(pool->mut);
+            checksum = checksum + r + id;
+            pool->ready[slot] = 0;
+            pool->taken[slot] = 0;
+            mutex_unlock(pool->mut);
+        }
+    }
+}
+
+int main(int ntask, int key) {
+    pool = malloc(sizeof(struct pool));                    //@ ideal
+    pool->mut = mutex_create();
+    int i;
+    for (i = 0; i < 8; i++) {
+        pool->slots[i] = 0;
+        pool->ready[i] = 0;
+        pool->taken[i] = 0;
+    }
+    pool->submitted = 0;
+    pool->shutdown = 0;
+    int t1 = thread_create(worker, 1);
+    int t2 = thread_create(worker, 2);
+    for (i = 0; i < ntask; i++) {
+        struct task* t = malloc(sizeof(struct task));
+        t->payload = i * 7 + key;
+        t->weight = 20 + i % 9;
+        mutex_lock(pool->mut);
+        int slot = i % 8;
+        pool->slots[slot] = t;                              //@ ideal
+        if ((i * 37 + key) % 101 == 0) {
+            // BUG: cancellation tombstones the slot with a null task
+            // but leaves the ready flag set -- a worker will claim it.
+            pool->slots[slot] = 0;                          //@ root
+        }
+        pool->ready[slot] = 1;
+        mutex_unlock(pool->mut);
+        usleep(2);
+    }
+    mutex_lock(pool->mut);
+    pool->shutdown = 1;
+    mutex_unlock(pool->mut);
+    thread_join(t1);
+    thread_join(t2);
+    print(checksum);
+    mutex_destroy(pool->mut);
+    free(pool);
+    return 0;
+}
+"""
+
+
+def _workload_factory(index: int) -> Workload:
+    # Heavy traffic: 24 tasks through 8 slots; ``key`` rotates which (if
+    # any) submissions hash onto the cancel path.
+    key = index % 101
+    return Workload(args=(24, key), seed=93000 + index, switch_prob=0.02,
+                    max_steps=400_000)
+
+
+@register("tpqueue-1")
+def make_spec() -> BugSpec:
+    """Build this bug's :class:`BugSpec` (registered factory)."""
+    return BugSpec(
+        bug_id="tpqueue-1",
+        software="Thread-pool queue (futures model)",
+        software_version="N/A",
+        software_loc=9_400,
+        bug_db_id="N/A",
+        kind="concurrency",
+        failure_kind=FailureKind.NULL_DEREF,
+        description=("task cancellation nulls the slot pointer but leaves "
+                     "its ready flag set; a worker claims the tombstone, "
+                     "hands the null through its current-task cell, and "
+                     "dereferences it"),
+        source=SOURCE,
+        workload_factory=_workload_factory,
+        failing_probe=Workload(args=(24, 64), seed=93001,
+                               switch_prob=0.02, max_steps=400_000),
+        module_name="tpqueue",
+        extra=True,
+        detectors=("nullorigin",),
+    )

@@ -86,8 +86,10 @@ class BugEvaluation:
 class _ModeClient(GistClient):
     """A client whose patches are filtered per the ablation mode."""
 
-    def __init__(self, module, endpoint_id: int, mode: str) -> None:
-        super().__init__(module, endpoint_id, ptwrite=(mode == "ptw"))
+    def __init__(self, module, endpoint_id: int, mode: str,
+                 detectors=()) -> None:
+        super().__init__(module, endpoint_id, ptwrite=(mode == "ptw"),
+                         detectors=detectors)
         self.mode = mode
 
     def prepare_patch(self, patch):
@@ -146,6 +148,7 @@ def evaluate_bug(
     engine=None,
     transport: str = "wire",
     fault_plan=None,
+    ranker: str = "fmeasure",
 ) -> BugEvaluation:
     """Run one diagnosis campaign and score it against the ideal sketch.
 
@@ -169,9 +172,12 @@ def evaluate_bug(
                                        executor=executor,
                                        engine=engine,
                                        transport=transport,
-                                       fault_plan=fault_plan)
+                                       fault_plan=fault_plan,
+                                       detectors=spec.detectors,
+                                       ranker=ranker)
     if mode in ("cf", "ptw"):
-        deployment.clients = [_ModeClient(module, i, mode)
+        deployment.clients = [_ModeClient(module, i, mode,
+                                          detectors=spec.detectors)
                               for i in range(endpoints)]
     stats = deployment.run_campaign(
         initial_sigma=initial_sigma,

@@ -70,6 +70,12 @@ class BugSpec:
     #: Extension bugs go beyond the paper's Table 1 (e.g. the condition-
     #: variable pbzip2 variant); the paper benches exclude them by default.
     extra: bool = False
+    #: Detection tracers (:data:`repro.detect.DETECTOR_KINDS` names) the
+    #: evaluation attaches to this bug's runs.  Empty for the Table 1
+    #: corpus — their failure modes need no detector; the detection-
+    #: subsystem bugs (data races, null handoffs) set this so their
+    #: failures get classified at all.
+    detectors: Tuple[str, ...] = ()
     _module: Optional[Module] = field(default=None, repr=False)
     _ideal: Optional[IdealSketch] = field(default=None, repr=False)
 
@@ -224,10 +230,13 @@ def _ensure_loaded() -> None:
         apache,
         cppcheck,
         curl,
+        evloop,
         memcached,
         pbzip2,
         pbzip2_cv,
+        ringbuf,
         sqlite,
+        tpqueue,
         transmission,
     )
 

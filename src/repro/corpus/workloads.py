@@ -49,16 +49,26 @@ class CalibrationResult:
 
 def calibrate(spec: BugSpec, runs: int = 40,
               start_index: int = 0) -> CalibrationResult:
-    """Run ``runs`` workloads of a bug and measure failure behaviour."""
+    """Run ``runs`` workloads of a bug and measure failure behaviour.
+
+    Runs attach the bug's declared detectors (``spec.detectors``) — a
+    data-race bug only *fails* when the happens-before detector watches
+    the run, so calibrating it without detectors would measure nothing.
+    """
+    from ..detect import apply_detectors, make_detectors
+
     module = spec.module()
     result = CalibrationResult(bug_id=spec.bug_id)
     total_steps = 0
     total_cost = 0
     for i in range(start_index, start_index + runs):
         workload = spec.workload_factory(i)
+        detectors = make_detectors(spec.detectors)
         outcome = run_program(module, args=list(workload.args),
                               scheduler=workload.make_scheduler(),
-                              max_steps=workload.max_steps)
+                              max_steps=workload.max_steps,
+                              tracers=list(detectors))
+        outcome = apply_detectors(outcome, detectors)
         result.runs += 1
         total_steps += outcome.steps
         total_cost += outcome.base_cost

@@ -1,0 +1,53 @@
+"""Offline detection over recorded executions.
+
+Record logs carry the *schedule* (plus event counters), not the event
+streams themselves — replay has always meant deterministic re-execution
+(:mod:`repro.replay.replayer`).  Offline detection therefore re-executes
+the log under its :class:`FixedScheduler` with the detector tracers
+attached: the interpreter regenerates the identical ``MemEvent``/
+``SyncEvent`` streams, and because detection is a pure function of those
+streams, the offline verdict is **byte-identical** to what an online
+detector saw during the original run (the A/B the detector test suite
+pins on every detection corpus bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..lang.ir import Module
+from ..replay.log import RecordLog
+from ..runtime.failures import RaceInfo, RunOutcome
+from ..runtime.interpreter import Interpreter
+from ..runtime.scheduler import FixedScheduler
+
+
+@dataclass
+class OfflineDetection:
+    """What re-executing a log under the detectors produced."""
+
+    outcome: RunOutcome          # post-detection outcome (failure amended)
+    races: List[RaceInfo]        # every distinct race, detection order
+    detectors: Tuple[str, ...]
+
+
+def detect_offline(module: Module, log: RecordLog,
+                   detectors: Sequence[str] = ("races", "nullorigin"),
+                   max_steps: int = 2_000_000) -> OfflineDetection:
+    """Re-execute a recorded run with detectors attached."""
+    from . import make_detectors, apply_detectors
+
+    if module.name != log.program:
+        raise ValueError(f"log records {log.program!r}, "
+                         f"got module {module.name!r}")
+    tracers = make_detectors(detectors)
+    interp = Interpreter(module, entry=log.entry, args=list(log.args),
+                         scheduler=FixedScheduler(log.schedule),
+                         tracers=list(tracers), max_steps=max_steps)
+    outcome = apply_detectors(interp.run(), tracers)
+    races: List[RaceInfo] = []
+    for tracer in tracers:
+        races.extend(getattr(tracer, "races", ()))
+    return OfflineDetection(outcome=outcome, races=races,
+                            detectors=tuple(detectors))

@@ -1,0 +1,141 @@
+"""Vector clocks: the partial-order algebra under happens-before detection.
+
+A :class:`VectorClock` maps thread ids to per-thread event counters.  The
+algebra is the classic one (Mattern/Fidge):
+
+- ``tick(tid)`` advances one thread's component — every synchronization
+  *release* operation by a thread ticks its own component, so later
+  acquires can distinguish "before the release" from "after";
+- ``join`` is the component-wise maximum — an *acquire* joins the clock
+  stored on the synchronization object into the acquiring thread's clock;
+- ``a <= b`` iff every component of ``a`` is ≤ the matching component of
+  ``b``; **happens-before** is the strict form (``a <= b and a != b``);
+- two clocks neither of which ≤ the other are **concurrent** — the
+  detector's candidate races.
+
+Clocks are immutable: every operation returns a new clock, which is what
+makes the algebra property-testable (join is a commutative, associative,
+idempotent monoid with the empty clock as identity; happens-before is a
+strict partial order).  The hot detector path (:mod:`repro.detect.races`)
+uses plain mutable dicts with the same semantics for speed; this class is
+the executable specification those dicts are pinned against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+
+class VectorClock:
+    """An immutable vector clock over integer thread ids."""
+
+    __slots__ = ("_components",)
+
+    def __init__(self,
+                 components: Optional[Mapping[int, int]] = None) -> None:
+        # Zero components are dropped so equal clocks have equal reprs and
+        # the empty clock is the unique join identity.
+        self._components: Dict[int, int] = {
+            tid: n for tid, n in (components or {}).items() if n != 0
+        }
+        for tid, n in self._components.items():
+            if n < 0:
+                raise ValueError(f"negative clock component for tid {tid}")
+
+    # -- accessors -----------------------------------------------------------
+
+    def get(self, tid: int) -> int:
+        return self._components.get(tid, 0)
+
+    def components(self) -> Dict[int, int]:
+        return dict(self._components)
+
+    def tids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._components))
+
+    # -- algebra -------------------------------------------------------------
+
+    def tick(self, tid: int) -> "VectorClock":
+        """Advance ``tid``'s component by one (a release event)."""
+        bumped = dict(self._components)
+        bumped[tid] = bumped.get(tid, 0) + 1
+        return VectorClock(bumped)
+
+    def join(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise maximum (an acquire event)."""
+        merged = dict(self._components)
+        for tid, n in other._components.items():
+            if n > merged.get(tid, 0):
+                merged[tid] = n
+        return VectorClock(merged)
+
+    # -- ordering ------------------------------------------------------------
+
+    def __le__(self, other: "VectorClock") -> bool:
+        return all(n <= other._components.get(tid, 0)
+                   for tid, n in self._components.items())
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and self != other
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """Strict happens-before: ``self`` precedes ``other``."""
+        return self < other
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock precedes the other (and they are not equal)."""
+        return not self <= other and not other <= self
+
+    # -- plumbing ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._components == other._components
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._components.items())))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{tid}: {n}"
+                          for tid, n in sorted(self._components.items()))
+        return f"VectorClock({{{inner}}})"
+
+
+EMPTY = VectorClock()
+
+
+def join_all(clocks: Iterable[VectorClock]) -> VectorClock:
+    """Fold a collection of clocks with :meth:`VectorClock.join`."""
+    out = EMPTY
+    for clock in clocks:
+        out = out.join(clock)
+    return out
+
+
+# -- plain-dict twin used on the detector hot path ---------------------------
+#
+# The detector keeps clocks as mutable Dict[int, int] to avoid allocating a
+# VectorClock per sync operation.  These helpers mirror the algebra above
+# one-for-one; tests/detect/test_vectorclock.py pins the two against each
+# other under Hypothesis.
+
+
+def dict_tick(clock: Dict[int, int], tid: int) -> None:
+    clock[tid] = clock.get(tid, 0) + 1
+
+
+def dict_join(clock: Dict[int, int], other: Mapping[int, int]) -> None:
+    for tid, n in other.items():
+        if n > clock.get(tid, 0):
+            clock[tid] = n
+
+
+def dict_ordered(component: int, tid: int,
+                 observer: Mapping[int, int]) -> bool:
+    """Is the epoch ``(tid, component)`` ≤ the observer's clock?  The
+    FastTrack-style check the detector uses instead of full ≤: a prior
+    access at ``tid``'s component ``component`` happens-before the current
+    access iff the observer has seen at least that many of ``tid``'s
+    release events."""
+    return component <= observer.get(tid, 0)

@@ -70,6 +70,10 @@ class RunJob:
     #: Campaign routing key; the worker tags its outbound envelopes with
     #: it so results route back to the owning campaign.
     campaign_key: Optional[str] = None
+    #: Detector names (:data:`repro.detect.DETECTOR_KINDS`) the worker
+    #: attaches to the run — plain strings, so the descriptor stays
+    #: picklable and engine-agnostic.
+    detectors: tuple = ()
 
 
 @dataclass(frozen=True)

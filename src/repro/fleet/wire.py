@@ -30,7 +30,14 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from ..hw.watchpoints import TrapRecord
 from ..instrument.patch import Patch
 from ..instrument.planner import HookSpec
-from ..runtime.failures import FailureKind, FailureReport, StackFrameInfo
+from ..runtime.failures import (
+    FailureKind,
+    FailureReport,
+    OriginHop,
+    RaceAccess,
+    RaceInfo,
+    StackFrameInfo,
+)
 from ..core.predictors import (
     predictor_counts_from_body,
     predictor_counts_to_body,
@@ -83,41 +90,132 @@ def _require(body: Dict[str, Any], key: str, types) -> Any:
     return value
 
 
-def failure_report_to_body(report: FailureReport) -> Dict[str, Any]:
-    return {
-        "kind": report.kind.value,
-        "pc": report.pc,
-        "tid": report.tid,
-        "message": report.message,
-        "address": report.address,
-        "stack": [[f.function, f.pc, f.line] for f in report.stack],
-    }
+def parse_failure_kind(kind_value: str,
+                       known: Optional[frozenset] = None) -> FailureKind:
+    """Map a wire kind string to :class:`FailureKind`, raising
+    :class:`WireError` — never a bare ``ValueError`` — on anything outside
+    the ``known`` set.
 
-
-def failure_report_from_body(body: Dict[str, Any]) -> FailureReport:
-    kind_value = _require(body, "kind", str)
+    ``known`` defaults to every kind this build understands.  Passing an
+    older build's kind set simulates (and tests) the forward-compat
+    contract: a server that predates a kind must *quarantine* the envelope
+    (``WireError`` → :meth:`GistServer.receive` quarantine path), not
+    crash mid-ingest with an unhandled exception.
+    """
+    if known is not None and kind_value not in known:
+        raise WireError(
+            f"unknown failure kind {kind_value!r} (newer client?)")
     try:
-        kind = FailureKind(kind_value)
+        return FailureKind(kind_value)
     except ValueError:
-        raise WireError(f"unknown failure kind {kind_value!r}")
-    address = body.get("address")
-    if address is not None and not isinstance(address, int):
-        raise WireError("field 'address' has wrong type")
+        raise WireError(
+            f"unknown failure kind {kind_value!r} (newer client?)")
+
+
+def _stack_to_body(stack) -> List[List]:
+    return [[f.function, f.pc, f.line] for f in stack]
+
+
+def _stack_from_body(frames: List) -> Tuple[StackFrameInfo, ...]:
     stack = []
-    for frame in _require(body, "stack", list):
+    for frame in frames:
         if not (isinstance(frame, list) and len(frame) == 3
                 and isinstance(frame[0], str)
                 and isinstance(frame[1], int) and isinstance(frame[2], int)):
             raise WireError("malformed stack frame")
         stack.append(StackFrameInfo(function=frame[0], pc=frame[1],
                                     line=frame[2]))
+    return tuple(stack)
+
+
+def _race_access_to_body(acc: RaceAccess) -> Dict[str, Any]:
+    return {"tid": acc.tid, "pc": acc.pc, "step": acc.step,
+            "is_write": acc.is_write, "value": acc.value,
+            "stack": _stack_to_body(acc.stack)}
+
+
+def _race_access_from_body(body: Dict[str, Any]) -> RaceAccess:
+    return RaceAccess(
+        tid=_require(body, "tid", int),
+        pc=_require(body, "pc", int),
+        step=_require(body, "step", int),
+        is_write=bool(_require(body, "is_write", bool)),
+        value=_require(body, "value", int),
+        stack=_stack_from_body(_require(body, "stack", list)),
+    )
+
+
+def failure_report_to_body(report: FailureReport) -> Dict[str, Any]:
+    body = {
+        "kind": report.kind.value,
+        "pc": report.pc,
+        "tid": report.tid,
+        "message": report.message,
+        "address": report.address,
+        "stack": _stack_to_body(report.stack),
+    }
+    # Detection-subsystem enrichments travel as optional sections, absent
+    # when unset, so pre-detector reports keep their exact bytes/digests.
+    if report.race is not None:
+        body["race"] = {
+            "address": report.race.address,
+            "first": _race_access_to_body(report.race.first),
+            "second": _race_access_to_body(report.race.second),
+        }
+    if report.origin:
+        body["origin"] = [
+            {"kind": hop.kind, "tid": hop.tid, "pc": hop.pc,
+             "step": hop.step, "function": hop.function, "line": hop.line,
+             "address": hop.address}
+            for hop in report.origin
+        ]
+    return body
+
+
+def failure_report_from_body(
+        body: Dict[str, Any],
+        known_kinds: Optional[frozenset] = None) -> FailureReport:
+    kind = parse_failure_kind(_require(body, "kind", str), known_kinds)
+    address = body.get("address")
+    if address is not None and not isinstance(address, int):
+        raise WireError("field 'address' has wrong type")
+    stack = _stack_from_body(_require(body, "stack", list))
+    race = None
+    race_body = body.get("race")
+    if race_body is not None:
+        if not isinstance(race_body, dict):
+            raise WireError("field 'race' has wrong type")
+        race = RaceInfo(
+            address=_require(race_body, "address", int),
+            first=_race_access_from_body(_require(race_body, "first", dict)),
+            second=_race_access_from_body(_require(race_body, "second",
+                                                   dict)),
+        )
+    origin: List[OriginHop] = []
+    for hop in body.get("origin", ()):
+        if not isinstance(hop, dict):
+            raise WireError("malformed origin hop")
+        hop_address = hop.get("address")
+        if hop_address is not None and not isinstance(hop_address, int):
+            raise WireError("origin hop 'address' has wrong type")
+        origin.append(OriginHop(
+            kind=_require(hop, "kind", str),
+            tid=_require(hop, "tid", int),
+            pc=_require(hop, "pc", int),
+            step=_require(hop, "step", int),
+            function=_require(hop, "function", str),
+            line=_require(hop, "line", int),
+            address=hop_address,
+        ))
     return FailureReport(
         kind=kind,
         pc=_require(body, "pc", int),
         tid=_require(body, "tid", int),
         message=_require(body, "message", str),
-        stack=tuple(stack),
+        stack=stack,
         address=address,
+        race=race,
+        origin=tuple(origin),
     )
 
 

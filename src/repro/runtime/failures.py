@@ -17,7 +17,13 @@ from typing import List, Optional, Tuple
 
 
 class FailureKind(enum.Enum):
-    """The failure classes the interpreter detects (paper §3.3)."""
+    """The failure classes the interpreter detects (paper §3.3).
+
+    ``DATA_RACE`` and ``NULL_DEREF`` are produced by the detection
+    subsystem (:mod:`repro.detect`), not by the interpreter itself: a
+    happens-before detector promotes racy access pairs, and a null-origin
+    tracer reclassifies null-page segfaults with a creation-site chain.
+    """
     SEGFAULT = "segfault"
     DOUBLE_FREE = "double free"
     USE_AFTER_FREE = "use after free"
@@ -27,6 +33,8 @@ class FailureKind(enum.Enum):
     HANG = "hang"
     ABORT = "abort"
     DIV_BY_ZERO = "division by zero"
+    DATA_RACE = "data race"
+    NULL_DEREF = "null dereference"
 
 
 @dataclass(frozen=True)
@@ -42,8 +50,50 @@ class StackFrameInfo:
 
 
 @dataclass(frozen=True)
+class RaceAccess:
+    """One side of a racing access pair (who touched the address, where)."""
+
+    tid: int
+    pc: int                      # uid of the load/store instruction
+    step: int                    # global step number of the access
+    is_write: bool
+    value: int = 0
+    stack: Tuple[StackFrameInfo, ...] = ()
+
+
+@dataclass(frozen=True)
+class RaceInfo:
+    """A happens-before race: two unordered accesses to one address with
+    disjoint locksets.  ``second`` is the later access in global step
+    order (the one the report's pc/stack point at)."""
+
+    address: int
+    first: RaceAccess
+    second: RaceAccess
+
+
+@dataclass(frozen=True)
+class OriginHop:
+    """One hop of a null-origin causality chain (Casper-style): where a
+    null was created, how it propagated, and where it was dereferenced."""
+
+    kind: str                    # "origin" | "propagation" | "deref"
+    tid: int
+    pc: int                      # uid of the store / faulting instruction
+    step: int
+    function: str = ""
+    line: int = 0
+    address: Optional[int] = None  # destination address of the null store
+
+
+@dataclass(frozen=True)
 class FailureReport:
-    """Everything a client reports about one failure occurrence."""
+    """Everything a client reports about one failure occurrence.
+
+    ``race`` and ``origin`` are optional detection-subsystem enrichments;
+    they default to empty so reports from clients without detectors (and
+    their wire encodings) are unchanged.
+    """
 
     kind: FailureKind
     pc: int                      # uid of the faulting instruction
@@ -51,6 +101,8 @@ class FailureReport:
     message: str = ""
     stack: Tuple[StackFrameInfo, ...] = ()
     address: Optional[int] = None  # faulting address, when applicable
+    race: Optional[RaceInfo] = None
+    origin: Tuple[OriginHop, ...] = ()
 
     def identity(self) -> str:
         """Stable hash identifying "the same failure" across runs.
@@ -74,6 +126,18 @@ class FailureReport:
             lines.append(f"  address: {hex(self.address)}")
         for frame in self.stack:
             lines.append(f"  at {frame}")
+        if self.race is not None:
+            for label, acc in (("first", self.race.first),
+                               ("second", self.race.second)):
+                rw = "write" if acc.is_write else "read"
+                lines.append(f"  racing {label}: {rw} of "
+                             f"{hex(self.race.address)} by thread {acc.tid} "
+                             f"at pc={acc.pc}")
+                for frame in acc.stack:
+                    lines.append(f"    at {frame}")
+        for hop in self.origin:
+            lines.append(f"  null {hop.kind}: {hop.function} line {hop.line} "
+                         f"(pc={hop.pc}, thread {hop.tid})")
         return "\n".join(lines)
 
 

@@ -1,0 +1,129 @@
+"""Sketch rows contributed by the detection subsystem.
+
+Race sketches must render the two racing accesses as thread-column rows
+joined by an arrow; null-deref sketches must render the origin →
+propagation → deref chain; both must survive the JSON round-trip and
+appear in the HTML export — and sketches *without* detections must keep
+their exact legacy serialization bytes.
+"""
+
+import pytest
+
+from repro.core import CooperativeDeployment, render_sketch
+from repro.core.html import render_html
+from repro.core.serialize import sketch_from_json, sketch_to_json
+from repro.corpus import get_bug
+
+
+def diagnose(bug_id, max_iterations=3):
+    spec = get_bug(bug_id)
+    deployment = CooperativeDeployment(
+        spec.module(), spec.workload_factory,
+        endpoints=4, bug=spec.bug_id, detectors=spec.detectors)
+    with deployment:
+        stats = deployment.run_campaign(stop_when=spec.sketch_has_root,
+                                        max_iterations=max_iterations)
+    return spec, stats.sketch
+
+
+@pytest.fixture(scope="module")
+def race_sketch():
+    return diagnose("evloop-1")[1]
+
+
+@pytest.fixture(scope="module")
+def null_sketch():
+    return diagnose("tpqueue-1")[1]
+
+
+# ---------------------------------------------------------------------------
+# Race rows
+# ---------------------------------------------------------------------------
+
+
+def test_race_rows_present(race_sketch):
+    assert len(race_sketch.race_steps) == 2
+    assert race_sketch.race_address is not None
+    roles = {step.role for step in race_sketch.race_steps}
+    assert roles <= {"race write", "race read"}
+    assert "race write" in roles
+    tids = {step.tid for step in race_sketch.race_steps}
+    assert len(tids) == 2
+
+
+def test_race_rows_rendered_with_arrow(race_sketch):
+    text = render_sketch(race_sketch)
+    assert "Racing accesses on " in text
+    assert hex(race_sketch.race_address) in text
+    assert "races with" in text
+    for step in race_sketch.race_steps:
+        assert f"{step.role} T{step.tid}" in text
+
+
+def test_race_rows_in_html(race_sketch):
+    doc = render_html(race_sketch)
+    assert "Racing accesses on" in doc
+    assert "no happens-before edge" in doc
+    assert 'class="race"' in doc
+
+
+def test_race_rows_count_as_statements(race_sketch):
+    statements = set(race_sketch.statements())
+    for step in race_sketch.race_steps:
+        assert (step.func, step.line) in statements
+
+
+# ---------------------------------------------------------------------------
+# Origin rows
+# ---------------------------------------------------------------------------
+
+
+def test_origin_rows_present(null_sketch):
+    roles = [step.role for step in null_sketch.origin_steps]
+    assert roles == ["origin", "propagation", "deref"]
+
+
+def test_origin_rows_rendered(null_sketch):
+    text = render_sketch(null_sketch)
+    assert "Null-pointer causality" in text
+    for step in null_sketch.origin_steps:
+        assert f"{step.func}:{step.line}" in text
+
+
+def test_origin_rows_in_html(null_sketch):
+    doc = render_html(null_sketch)
+    assert "Null-pointer causality" in doc
+    assert 'class="origin"' in doc
+
+
+def test_origin_rows_count_as_statements(null_sketch):
+    statements = set(null_sketch.statements())
+    for step in null_sketch.origin_steps:
+        assert (step.func, step.line) in statements
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fixture", ["race_sketch", "null_sketch"])
+def test_detect_rows_roundtrip(fixture, request):
+    sketch = request.getfixturevalue(fixture)
+    restored = sketch_from_json(sketch_to_json(sketch))
+    assert restored.race_steps == sketch.race_steps
+    assert restored.race_address == sketch.race_address
+    assert restored.origin_steps == sketch.origin_steps
+    assert sketch_to_json(restored) == sketch_to_json(sketch)
+
+
+def test_legacy_sketch_bytes_unchanged():
+    # A no-detection sketch serializes without any of the new keys, so
+    # pre-detector readers (and stored sketches) see identical bytes.
+    _, sketch = diagnose("pbzip2-1", max_iterations=2)
+    assert sketch.race_steps == [] and sketch.origin_steps == []
+    text = sketch_to_json(sketch)
+    for key in ('"race_steps"', '"race_address"', '"origin_steps"',
+                '"role"'):
+        assert key not in text
+    assert sketch_from_json(text).race_address is None

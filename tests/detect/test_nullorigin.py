@@ -1,0 +1,199 @@
+"""Null-origin causality tracer tests.
+
+The tracer must (a) reclassify null-page segfaults as ``NULL_DEREF``
+with an origin → propagation → deref chain, (b) retire chains when a
+tracked address is overwritten with a non-null value, and (c) ignore
+stack traffic entirely — zero-valued loop counters are not null pointers.
+"""
+
+import pytest
+
+from repro.corpus import get_bug
+from repro.detect import apply_detectors
+from repro.detect.nullorigin import MAX_CHAIN_HOPS, NullOriginTracer
+from repro.lang import compile_source
+from repro.runtime import RandomScheduler
+from repro.runtime.failures import FailureKind
+from repro.runtime.interpreter import run_program
+from repro.runtime.memory import GLOBAL_BASE
+
+
+def trace(source_or_module, args=(), seed=1, switch_prob=0.2,
+          max_steps=400_000):
+    module = (source_or_module if not isinstance(source_or_module, str)
+              else compile_source(source_or_module))
+    tracer = NullOriginTracer()
+    outcome = run_program(module, args=list(args),
+                          scheduler=RandomScheduler(seed, switch_prob),
+                          max_steps=max_steps, tracers=[tracer])
+    outcome = apply_detectors(outcome, [tracer])
+    return outcome, tracer
+
+
+# ---------------------------------------------------------------------------
+# Reclassification and chain shape
+# ---------------------------------------------------------------------------
+
+DIRECT_NULL = """
+int* cell = 0;
+int main(int x) {
+    if (x > 2) {
+        cell = NULL;
+        return *cell;
+    }
+    return 0;
+}
+"""
+
+RELAY_NULL = """
+struct box { int v; };
+struct box* source = 0;
+struct box* relay = 0;
+int main(int x) {
+    source = NULL;
+    relay = source;
+    if (x > 2) {
+        return relay->v;
+    }
+    return 0;
+}
+"""
+
+
+def test_null_page_fault_reclassified():
+    outcome, _ = trace(DIRECT_NULL, args=[5])
+    assert outcome.failed
+    failure = outcome.failure
+    assert failure.kind is FailureKind.NULL_DEREF
+    assert failure.address is not None and failure.address < GLOBAL_BASE
+    kinds = [hop.kind for hop in failure.origin]
+    assert kinds[0] == "origin"
+    assert kinds[-1] == "deref"
+
+
+def test_propagation_hop_between_globals():
+    outcome, _ = trace(RELAY_NULL, args=[5])
+    assert outcome.failure.kind is FailureKind.NULL_DEREF
+    kinds = [hop.kind for hop in outcome.failure.origin]
+    assert kinds == ["origin", "propagation", "deref"]
+
+
+def test_successful_run_untouched():
+    outcome, tracer = trace(DIRECT_NULL, args=[1])
+    assert not outcome.failed
+    assert outcome.failure is None
+
+
+def test_non_null_fault_not_reclassified():
+    source = """
+    int main() {
+        int* p = 99999999;
+        return *p;
+    }
+    """
+    outcome, _ = trace(source)
+    assert outcome.failed
+    assert outcome.failure.kind is not FailureKind.NULL_DEREF
+    assert outcome.failure.origin == ()
+
+
+def test_nonzero_overwrite_retires_chain():
+    source = """
+    struct box { int v; };
+    struct box* cell = 0;
+    struct box real;
+    int main(int x) {
+        cell = NULL;
+        cell = &real;
+        cell = NULL;
+        if (x > 2) {
+            return cell->v;
+        }
+        return 0;
+    }
+    """
+    outcome, _ = trace(source, args=[5])
+    failure = outcome.failure
+    assert failure.kind is FailureKind.NULL_DEREF
+    # Only the *live* null is cited: one origin (the second store), not
+    # a stale chain through the retired first store.
+    origins = [hop for hop in failure.origin if hop.kind == "origin"]
+    assert len(origins) == 1
+    assert failure.origin[-1].kind == "deref"
+
+
+def test_stack_zeroes_ignored():
+    # Loop counters and zero-initialized locals live on the stack and
+    # must never pollute a chain.
+    source = """
+    int* cell = 0;
+    int main(int x) {
+        int i = 0;
+        int acc = 0;
+        for (i = 0; i < 10; i++) { acc = acc + i; }
+        cell = NULL;
+        if (x > 2) { return *cell; }
+        return acc;
+    }
+    """
+    outcome, tracer = trace(source, args=[5])
+    for hop in outcome.failure.origin:
+        if hop.kind == "deref":
+            continue  # the deref hop carries the faulting (null) address
+        assert hop.address is None or hop.address >= GLOBAL_BASE
+
+
+def test_chain_capped_at_max_hops():
+    # A null relayed through a long global pipeline keeps the origin plus
+    # the freshest hops.
+    cells = "".join(f"int* g{i} = 0;\n" for i in range(12))
+    relays = "".join(f"    g{i + 1} = g{i};\n" for i in range(11))
+    source = f"""
+    {cells}
+    int main(int x) {{
+        g0 = NULL;
+    {relays}
+        if (x > 2) {{ return *g11; }}
+        return 0;
+    }}
+    """
+    outcome, _ = trace(source, args=[5])
+    failure = outcome.failure
+    assert failure.kind is FailureKind.NULL_DEREF
+    # chain (capped) + deref hop
+    assert len(failure.origin) <= MAX_CHAIN_HOPS + 1
+    assert failure.origin[0].kind == "origin"
+    assert failure.origin[-1].kind == "deref"
+
+
+# ---------------------------------------------------------------------------
+# Detection corpus: tpqueue's three-hop handoff chain
+# ---------------------------------------------------------------------------
+
+
+def trace_probe(spec):
+    probe = spec.failing_probe
+    tracer = NullOriginTracer()
+    outcome = run_program(spec.module(), args=list(probe.args),
+                          scheduler=probe.make_scheduler(),
+                          max_steps=probe.max_steps, tracers=[tracer])
+    return apply_detectors(outcome, [tracer])
+
+
+def test_tpqueue_probe_chain():
+    spec = get_bug("tpqueue-1")
+    outcome = trace_probe(spec)
+    assert outcome.failed
+    failure = outcome.failure
+    assert failure.kind is FailureKind.NULL_DEREF
+    chain = failure.origin
+    assert [hop.kind for hop in chain] \
+        == ["origin", "propagation", "deref"]
+    # Origin: the cancel tombstone in main; propagation: the worker's
+    # handoff into ``cur``; deref: the weight load in run_task.
+    assert chain[0].function == "main"
+    assert chain[1].function == "worker"
+    assert chain[2].function == "run_task"
+    root_lines = {line for fn, line in spec.ideal_sketch().root_cause
+                  if fn == "main"}
+    assert chain[0].line in root_lines

@@ -1,0 +1,191 @@
+"""Property tests for the vector-clock algebra.
+
+:class:`VectorClock` is the executable specification of happens-before:
+join must be a commutative, associative, idempotent monoid with the empty
+clock as identity; ``tick`` must be strictly monotonic; happens-before
+must be a strict partial order; and every pair of clocks must land in
+exactly one of the four relations (equal / before / after / concurrent).
+The plain-dict twins used on the detector hot path are pinned against the
+immutable class one operation at a time.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detect.vectorclock import (
+    EMPTY,
+    VectorClock,
+    dict_join,
+    dict_ordered,
+    dict_tick,
+    join_all,
+)
+
+_tids = st.integers(0, 5)
+
+clocks = st.dictionaries(_tids, st.integers(0, 6), max_size=6).map(
+    VectorClock)
+
+
+# ---------------------------------------------------------------------------
+# Join is a bounded semilattice
+# ---------------------------------------------------------------------------
+
+
+@given(clocks, clocks)
+def test_join_commutative(a, b):
+    assert a.join(b) == b.join(a)
+
+
+@given(clocks, clocks, clocks)
+def test_join_associative(a, b, c):
+    assert a.join(b).join(c) == a.join(b.join(c))
+
+
+@given(clocks)
+def test_join_idempotent(a):
+    assert a.join(a) == a
+
+
+@given(clocks)
+def test_empty_is_identity(a):
+    assert a.join(EMPTY) == a
+    assert EMPTY.join(a) == a
+
+
+@given(clocks, clocks)
+def test_join_is_least_upper_bound(a, b):
+    joined = a.join(b)
+    assert a <= joined and b <= joined
+    for tid in joined.tids():
+        assert joined.get(tid) == max(a.get(tid), b.get(tid))
+
+
+@given(st.lists(clocks, max_size=5))
+def test_join_all_folds(items):
+    expected = EMPTY
+    for clock in items:
+        expected = expected.join(clock)
+    assert join_all(items) == expected
+
+
+# ---------------------------------------------------------------------------
+# Tick is strictly monotonic
+# ---------------------------------------------------------------------------
+
+
+@given(clocks, _tids)
+def test_tick_strictly_advances(a, tid):
+    ticked = a.tick(tid)
+    assert a.happens_before(ticked)
+    assert ticked.get(tid) == a.get(tid) + 1
+    for other in a.tids():
+        if other != tid:
+            assert ticked.get(other) == a.get(other)
+
+
+@given(clocks, _tids, _tids)
+def test_ticks_by_different_threads_are_concurrent(a, t1, t2):
+    if t1 == t2:
+        return
+    assert a.tick(t1).concurrent_with(a.tick(t2))
+
+
+# ---------------------------------------------------------------------------
+# Happens-before is a strict partial order; relations partition pairs
+# ---------------------------------------------------------------------------
+
+
+@given(clocks)
+def test_happens_before_irreflexive(a):
+    assert not a.happens_before(a)
+
+
+@given(clocks, clocks)
+def test_happens_before_antisymmetric(a, b):
+    assert not (a.happens_before(b) and b.happens_before(a))
+
+
+@given(clocks, clocks, clocks)
+def test_happens_before_transitive(a, b, c):
+    if a.happens_before(b) and b.happens_before(c):
+        assert a.happens_before(c)
+
+
+@given(clocks, clocks)
+def test_exactly_one_relation_holds(a, b):
+    relations = [a == b, a.happens_before(b), b.happens_before(a),
+                 a.concurrent_with(b)]
+    assert relations.count(True) == 1
+
+
+@given(clocks, clocks)
+def test_concurrent_symmetric(a, b):
+    assert a.concurrent_with(b) == b.concurrent_with(a)
+
+
+# ---------------------------------------------------------------------------
+# Plumbing invariants
+# ---------------------------------------------------------------------------
+
+
+@given(clocks, clocks)
+def test_equal_clocks_hash_equal(a, b):
+    if a == b:
+        assert hash(a) == hash(b)
+
+
+@given(st.dictionaries(_tids, st.integers(0, 6), max_size=6))
+def test_zero_components_normalized(components):
+    clock = VectorClock(components)
+    assert 0 not in dict(clock.components()).values()
+    nonzero = {t: n for t, n in components.items() if n}
+    assert clock == VectorClock(nonzero)
+
+
+# ---------------------------------------------------------------------------
+# The mutable-dict twins mirror the immutable algebra exactly
+# ---------------------------------------------------------------------------
+
+
+@given(clocks, _tids)
+def test_dict_tick_matches(a, tid):
+    twin = a.components()
+    dict_tick(twin, tid)
+    assert VectorClock(twin) == a.tick(tid)
+
+
+@given(clocks, clocks)
+def test_dict_join_matches(a, b):
+    twin = a.components()
+    dict_join(twin, b.components())
+    assert VectorClock(twin) == a.join(b)
+
+
+@given(clocks, clocks, _tids)
+@settings(max_examples=200)
+def test_dict_ordered_is_the_epoch_check(a, b, tid):
+    # The FastTrack-style short-circuit: an access at epoch
+    # (tid, a.get(tid)) happens-before an observer with clock b iff the
+    # observer's component covers it.
+    assert dict_ordered(a.get(tid), tid, b.components()) \
+        == (a.get(tid) <= b.get(tid))
+
+
+@given(st.lists(st.tuples(_tids, st.booleans()), max_size=20))
+def test_dict_trajectory_matches_immutable(ops):
+    """Any interleaved tick/join trajectory agrees between the twins."""
+    spec_clocks = {}
+    dict_clocks = {}
+    for tid, is_tick in ops:
+        spec = spec_clocks.get(tid, EMPTY)
+        twin = dict_clocks.setdefault(tid, {})
+        if is_tick:
+            spec_clocks[tid] = spec.tick(tid)
+            dict_tick(twin, tid)
+        else:
+            other = (tid + 1) % 6
+            other_spec = spec_clocks.get(other, EMPTY)
+            spec_clocks[tid] = spec.join(other_spec)
+            dict_join(twin, dict_clocks.get(other, {}))
+    for tid, spec in spec_clocks.items():
+        assert VectorClock(dict_clocks[tid]) == spec

@@ -7,6 +7,8 @@ or decode to a payload equal to the original — a lossy network must never
 be able to smuggle a silently-different object past the digest check.
 """
 
+import dataclasses
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -15,7 +17,14 @@ from repro.fleet import wire
 from repro.hw.watchpoints import TrapRecord
 from repro.instrument.patch import Patch
 from repro.instrument.planner import HookSpec
-from repro.runtime.failures import FailureKind, FailureReport, StackFrameInfo
+from repro.runtime.failures import (
+    FailureKind,
+    FailureReport,
+    OriginHop,
+    RaceAccess,
+    RaceInfo,
+    StackFrameInfo,
+)
 
 # ---------------------------------------------------------------------------
 # Strategies
@@ -31,6 +40,40 @@ def stack_frames():
         lambda t: StackFrameInfo(function=t[0], pc=t[1], line=t[2]))
 
 
+def race_accesses():
+    return st.builds(
+        RaceAccess,
+        tid=_tid,
+        pc=_uid,
+        step=st.integers(0, 10 ** 6),
+        is_write=st.booleans(),
+        value=st.integers(-2 ** 31, 2 ** 31),
+        stack=st.tuples(stack_frames()) | st.just(()),
+    )
+
+
+def race_infos():
+    return st.builds(
+        RaceInfo,
+        address=st.integers(0, 2 ** 32),
+        first=race_accesses(),
+        second=race_accesses(),
+    )
+
+
+def origin_hops():
+    return st.builds(
+        OriginHop,
+        kind=st.sampled_from(("origin", "propagation", "deref")),
+        tid=_tid,
+        pc=_uid,
+        step=st.integers(0, 10 ** 6),
+        function=_text,
+        line=st.integers(0, 500),
+        address=st.none() | st.integers(0, 2 ** 32),
+    )
+
+
 def failure_reports():
     return st.builds(
         FailureReport,
@@ -40,6 +83,8 @@ def failure_reports():
         message=_text,
         stack=st.tuples(*[stack_frames()] * 2) | st.just(()),
         address=st.none() | st.integers(0, 2 ** 32),
+        race=st.none() | race_infos(),
+        origin=st.lists(origin_hops(), max_size=3).map(tuple),
     )
 
 
@@ -198,3 +243,88 @@ def test_digest_mismatch_is_rejected():
     assert tampered != blob
     with pytest.raises(wire.WireError, match="digest"):
         wire.decode_message(tampered)
+
+
+# ---------------------------------------------------------------------------
+# Failure-kind forward compatibility (versioned envelopes)
+# ---------------------------------------------------------------------------
+
+#: The kind vocabulary of a build that predates the detection subsystem.
+LEGACY_KINDS = frozenset(
+    k.value for k in FailureKind
+    if k not in (FailureKind.DATA_RACE, FailureKind.NULL_DEREF))
+
+
+class TestKindForwardCompat:
+    def _race_report(self):
+        acc = RaceAccess(tid=1, pc=10, step=5, is_write=True, value=3,
+                         stack=(StackFrameInfo("worker", 10, 43),))
+        return FailureReport(
+            kind=FailureKind.DATA_RACE, pc=10, tid=1, message="race",
+            address=0x1001,
+            race=RaceInfo(address=0x1001, first=acc,
+                          second=dataclasses.replace(acc, tid=2,
+                                                     is_write=False)))
+
+    def test_old_server_quarantines_new_kinds(self):
+        # A server built from the legacy vocabulary must reject (not
+        # crash on) envelopes carrying detection-era kinds.
+        for kind in (FailureKind.DATA_RACE, FailureKind.NULL_DEREF):
+            body = wire.failure_report_to_body(
+                FailureReport(kind=kind, pc=3, tid=0))
+            with pytest.raises(wire.WireError, match="unknown failure"):
+                wire.failure_report_from_body(body,
+                                              known_kinds=LEGACY_KINDS)
+
+    def test_current_kinds_pass_known_filter(self):
+        for kind in FailureKind:
+            body = wire.failure_report_to_body(
+                FailureReport(kind=kind, pc=3, tid=0))
+            decoded = wire.failure_report_from_body(
+                body, known_kinds=frozenset(k.value for k in FailureKind))
+            assert decoded.kind is kind
+
+    def test_future_kind_string_raises_wire_error(self):
+        with pytest.raises(wire.WireError):
+            wire.parse_failure_kind("quantum decoherence")
+
+    def test_future_kind_envelope_quarantined_by_server(self):
+        # The full receive path: a syntactically valid envelope whose body
+        # carries a kind this build has never heard of must land in the
+        # quarantine, never crash mid-ingest.
+        import json
+
+        from repro.core.server import GistServer
+        from repro.corpus import get_bug
+
+        blob = wire.encode_failure_report(self._race_report(), epoch=2)
+        envelope = json.loads(blob.decode("utf-8"))
+        envelope["body"]["kind"] = "quantum decoherence"
+        envelope["digest"] = wire.body_digest(envelope["body"])
+        tampered = json.dumps(envelope).encode("utf-8")
+
+        server = GistServer(get_bug("evloop-1").module())
+        assert server.receive(tampered) is None
+        assert server.quarantined_count == 1
+        assert "unknown failure kind" in server.quarantine[0].reason
+        # The same envelope with its real kind is accepted.
+        assert server.receive(blob) is not None
+
+    def test_race_section_round_trips(self):
+        report = self._race_report()
+        msg = wire.decode_message(wire.encode_failure_report(report))
+        assert msg.payload == report
+        assert msg.payload.race.first.stack[0].function == "worker"
+
+    def test_race_section_covered_by_digest(self):
+        blob = wire.encode_failure_report(self._race_report())
+        tampered = blob.replace(b'"value":3', b'"value":4')
+        assert tampered != blob
+        with pytest.raises(wire.WireError, match="digest"):
+            wire.decode_message(tampered)
+
+    def test_legacy_report_bytes_carry_no_new_sections(self):
+        report = FailureReport(kind=FailureKind.SEGFAULT, pc=7, tid=0)
+        blob = wire.encode_failure_report(report)
+        assert b'"race"' not in blob
+        assert b'"origin"' not in blob

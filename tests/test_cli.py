@@ -114,7 +114,20 @@ class TestCorpus:
         out = capsys.readouterr().out
         assert "pbzip2-1" in out
         assert "curl-965" in out
-        assert len(out.strip().splitlines()) == 11
+        assert "evloop-1" in out
+        assert len(out.strip().splitlines()) == 15
+
+    def test_list_kind_filter(self, capsys):
+        assert main(["corpus", "list", "--kind", "data race"]) == 0
+        out = capsys.readouterr().out
+        assert "evloop-1" in out
+        assert "ringbuf-1" in out
+        assert "curl-965" not in out
+
+    def test_list_unknown_kind(self, capsys):
+        assert main(["corpus", "list", "--kind", "quantum"]) == 1
+        assert "no corpus bugs with failure kind" \
+            in capsys.readouterr().err
 
     def test_show(self, capsys):
         assert main(["corpus", "show", "curl-965"]) == 0
