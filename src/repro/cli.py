@@ -35,6 +35,7 @@ from .core import (
 )
 from .core.html import render_html
 from .core.serialize import sketch_to_json
+from .core.streaming import STATS_KINDS
 from .lang import compile_source, verify
 from .pt import PTConfig, PTDecoder, PTEncoder
 from .runtime import Interpreter, RandomScheduler
@@ -199,6 +200,7 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
                 endpoints=args.endpoints, ptwrite=args.ptwrite,
                 detectors=_detectors(args),
                 ranker=args.ranker,
+                stats=args.stats,
                 fleet_workers=_fleet_jobs(args),
                 executor=args.executor,
                 analysis_cache_dir=args.cache_dir,
@@ -279,7 +281,8 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                 batch_bytes=args.batch_bytes,
                 batch_ms=args.batch_ms,
                 detectors=_detectors(args, spec),
-                ranker=args.ranker) as deployment:
+                ranker=args.ranker,
+                stats=args.stats) as deployment:
             stats = deployment.run_campaign(
                 stop_when=spec.sketch_has_root,
                 max_iterations=args.max_iterations)
@@ -331,7 +334,7 @@ def _cmd_corpus_campaign(args: argparse.Namespace) -> int:
                          journal_dir=args.journal_dir,
                          interp_mode=args.interp,
                          max_iterations=args.max_iterations,
-                         ranker=args.ranker)
+                         ranker=args.ranker, stats=args.stats)
     result = plane.run()
     for context in contexts:
         context.save()
@@ -344,6 +347,14 @@ def _cmd_corpus_campaign(args: argparse.Namespace) -> int:
           f"(peak round used {result.max_round_runs}), "
           f"{result.total_runs} total runs, {result.wall_seconds:.2f}s")
     print(f"cross-shard merge verified: {result.merge_verified}")
+    if args.stats == "streaming":
+        tracked = sum(s.tracked_runs for s in result.stats.values())
+        peak = max((s.peak_tracked_bytes for s in result.stats.values()),
+                   default=0)
+        saved = sum(s.payload_bytes_saved for s in result.stats.values())
+        print(f"streaming stats: {tracked} runs tracked, peak state "
+              f"{peak:,} bytes, evidence slicing saved {saved:,} "
+              f"payload bytes")
     all_found = True
     for bug_id in bug_ids:
         stats = result.stats[bug_id]
@@ -543,6 +554,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="predictor ranking engine: 'fmeasure' (the "
                             "paper's F-measure, default) or 'invariants' "
                             "(error-invariant recall x specificity)")
+        p.add_argument("--stats", choices=STATS_KINDS, default="exact",
+                       help="statistics mode: 'exact' (reference; holds "
+                            "every run, default) or 'streaming' (bounded "
+                            "memory — sketched ranking, rolling-window "
+                            "F-measures, client-side evidence slicing)")
 
     def control_flags(p):
         from .control import SCHEDULER_KINDS

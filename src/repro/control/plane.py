@@ -44,6 +44,7 @@ from ..core.clustering import FailureClusterer
 from ..core.cooperative import CampaignDriver, CampaignStats, \
     CooperativeDeployment, StopPredicate
 from ..core.stats import PredictorRanker
+from ..core.streaming import STATS_KINDS, ranker_from_state
 from ..fleet import wire
 from ..fleet.executors import FleetExecutor, make_executor
 from ..fleet.faults import FaultPlan
@@ -125,17 +126,21 @@ class ControlPlane:
                  min_successful_per_iteration: int = 3,
                  max_runs_per_iteration: int = 400,
                  max_bootstrap_runs: int = 10_000,
-                 ranker: str = "fmeasure") -> None:
+                 ranker: str = "fmeasure",
+                 stats: str = "exact") -> None:
         if not specs:
             raise ValueError("need at least one campaign spec")
         if shards < 1:
             raise ValueError("need at least one shard")
+        if stats not in STATS_KINDS:
+            raise ValueError(f"stats must be one of {STATS_KINDS}")
         keys = [spec.bug for spec in specs]
         if len(set(keys)) != len(keys):
             raise ValueError("campaign ids must be unique")
         self.specs = list(specs)
         self.ring = ConsistentHashRing(shards)
-        self.shards = [ShardServer(i) for i in range(shards)]
+        self.stats_kind = stats
+        self.shards = [ShardServer(i, stats=stats) for i in range(shards)]
         self.scheduler = BudgetScheduler(scheduler, endpoints=endpoints,
                                          quantum=quantum)
         self.cohort = CohortModel(size=cohort_size, share=cohort_share,
@@ -158,7 +163,7 @@ class ControlPlane:
                 fault_plan=fault_plan, interp_mode=interp_mode,
                 campaign_key=spec.bug, cohort_model=self.cohort,
                 ranker_stripes=shards, journal_dir=journal_dir,
-                detectors=spec.detectors, ranker=ranker)
+                detectors=spec.detectors, ranker=ranker, stats=stats)
             driver = CampaignDriver(
                 deployment, initial_sigma=initial_sigma,
                 stop_when=spec.stop_when,
@@ -249,7 +254,11 @@ class ControlPlane:
             for entry in body["campaigns"]:
                 merged: Optional[PredictorRanker] = None
                 for stripe_state in entry["stripes"]:
-                    partial = PredictorRanker.from_state(stripe_state)
+                    # Dispatch on the state's "kind": sketched stripes
+                    # (streaming mode) rebuild as SketchRankers so the
+                    # fold exercises mergeable-summaries merge; exact
+                    # stripes take the classic path unchanged.
+                    partial = ranker_from_state(stripe_state)
                     if merged is None:
                         merged = partial
                     else:

@@ -56,7 +56,10 @@ class BudgetScheduler:
 
         Duck-typed over :class:`~repro.core.cooperative.CampaignDriver`:
         ``done``/``converged`` flags plus the weighted ``recurrences()``
-        demand signal.
+        demand signal.  In streaming-statistics mode that signal is the
+        campaign's *rolling-window* recurrence count rather than its
+        all-time total, so infogain budget follows the bugs currently hot
+        in the fleet instead of historical volume.
         """
         if driver.done or driver.converged:
             return 0.0

@@ -18,18 +18,27 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..core.clustering import FailureClusterer
+from ..core.clustering import DEFAULT_MAX_IDENTITIES, FailureClusterer
 from ..core.cooperative import CampaignDriver
 from ..fleet import wire
 
 
 class ShardServer:
-    """Hosts the campaigns hashed to one shard (see module docstring)."""
+    """Hosts the campaigns hashed to one shard (see module docstring).
 
-    def __init__(self, shard_id: int) -> None:
+    ``stats`` mirrors the campaigns' statistics mode: ``"streaming"``
+    bounds the shard clusterer's per-bucket identity histograms
+    (:data:`~repro.core.clustering.DEFAULT_MAX_IDENTITIES`) so shard state
+    stays O(buckets) at million-report scale; ``"exact"`` keeps the
+    unbounded reference behaviour and byte-identical exports.
+    """
+
+    def __init__(self, shard_id: int, stats: str = "exact") -> None:
         self.shard_id = shard_id
         self.drivers: Dict[str, CampaignDriver] = {}
-        self.clusterer = FailureClusterer()
+        self.clusterer = FailureClusterer(
+            max_identities=DEFAULT_MAX_IDENTITIES
+            if stats == "streaming" else None)
 
     def admit(self, key: str, driver: CampaignDriver) -> None:
         """Take ownership of one campaign."""

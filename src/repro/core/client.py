@@ -24,6 +24,7 @@ from ..runtime.failures import RunOutcome
 from ..runtime.interpreter import Interpreter
 from .predictors import extract_all
 from .refinement import MonitoredRun
+from .streaming import slice_monitored_run
 from .workload import Workload
 
 
@@ -58,6 +59,12 @@ class GistClient:
         #: endpoint (see :mod:`repro.detect`): fresh instances per run,
         #: and their verdicts amend the outcome before it is reported.
         self.detectors = validate_detectors(detectors)
+        #: Evidence-slicing accounting (streaming statistics mode): wire
+        #: body bytes this endpoint pruned before reporting, and the bytes
+        #: it actually reported for sliced runs.  Both stay 0 when patches
+        #: carry no slice (exact mode).
+        self.payload_bytes_saved = 0
+        self.payload_bytes_sent = 0
 
     def prepare_patch(self, patch: Optional[Patch]) -> Optional[Patch]:
         """Transform a server patch before applying it (identity here).
@@ -142,7 +149,13 @@ class GistClient:
             # Extract failure predictors here, on the endpoint: the fleet
             # walks its own traces in parallel and the server's single
             # aggregation thread ingests ready-made predictor sets.
+            # Extraction runs over the *full* trace, so predictor facts are
+            # exact even when slicing below prunes the shipped evidence.
             monitored.predictors = frozenset(extract_all(
                 monitored, self.module,
                 extended=self.extended_predicates))
+            if patch.slice_uids:
+                saved, sent = slice_monitored_run(monitored, patch)
+                self.payload_bytes_saved += saved
+                self.payload_bytes_sent += sent
         return ClientRunResult(outcome=outcome, monitored=monitored)

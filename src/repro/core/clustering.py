@@ -26,6 +26,12 @@ from typing import Dict, List, Optional, Tuple
 
 from ..runtime.failures import FailureReport
 
+#: Per-bucket exact-identity histogram cap used by streaming-mode shards.
+#: Real fleets reach one failure site from a bounded set of call paths, so
+#: a small cap loses nothing in practice; pathological report streams are
+#: what it defends against.
+DEFAULT_MAX_IDENTITIES = 32
+
 
 @dataclass
 class FailureBucket:
@@ -40,12 +46,29 @@ class FailureBucket:
     first_seen: int = 0
     count: int = 0
     exact_identities: Dict[str, int] = field(default_factory=dict)
+    #: Exact-identity hits dropped by the per-bucket bound (bounded
+    #: clusterers only); 0 means the histogram is complete.
+    identity_overflow: int = 0
 
     def add(self, report: FailureReport) -> None:
         self.count += 1
         identity = report.identity()
         self.exact_identities[identity] = \
             self.exact_identities.get(identity, 0) + 1
+
+    def trim(self, max_identities: Optional[int]) -> None:
+        """Cap the identity histogram, folding evicted hits into
+        ``identity_overflow``.  Eviction order is total (count ascending,
+        identity descending evicts first), so any sequence of adds/merges
+        that reaches the same histogram trims the same way."""
+        if max_identities is None or \
+                len(self.exact_identities) <= max_identities:
+            return
+        ranked = sorted(self.exact_identities.items(),
+                        key=lambda kv: (-kv[1], kv[0]))
+        for identity, hits in ranked[max_identities:]:
+            del self.exact_identities[identity]
+            self.identity_overflow += hits
 
     @property
     def call_path_variants(self) -> int:
@@ -54,11 +77,19 @@ class FailureBucket:
 
 
 class FailureClusterer:
-    """Buckets incoming failure reports by failure site."""
+    """Buckets incoming failure reports by failure site.
 
-    def __init__(self) -> None:
+    ``max_identities`` bounds each bucket's exact-identity histogram
+    (``None`` = unbounded, the exact-mode reference): the top entries by
+    hit count survive, and evicted hits accumulate in the bucket's
+    ``identity_overflow`` — so a streaming shard's clusterer state stays
+    O(buckets x cap) no matter how many reports pass through it.
+    """
+
+    def __init__(self, max_identities: Optional[int] = None) -> None:
         self._buckets: Dict[str, FailureBucket] = {}
         self.total_reports = 0
+        self.max_identities = max_identities
 
     @staticmethod
     def site_key(report: FailureReport) -> str:
@@ -74,6 +105,7 @@ class FailureClusterer:
                                    first_seen=self.total_reports - 1)
             self._buckets[key] = bucket
         bucket.add(report)
+        bucket.trim(self.max_identities)
         return bucket
 
     def buckets(self) -> List[FailureBucket]:
@@ -105,40 +137,49 @@ class FailureClusterer:
         for key, bucket in other._buckets.items():
             mine = self._buckets.get(key)
             if mine is None:
-                self._buckets[key] = FailureBucket(
+                mine = self._buckets[key] = FailureBucket(
                     key=bucket.key, kind=bucket.kind, pc=bucket.pc,
                     representative=bucket.representative,
                     first_seen=bucket.first_seen, count=bucket.count,
-                    exact_identities=dict(bucket.exact_identities))
+                    exact_identities=dict(bucket.exact_identities),
+                    identity_overflow=bucket.identity_overflow)
+                mine.trim(self.max_identities)
                 continue
             if (bucket.first_seen, bucket.representative.identity()) < \
                     (mine.first_seen, mine.representative.identity()):
                 mine.representative = bucket.representative
             mine.first_seen = min(mine.first_seen, bucket.first_seen)
             mine.count += bucket.count
+            mine.identity_overflow += bucket.identity_overflow
             for identity, hits in bucket.exact_identities.items():
                 mine.exact_identities[identity] = \
                     mine.exact_identities.get(identity, 0) + hits
+            mine.trim(self.max_identities)
 
     def state(self) -> Dict:
         """JSON-able snapshot (rides inside a ``shard_state`` envelope)."""
         from ..fleet.wire import failure_report_to_body
 
+        buckets = []
+        for b in self.buckets():
+            entry = {
+                "key": b.key,
+                "kind": b.kind,
+                "pc": b.pc,
+                "first_seen": b.first_seen,
+                "count": b.count,
+                "exact": dict(b.exact_identities),
+                "representative":
+                    failure_report_to_body(b.representative),
+            }
+            # Absence-encoded so unbounded (exact-mode) clusterer state
+            # stays byte-identical to the pre-bounding wire format.
+            if b.identity_overflow:
+                entry["overflow"] = b.identity_overflow
+            buckets.append(entry)
         return {
             "total_reports": self.total_reports,
-            "buckets": [
-                {
-                    "key": b.key,
-                    "kind": b.kind,
-                    "pc": b.pc,
-                    "first_seen": b.first_seen,
-                    "count": b.count,
-                    "exact": dict(b.exact_identities),
-                    "representative":
-                        failure_report_to_body(b.representative),
-                }
-                for b in self.buckets()
-            ],
+            "buckets": buckets,
         }
 
     @classmethod
@@ -153,7 +194,8 @@ class FailureClusterer:
                 representative=failure_report_from_body(
                     entry["representative"]),
                 first_seen=entry["first_seen"], count=entry["count"],
-                exact_identities=dict(entry["exact"]))
+                exact_identities=dict(entry["exact"]),
+                identity_overflow=entry.get("overflow", 0))
             clusterer._buckets[bucket.key] = bucket
         return clusterer
 

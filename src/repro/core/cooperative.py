@@ -84,6 +84,14 @@ class CampaignStats:
     #: Fleet/transport accounting (wire transport only): message counts,
     #: drops, quarantines, stale discards, crash/churn losses.
     fleet: Optional[Dict] = None
+    #: Bounded-memory accounting (see :mod:`repro.core.streaming`):
+    #: runs' worth of per-run state held at campaign end (O(runs) exact,
+    #: O(1) streaming), the high-water mark of the tracked statistics
+    #: footprint, and wire body bytes client-side evidence slicing pruned
+    #: before they ever hit the uplink (0 in exact mode).
+    tracked_runs: int = 0
+    peak_tracked_bytes: int = 0
+    payload_bytes_saved: int = 0
 
 
 class CooperativeDeployment:
@@ -108,7 +116,8 @@ class CooperativeDeployment:
                  batch_ms: Optional[float] = None,
                  socket_family: str = "unix",
                  detectors: Sequence[str] = (),
-                 ranker: str = "fmeasure") -> None:
+                 ranker: str = "fmeasure",
+                 stats: str = "exact") -> None:
         from ..detect import validate_detectors
         from ..fleet.executors import EXECUTOR_KINDS
 
@@ -145,7 +154,14 @@ class CooperativeDeployment:
         self.server = GistServer(module,
                                  extended_predicates=extended_predicates,
                                  context=context, stripes=ranker_stripes,
-                                 ranker=ranker)
+                                 ranker=ranker, stats=stats)
+        #: Statistics mode (validated by the server above): ``"exact"`` or
+        #: ``"streaming"`` — see :mod:`repro.core.streaming`.
+        self.stats_kind = stats
+        #: Evidence-slicing bytes saved by clients living in *worker
+        #: processes* (their counters can't be read directly; each
+        #: JobResult carries the per-run delta instead).
+        self._remote_bytes_saved = 0
         # Clients extract predictors endpoint-side, so their extended flag
         # must match the server's for the fleet statistics to line up.
         self.clients = [GistClient(module, endpoint_id=i, ptwrite=ptwrite,
@@ -322,6 +338,7 @@ class CooperativeDeployment:
                 detectors=client.detectors))
         results: List[ClientRunResult] = []
         for job_result in self._ensure_engine().run_jobs(jobs):
+            self._remote_bytes_saved += job_result.bytes_saved
             failure = None
             if job_result.failure_blob is not None:
                 failure = wire.decode_message(job_result.failure_blob).payload
@@ -415,6 +432,7 @@ class CooperativeDeployment:
                 results.append((plan.kind, []))
                 continue
             job_result = next(job_results)
+            self._remote_bytes_saved += job_result.bytes_saved
             results.append(endpoint.package(
                 plan, job_result.failed, job_result.failure_blob,
                 job_result.monitored_blob))
@@ -590,6 +608,16 @@ class CooperativeDeployment:
                         ack, msg_type=wire.MSG_PATCH_ACK,
                         key=(epoch, endpoint.endpoint_id, "ack", attempt))
             self._pump_uplink(campaign, epoch)
+
+    def payload_bytes_saved(self) -> int:
+        """Wire body bytes evidence slicing pruned fleet-wide.
+
+        Local clients are summed directly; clients living in worker
+        processes reported per-job deltas on their :class:`JobResult`
+        envelopes instead (accumulated in ``_remote_bytes_saved``).
+        """
+        return (sum(c.payload_bytes_saved for c in self.clients)
+                + self._remote_bytes_saved)
 
     def _fleet_report(self,
                       campaign: Optional[DiagnosisCampaign]) -> Dict:
@@ -771,6 +799,9 @@ class CooperativeDeployment:
             campaign.grow()
 
         stats.failure_recurrences = campaign.total_failure_recurrences
+        stats.tracked_runs = campaign.tracked_runs()
+        stats.peak_tracked_bytes = campaign.peak_tracked_bytes
+        stats.payload_bytes_saved = self.payload_bytes_saved()
         if overheads:
             stats.avg_overhead_percent = 100.0 * sum(overheads) / len(overheads)
             stats.max_overhead_percent = 100.0 * max(overheads)
@@ -890,11 +921,18 @@ class CampaignDriver:
         return self.stats.found
 
     def recurrences(self) -> int:
-        """Weighted failure recurrences so far (the scheduler's demand
-        signal: how hot this bug currently is in the fleet)."""
+        """Weighted failure recurrences — the scheduler's demand signal
+        for how hot this bug currently is in the fleet.
+
+        Exact mode reports the all-time total; streaming mode reports the
+        rolling-window count instead (see
+        :meth:`DiagnosisCampaign.windowed_recurrences`), so bugs that have
+        gone quiet stop holding budget even though their historical
+        totals never shrink.
+        """
         if self.campaign is None:
             return 0
-        return self.campaign.total_failure_recurrences
+        return self.campaign.windowed_recurrences()
 
     # -- stepping ------------------------------------------------------------
 
@@ -1047,6 +1085,9 @@ class CampaignDriver:
         stats = self.stats
         campaign = self.campaign = self.dep._live_campaign(self.campaign)
         stats.failure_recurrences = campaign.total_failure_recurrences
+        stats.tracked_runs = campaign.tracked_runs()
+        stats.peak_tracked_bytes = campaign.peak_tracked_bytes
+        stats.payload_bytes_saved = self.dep.payload_bytes_saved()
         if self._overheads:
             stats.avg_overhead_percent = \
                 100.0 * sum(self._overheads) / len(self._overheads)

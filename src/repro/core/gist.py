@@ -88,7 +88,8 @@ class Gist:
                  batch_bytes: Optional[int] = None,
                  batch_ms: Optional[float] = None,
                  detectors: Sequence[str] = (),
-                 ranker: str = "fmeasure") -> None:
+                 ranker: str = "fmeasure",
+                 stats: str = "exact") -> None:
         self.module = module
         self.bug = bug
         self.endpoints = endpoints
@@ -143,6 +144,10 @@ class Gist:
         self.detectors = tuple(detectors)
         #: Predictor ranking engine: ``"fmeasure"`` | ``"invariants"``.
         self.ranker = ranker
+        #: Statistics mode: ``"exact"`` (reference, holds every run) or
+        #: ``"streaming"`` (bounded memory — sketched ranking, windowed
+        #: F-measures, sliced evidence; see :mod:`repro.core.streaming`).
+        self.stats = stats
 
     @classmethod
     def from_source(cls, source: str, bug: str = "bug",
@@ -186,7 +191,8 @@ class Gist:
             transport=self.transport, fault_plan=self.fault_plan,
             interp_mode=self.interp_mode, journal_dir=self.journal_dir,
             batch_bytes=self.batch_bytes, batch_ms=self.batch_ms,
-            detectors=self.detectors, ranker=self.ranker)
+            detectors=self.detectors, ranker=self.ranker,
+            stats=self.stats)
         stats = deployment.run_campaign(
             initial_sigma=initial_sigma,
             stop_when=stop_when,
@@ -228,7 +234,7 @@ class Gist:
             initial_sigma=initial_sigma, max_iterations=max_iterations,
             max_runs_per_iteration=max_runs_per_iteration,
             min_successful_per_iteration=min_successful_per_iteration,
-            ranker=self.ranker)
+            ranker=self.ranker, stats=self.stats)
         result = plane.run()
         self.context.save()
         return DiagnosisResult(stats=result.stats[self.bug], plane=result)

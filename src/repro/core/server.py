@@ -17,6 +17,7 @@ the first report to the finished sketch:
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -33,6 +34,14 @@ from .predictors import extract_all
 from .refinement import MonitoredRun, RefinementResult, refine
 from .sketch import FailureSketch, build_sketch
 from .stats import PredictorRanker
+from .streaming import (STATS_KINDS, ReservoirSample, RollingWindowStats,
+                        RunningRefinement, make_stream_ranker)
+
+#: Rough per-retained-run / per-log-entry footprints for the campaign's
+#: memory accounting (``tracked_state_bytes``): a MonitoredRun object with
+#: its executed sequences, and one ``_predictor_log`` tuple.
+_RUN_BYTES = 512
+_LOG_ENTRY_BYTES = 160
 
 
 @dataclass
@@ -99,13 +108,37 @@ class DiagnosisCampaign:
         #: With ``stripes=1`` (the default, and the whole single-campaign
         #: path) there is exactly one partial and merge is the identity.
         self.stripes = stripes
-        self._stripe_rankers = [make_ranker(server.ranker_kind,
-                                            failure_pc=first_report.pc)
-                                for _ in range(stripes)]
+        #: Statistics mode, inherited from the server: ``"exact"`` keeps
+        #: the byte-identical reference behaviour; ``"streaming"`` swaps
+        #: in bounded-memory sketched rankers, reservoir run retention,
+        #: an incremental refinement aggregate, and sliced patches.
+        self.stats_kind = server.stats_kind
+        if self.stats_kind == "streaming":
+            self._stripe_rankers = [
+                make_stream_ranker(server.ranker_kind,
+                                   failure_pc=first_report.pc)
+                for _ in range(stripes)]
+        else:
+            self._stripe_rankers = [make_ranker(server.ranker_kind,
+                                                failure_pc=first_report.pc)
+                                    for _ in range(stripes)]
         self._merged_ranker: Optional[PredictorRanker] = None
         #: Per-ingest (predictor set, recurrence, weight) log, in ingest
-        #: order — what :meth:`rebuild_ranker` replays.
+        #: order — what :meth:`rebuild_ranker` replays.  Exact mode only:
+        #: the log is O(runs), exactly what streaming mode exists to shed.
         self._predictor_log: List[Tuple[FrozenSet, bool, int]] = []
+        #: Streaming-mode bounded evidence: a seeded reservoir of retained
+        #: runs (campaign lifetime), the rolling recency window ring, and
+        #: the per-iteration exact refinement aggregate.
+        self.retained_runs: Optional[ReservoirSample] = None
+        self.recent: Optional[RollingWindowStats] = None
+        self._refinement_agg: Optional[RunningRefinement] = None
+        if self.stats_kind == "streaming":
+            self.retained_runs = ReservoirSample(
+                seed=zlib.crc32(self.key.encode()))
+            self.recent = RollingWindowStats(failure_pc=first_report.pc)
+        #: High-water mark of :meth:`tracked_state_bytes` across ingests.
+        self.peak_tracked_bytes = 0
         self._last_failing_run: Optional[MonitoredRun] = None
         # -- wire-facing hardening state (fleet transport) -----------------
         #: The patch epoch currently being monitored (== iteration number).
@@ -128,6 +161,10 @@ class DiagnosisCampaign:
         self._current_plan = self.server.planner.plan_window(
             self.slice, self._current.window_uids)
         self._runs = []
+        if self.stats_kind == "streaming":
+            # The refinement aggregate is per-iteration (like ``_runs``);
+            # the reservoir and the window ring span the whole campaign.
+            self._refinement_agg = RunningRefinement()
         # The ranker deliberately survives: predictor statistics carry
         # over across iterations instead of being rebuilt from scratch,
         # so runs ingested under earlier windows keep contributing.
@@ -146,13 +183,21 @@ class DiagnosisCampaign:
         """
         assert self._current_plan is not None, "begin_iteration first"
         plan = self._current_plan
+        # Streaming mode stamps the static slice into every patch so
+        # endpoints slice their evidence client-side before reporting;
+        # exact-mode patches stay byte-identical to the legacy format.
+        slice_uids: Tuple[int, ...] = ()
+        if self.stats_kind == "streaming":
+            slice_uids = tuple(self.slice.uids)
         candidates = plan.watch_candidates
         if len(candidates) <= NUM_DEBUG_REGISTERS:
-            return [Patch.from_plan(self.server.module.name, plan)]
+            return [Patch.from_plan(self.server.module.name, plan,
+                                    slice_uids=slice_uids)]
         groups: List[List[int]] = []
         for i in range(0, len(candidates), NUM_DEBUG_REGISTERS):
             groups.append(candidates[i:i + NUM_DEBUG_REGISTERS])
-        variants = [Patch.from_plan(self.server.module.name, plan, group)
+        variants = [Patch.from_plan(self.server.module.name, plan, group,
+                                    slice_uids=slice_uids)
                     for group in groups]
         if n_variants > len(variants):
             # Repeat variants so each endpoint gets one.
@@ -178,7 +223,14 @@ class DiagnosisCampaign:
         """
         assert self._current is not None, "begin_iteration first"
         weight = max(1, run.cohort)
-        self._runs.append(run)
+        streaming = self.stats_kind == "streaming"
+        if streaming:
+            # Bounded retention: fold the run into the exact refinement
+            # aggregate and the seeded reservoir instead of holding it.
+            self._refinement_agg.add(run)
+            self.retained_runs.add(run)
+        else:
+            self._runs.append(run)
         recurrence = bool(
             run.failed and run.failure is not None
             and run.failure.identity() == self.identity)
@@ -189,11 +241,16 @@ class DiagnosisCampaign:
         elif not run.failed:
             self._current.successful_runs_seen += weight
         predictors = self.server.predictors_of(run, digest=digest)
-        self._predictor_log.append((predictors, recurrence, weight))
+        if streaming:
+            self.recent.add(predictors, recurrence, weight=weight)
+        else:
+            self._predictor_log.append((predictors, recurrence, weight))
         stripe = run.endpoint_id % self.stripes
         self._stripe_rankers[stripe].add_run(predictors, failed=recurrence,
                                              weight=weight)
         self._merged_ranker = None
+        self.peak_tracked_bytes = max(self.peak_tracked_bytes,
+                                      self.tracked_state_bytes())
         return recurrence
 
     def ranker(self) -> PredictorRanker:
@@ -203,8 +260,12 @@ class DiagnosisCampaign:
         if self.stripes == 1:
             return self._stripe_rankers[0]
         if self._merged_ranker is None:
-            merged = make_ranker(self.server.ranker_kind,
-                                 failure_pc=self.first_report.pc)
+            if self.stats_kind == "streaming":
+                merged = make_stream_ranker(self.server.ranker_kind,
+                                            failure_pc=self.first_report.pc)
+            else:
+                merged = make_ranker(self.server.ranker_kind,
+                                     failure_pc=self.first_report.pc)
             for partial in self._stripe_rankers:
                 merged.merge(partial)
             self._merged_ranker = merged
@@ -219,9 +280,54 @@ class DiagnosisCampaign:
         """A from-scratch ranker over every run ingested so far — the
         reference the incrementally maintained one must equal.  Built with
         the campaign's ranking-engine class, so invariants campaigns are
-        replay-checked against invariants scoring."""
+        replay-checked against invariants scoring.
+
+        Exact mode only: streaming mode keeps no per-run predictor log
+        (that O(runs) log is exactly what it sheds), so there is nothing
+        to replay."""
+        if self.stats_kind == "streaming":
+            raise RuntimeError("streaming statistics keep no predictor "
+                               "log to rebuild from")
         return type(self._stripe_rankers[0]).from_runs(
             self._predictor_log, failure_pc=self.first_report.pc)
+
+    # -- bounded-memory accounting -------------------------------------------
+
+    def tracked_runs(self) -> int:
+        """How many runs' worth of per-run state the campaign holds right
+        now: the predictor log in exact mode (O(runs) for the campaign's
+        lifetime), the reservoir in streaming mode (bounded)."""
+        if self.stats_kind == "streaming":
+            return len(self.retained_runs)
+        return len(self._predictor_log)
+
+    def tracked_state_bytes(self) -> int:
+        """Rough footprint of all per-run/per-predictor tracked state —
+        O(stripes) to ask, so it can run on every ingest to maintain
+        :attr:`peak_tracked_bytes`."""
+        total = sum(r.tracked_bytes() for r in self._stripe_rankers)
+        if self.stats_kind == "streaming":
+            total += len(self.retained_runs) * _RUN_BYTES
+            total += self.recent.tracked_bytes()
+            if self._refinement_agg is not None:
+                total += self._refinement_agg.tracked_bytes()
+        else:
+            total += len(self._predictor_log) * _LOG_ENTRY_BYTES
+            total += len(self._runs) * _RUN_BYTES
+        return total
+
+    def windowed_recurrences(self) -> int:
+        """Failure recurrences over the rolling recency window (streaming
+        mode) — what the budget scheduler's infogain signal weighs, so a
+        campaign whose failure stopped recurring ages out of the budget
+        instead of coasting on lifetime totals.  Falls back to the exact
+        lifetime total outside streaming mode.  The bootstrap report
+        counts while no window has aged out yet (mirroring the lifetime
+        total's starting value of 1)."""
+        if self.recent is None:
+            return self.total_failure_recurrences
+        bootstrap = 1 if self.recent.dropped == 0 else 0
+        return self.recent.recurrences() + bootstrap
 
     def ingest_wire(self, message) -> Optional[Tuple[bool, MonitoredRun]]:
         """Epoch and idempotency gate in front of :meth:`ingest`.
@@ -277,8 +383,13 @@ class DiagnosisCampaign:
             # Iteration boundaries are the journal's durability points:
             # this append also fsyncs everything buffered so far.
             self.server.journal.append_finish_iteration(self.wire_key)
-        refinement = refine(self._current.window_uids, self._runs,
-                            slice_uids=self.slice.uids)
+        if self.stats_kind == "streaming":
+            # The streaming aggregate is exact — same result, O(1) runs.
+            refinement = self._refinement_agg.result(
+                self._current.window_uids, slice_uids=self.slice.uids)
+        else:
+            refinement = refine(self._current.window_uids, self._runs,
+                                slice_uids=self.slice.uids)
         sketch: Optional[FailureSketch] = None
         if self._last_failing_run is not None:
             sketch = build_sketch(
@@ -302,6 +413,9 @@ class DiagnosisCampaign:
             successful_runs=self._current.successful_runs_seen,
         )
         self.iterations.append(result)
+        if self.recent is not None:
+            # One recency window per AsT iteration.
+            self.recent.advance()
         return result
 
     def grow(self) -> int:
@@ -340,16 +454,24 @@ class GistServer:
                  extended_predicates: bool = False,
                  context: Optional[AnalysisContext] = None,
                  stripes: int = 1,
-                 ranker: str = "fmeasure") -> None:
+                 ranker: str = "fmeasure",
+                 stats: str = "exact") -> None:
         if ranker not in RANKER_KINDS:
             raise ValueError(f"unknown ranker kind {ranker!r} "
                              f"(expected one of {RANKER_KINDS})")
+        if stats not in STATS_KINDS:
+            raise ValueError(f"unknown stats kind {stats!r} "
+                             f"(expected one of {STATS_KINDS})")
         self.module = module
         #: Ranking engine every campaign on this server scores with
         #: (``fmeasure`` | ``invariants`` — see :mod:`repro.detect.
         #: invariants`).  A plain string so job descriptors and journal
         #: recovery can carry it across process boundaries.
         self.ranker_kind = ranker
+        #: Statistics mode: ``"exact"`` (unbounded dicts + run logs, the
+        #: byte-identical reference) or ``"streaming"`` (sketched bounded
+        #: state — see :mod:`repro.core.streaming`).
+        self.stats_kind = stats
         #: All static artifacts live here; pass one context to many servers
         #: (or many diagnoses) and nothing is ever rebuilt.
         self.context = context or AnalysisContext(module)

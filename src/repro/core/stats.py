@@ -14,6 +14,7 @@ choice predicts.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -22,7 +23,7 @@ from .predictors import Predictor
 DEFAULT_BETA = 0.5
 
 
-@dataclass
+@dataclass(slots=True)
 class PredictorStats:
     """Occurrence counts and derived scores for one predictor."""
 
@@ -63,8 +64,10 @@ class PredictorRanker:
         self.failure_pc = failure_pc
         self.total_failing = 0
         self.total_successful = 0
-        self._failing_counts: Dict[Predictor, int] = {}
-        self._successful_counts: Dict[Predictor, int] = {}
+        # Counters, not plain dicts: merge folds whole shard partials with
+        # one C-speed ``Counter.update`` pass instead of a per-key loop.
+        self._failing_counts: Counter = Counter()
+        self._successful_counts: Counter = Counter()
 
     # -- accumulation ----------------------------------------------------------
 
@@ -105,11 +108,8 @@ class PredictorRanker:
                              "beta/failure_pc")
         self.total_failing += other.total_failing
         self.total_successful += other.total_successful
-        for p, n in other._failing_counts.items():
-            self._failing_counts[p] = self._failing_counts.get(p, 0) + n
-        for p, n in other._successful_counts.items():
-            self._successful_counts[p] = \
-                self._successful_counts.get(p, 0) + n
+        self._failing_counts.update(other._failing_counts)
+        self._successful_counts.update(other._successful_counts)
 
     @classmethod
     def from_runs(cls, runs: Sequence[Tuple],
@@ -137,8 +137,8 @@ class PredictorRanker:
         ranker = cls(beta=state["beta"], failure_pc=state["failure_pc"])
         ranker.total_failing = state["total_failing"]
         ranker.total_successful = state["total_successful"]
-        ranker._failing_counts = dict(state["failing"])
-        ranker._successful_counts = dict(state["successful"])
+        ranker._failing_counts = Counter(state["failing"])
+        ranker._successful_counts = Counter(state["successful"])
         return ranker
 
     def state(self) -> Dict[str, Any]:
@@ -152,6 +152,14 @@ class PredictorRanker:
             "failing": dict(self._failing_counts),
             "successful": dict(self._successful_counts),
         }
+
+    def tracked_bytes(self) -> int:
+        """Rough resident footprint of the tracked counts — O(1) to ask
+        (dict sizes), used for the campaign's memory accounting.  Exact
+        rankers grow with the distinct-predictor population; the streaming
+        subclass caps this at its table capacity."""
+        return (len(self._failing_counts)
+                + len(self._successful_counts)) * 120
 
     # -- scoring ------------------------------------------------------------------
 

@@ -1,0 +1,507 @@
+"""Bounded-memory streaming statistics (§3.3 at production traffic).
+
+The exact statistics layer (:mod:`repro.core.stats`) keeps one dict entry
+per distinct predictor and one log entry per ingested run — at the
+ROADMAP's "millions of users" that is O(runs) memory on every shard.  This
+module is the bounded counterpart, selected with ``--stats streaming``:
+
+- :class:`CountMinSketch` — the classic conservative overestimating
+  counter array, here with sparse rows and ``crc32``-based row hashing so
+  two processes (or two shards) sketch identically regardless of
+  ``PYTHONHASHSEED``.
+- :class:`SketchRanker` — a drop-in :class:`PredictorRanker` whose
+  resident per-predictor counts are a Space-Saving style top-K table
+  (evicted tails spill into the sketch), with exact outcome totals, a
+  per-entry :meth:`SketchRanker.error_bound`, and a mergeable
+  :meth:`SketchRanker.state` that rides the same ``shard_state`` wire
+  envelopes as the exact ranker.
+- :class:`RollingWindowStats` — a ring of per-window count deltas so long
+  campaigns rank on *recent* behaviour: a predictor that stopped
+  recurring ages out after ``windows`` AsT iterations, and the windowed
+  recurrence total is what feeds the budget scheduler's infogain signal.
+- :class:`ReservoirSample` — seeded Algorithm R; the campaign's retained
+  run evidence in streaming mode (replacing the hold-everything lists).
+- :class:`RunningRefinement` — the streaming form of
+  :func:`repro.core.refinement.refine`: refinement only ever consumes the
+  executed-uid union and the trap ``(pc, is_write)`` pairs of a run list,
+  both bounded by program size, so this aggregate is *exact* — streaming
+  campaigns refine byte-identically while retaining O(1) runs.
+
+Exact mode stays the byte-identical reference; nothing here changes any
+``--stats exact`` code path.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..detect.invariants import ErrorInvariantRanker
+from .predictors import Predictor, predictor_sort_key
+from .refinement import MonitoredRun, RefinementResult
+from .stats import DEFAULT_BETA, PredictorRanker
+
+#: Statistics modes a deployment can run in.
+STATS_KINDS = ("exact", "streaming")
+
+#: Default count-min dimensions.  Width 512 × depth 3 bounds the expected
+#: per-key overestimate to ~3·N/512 with three independent chances to do
+#: better — ample for per-campaign predictor populations, and ~1.5k sparse
+#: cells worst case.
+DEFAULT_SKETCH_WIDTH = 512
+DEFAULT_SKETCH_DEPTH = 3
+#: Default Space-Saving table capacity (resident predictors per stripe).
+DEFAULT_CAPACITY = 128
+#: Default rolling-window ring length (AsT iterations of recency).
+DEFAULT_WINDOWS = 8
+#: Default retained-run reservoir size per campaign.
+DEFAULT_RESERVOIR = 64
+
+
+def predictor_key_bytes(predictor: Predictor) -> bytes:
+    """Canonical hashable identity of a predictor for sketching.
+
+    ``repr`` over the (str, int, bool, tuple) detail structure is
+    deterministic across processes — unlike builtin ``hash``, which
+    ``PYTHONHASHSEED`` perturbs per interpreter.
+    """
+    return f"{predictor.kind}:{predictor.detail!r}".encode()
+
+
+class CountMinSketch:
+    """A sparse count-min sketch with deterministic crc32 row hashing."""
+
+    __slots__ = ("width", "depth", "_rows")
+
+    def __init__(self, width: int = DEFAULT_SKETCH_WIDTH,
+                 depth: int = DEFAULT_SKETCH_DEPTH) -> None:
+        if width < 1 or depth < 1:
+            raise ValueError("sketch needs width >= 1 and depth >= 1")
+        self.width = width
+        self.depth = depth
+        # Sparse rows: most campaigns touch far fewer cells than width.
+        self._rows: List[Dict[int, int]] = [dict() for _ in range(depth)]
+
+    def _indexes(self, key: bytes) -> List[int]:
+        # crc32's second argument is the starting CRC value: distinct
+        # per-row starts give depth independent-enough hash functions.
+        return [zlib.crc32(key, row + 1) % self.width
+                for row in range(self.depth)]
+
+    def add(self, key: bytes, count: int = 1) -> None:
+        for row, idx in enumerate(self._indexes(key)):
+            cells = self._rows[row]
+            cells[idx] = cells.get(idx, 0) + count
+
+    def estimate(self, key: bytes) -> int:
+        """Point estimate: min over rows.  Never underestimates."""
+        return min(self._rows[row].get(idx, 0)
+                   for row, idx in enumerate(self._indexes(key)))
+
+    def cells_used(self) -> int:
+        return sum(len(row) for row in self._rows)
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Cell-wise addition — valid only for identical dimensions."""
+        if (other.width, other.depth) != (self.width, self.depth):
+            raise ValueError("cannot merge sketches with different "
+                             "dimensions")
+        for mine, theirs in zip(self._rows, other._rows):
+            for idx, count in theirs.items():
+                mine[idx] = mine.get(idx, 0) + count
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "rows": [sorted([idx, count] for idx, count in row.items())
+                     for row in self._rows],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "CountMinSketch":
+        sketch = cls(width=state["width"], depth=state["depth"])
+        rows = state["rows"]
+        if len(rows) != sketch.depth:
+            raise ValueError("sketch state rows do not match depth")
+        for row, cells in zip(sketch._rows, rows):
+            for idx, count in cells:
+                row[idx] = count
+        return sketch
+
+
+class SketchRanker(PredictorRanker):
+    """A :class:`PredictorRanker` with O(K) resident state.
+
+    The inherited ``_failing_counts``/``_successful_counts`` dicts hold
+    only the top-``capacity`` *resident* predictors (so every inherited
+    scoring path — ``stats_for``, ``ranked``, ``best_per_kind``, tie
+    breaks — works unchanged over the heavy-hitters table), while every
+    occurrence is also folded into a pair of count-min sketches.  When the
+    table is full, the Space-Saving rule applies: the entry with the
+    smallest combined total is evicted, and the newcomer inherits that
+    total as its per-entry overestimation error.
+
+    Exactness guarantees: outcome totals (``total_failing``,
+    ``total_successful``) are always exact, and until the first eviction
+    (fewer distinct predictors than ``capacity`` — true of every corpus
+    bug) resident counts, and therefore the full ranking, are *identical*
+    to the exact ranker's.
+    """
+
+    def __init__(self, beta: float = DEFAULT_BETA,
+                 failure_pc: Optional[int] = None,
+                 capacity: int = DEFAULT_CAPACITY,
+                 sketch_width: int = DEFAULT_SKETCH_WIDTH,
+                 sketch_depth: int = DEFAULT_SKETCH_DEPTH) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        super().__init__(beta=beta, failure_pc=failure_pc)
+        self.capacity = capacity
+        self._cms_failing = CountMinSketch(sketch_width, sketch_depth)
+        self._cms_successful = CountMinSketch(sketch_width, sketch_depth)
+        #: Per-resident inherited overestimation (0 until an eviction
+        #: chain reaches the entry).  Its key set *is* the resident set.
+        self._error: Dict[Predictor, int] = {}
+
+    # -- residency -----------------------------------------------------------
+
+    def _resident_total(self, predictor: Predictor) -> int:
+        return (self._failing_counts.get(predictor, 0)
+                + self._successful_counts.get(predictor, 0))
+
+    def _evict_min(self) -> int:
+        """Drop the smallest resident entry; return its combined total."""
+        victim = min(self._error,
+                     key=lambda q: (self._resident_total(q),
+                                    predictor_sort_key(q)))
+        total = self._resident_total(victim)
+        self._failing_counts.pop(victim, None)
+        self._successful_counts.pop(victim, None)
+        del self._error[victim]
+        return total
+
+    def add_run(self, predictors: Iterable[Predictor], failed: bool,
+                weight: int = 1) -> None:
+        if weight < 1:
+            raise ValueError("weight must be >= 1")
+        seen = set(predictors)
+        if failed:
+            self.total_failing += weight
+            counts, sketch = self._failing_counts, self._cms_failing
+        else:
+            self.total_successful += weight
+            counts, sketch = self._successful_counts, self._cms_successful
+        for p in seen:
+            sketch.add(predictor_key_bytes(p), weight)
+            if p in self._error:
+                counts[p] = counts.get(p, 0) + weight
+            elif len(self._error) < self.capacity:
+                self._error[p] = 0
+                counts[p] = counts.get(p, 0) + weight
+            else:
+                # Space-Saving: the newcomer replaces the lightest
+                # resident, inheriting its total as error.
+                inherited = self._evict_min()
+                self._error[p] = inherited
+                counts[p] = inherited + weight
+
+    # -- error bounds --------------------------------------------------------
+
+    def entry_error(self, predictor: Predictor) -> Optional[int]:
+        """Max overcount of a resident predictor (None if not resident)."""
+        return self._error.get(predictor)
+
+    def error_bound(self) -> int:
+        """Max overcount across all resident entries: every resident's
+        tracked combined total lies in ``[true, true + error_bound()]``."""
+        return max(self._error.values(), default=0)
+
+    def estimate_total(self, predictor: Predictor) -> int:
+        """Combined occurrence estimate for *any* predictor: the resident
+        count when resident, else the count-min estimate (both are
+        overestimates, never under)."""
+        if predictor in self._error:
+            return self._resident_total(predictor)
+        key = predictor_key_bytes(predictor)
+        return (self._cms_failing.estimate(key)
+                + self._cms_successful.estimate(key))
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "PredictorRanker") -> None:
+        """Mergeable-summaries fold (Agarwal et al.): union the resident
+        tables summing counts and inherited errors, add the sketches
+        cell-wise, then keep the top-``capacity`` entries by combined
+        total.  Deterministic and commutative, so shard-merge results are
+        independent of fold order."""
+        if not isinstance(other, SketchRanker):
+            raise ValueError("cannot merge a non-sketch ranker into a "
+                             "SketchRanker")
+        if other.beta != self.beta or other.failure_pc != self.failure_pc:
+            raise ValueError("cannot merge rankers with different "
+                             "beta/failure_pc")
+        if other.capacity != self.capacity:
+            raise ValueError("cannot merge sketch rankers with different "
+                             "capacity")
+        self.total_failing += other.total_failing
+        self.total_successful += other.total_successful
+        self._cms_failing.merge(other._cms_failing)
+        self._cms_successful.merge(other._cms_successful)
+        for p, err in other._error.items():
+            self._error[p] = self._error.get(p, 0) + err
+        self._failing_counts.update(other._failing_counts)
+        self._successful_counts.update(other._successful_counts)
+        while len(self._error) > self.capacity:
+            self._evict_min()
+
+    # -- snapshots -----------------------------------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        state = super().state()
+        state["kind"] = "sketch"
+        state["capacity"] = self.capacity
+        state["error"] = dict(self._error)
+        state["cms_failing"] = self._cms_failing.state()
+        state["cms_successful"] = self._cms_successful.state()
+        return state
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "SketchRanker":
+        if state.get("kind") != "sketch":
+            raise ValueError("not a sketch-ranker state")
+        cms = CountMinSketch.from_state(state["cms_failing"])
+        ranker = cls(beta=state["beta"], failure_pc=state["failure_pc"],
+                     capacity=state["capacity"],
+                     sketch_width=cms.width, sketch_depth=cms.depth)
+        ranker.total_failing = state["total_failing"]
+        ranker.total_successful = state["total_successful"]
+        ranker._failing_counts = Counter(state["failing"])
+        ranker._successful_counts = Counter(state["successful"])
+        ranker._error = dict(state["error"])
+        ranker._cms_failing = cms
+        ranker._cms_successful = CountMinSketch.from_state(
+            state["cms_successful"])
+        return ranker
+
+    def tracked_bytes(self) -> int:
+        approx = super().tracked_bytes()
+        approx += len(self._error) * 64
+        approx += (self._cms_failing.cells_used()
+                   + self._cms_successful.cells_used()) * 48
+        return approx
+
+
+class InvariantSketchRanker(SketchRanker, ErrorInvariantRanker):
+    """Sketched accumulation with error-invariant scoring: the MRO takes
+    residency/merging from :class:`SketchRanker` and ``stats_for`` from
+    :class:`ErrorInvariantRanker`."""
+
+
+def make_stream_ranker(kind: str, beta: float = DEFAULT_BETA,
+                       failure_pc: Optional[int] = None,
+                       capacity: int = DEFAULT_CAPACITY) -> SketchRanker:
+    """The streaming-mode counterpart of
+    :func:`repro.detect.invariants.make_ranker`."""
+    if kind == "fmeasure":
+        return SketchRanker(beta=beta, failure_pc=failure_pc,
+                            capacity=capacity)
+    if kind == "invariants":
+        return InvariantSketchRanker(beta=beta, failure_pc=failure_pc,
+                                     capacity=capacity)
+    raise ValueError(f"unknown ranker kind {kind!r}")
+
+
+def ranker_from_state(state: Dict[str, Any]) -> PredictorRanker:
+    """Reconstruct a ranker snapshot of either statistics mode: sketch
+    states carry ``"kind": "sketch"``; exact states have no kind key (the
+    pre-streaming wire shape, preserved byte-for-byte)."""
+    if state.get("kind") == "sketch":
+        return SketchRanker.from_state(state)
+    return PredictorRanker.from_state(state)
+
+
+def _canonical_len(body: Any) -> int:
+    # Mirrors the wire layer's canonical encoding (sorted keys, compact
+    # separators), so the byte accounting below is exact for the section
+    # bytes a sliced run saves on the uplink.
+    import json
+
+    return len(json.dumps(body, sort_keys=True, separators=(",", ":")))
+
+
+def slice_monitored_run(run: MonitoredRun, patch) -> Tuple[int, int]:
+    """Client-side evidence slicing (*Slicing Event Traces*, PAPERS.md).
+
+    Prunes ``run``'s executed sequences in place down to the patch's
+    slice: each thread keeps only uids in the slice ∪ hook uids ∪ this
+    run's trapped pcs (order and multiplicity preserved).  Trap records
+    and the extracted predictor set are never touched — traps carry the
+    global order and the discovered statements, and predictors (already
+    distilled client-side, a few dozen entries against executed
+    sequences' thousands) feed the ranking verbatim so the streaming
+    sketch stays byte-identical to the exact reference.
+
+    Sound for refinement by construction: the AsT window is a subset of
+    the static slice, so ``window ∩ executed`` — the only thing
+    :func:`refine` reads from executed sequences — is unchanged.
+
+    Returns ``(bytes_saved, bytes_after)`` measured over the canonical
+    wire body, so payload accounting reflects real uplink bytes.
+    """
+    from ..fleet.wire import monitored_run_to_body  # local: layering
+
+    keep = set(patch.slice_uids)
+    keep.update(hook.uid for hook in patch.hooks)
+    keep.update(trap.pc for trap in run.traps)
+    before = _canonical_len(monitored_run_to_body(run))
+    run.executed = {tid: [uid for uid in seq if uid in keep]
+                    for tid, seq in run.executed.items()}
+    after = _canonical_len(monitored_run_to_body(run))
+    return before - after, after
+
+
+class RollingWindowStats:
+    """A ring of per-window predictor-count deltas (recency weighting).
+
+    One window per AsT iteration: :meth:`advance` seals the current window
+    and drops the oldest beyond ``windows``.  Scores computed over the
+    ring's sums are F-measures of the *recent* campaign only, so a
+    predictor that has converged (stopped recurring) ages out of the
+    infogain signal instead of coasting on stale counts forever.
+    """
+
+    __slots__ = ("windows", "beta", "failure_pc", "dropped", "_ring")
+
+    def __init__(self, windows: int = DEFAULT_WINDOWS,
+                 beta: float = DEFAULT_BETA,
+                 failure_pc: Optional[int] = None) -> None:
+        if windows < 1:
+            raise ValueError("need at least one window")
+        self.windows = windows
+        self.beta = beta
+        self.failure_pc = failure_pc
+        #: Windows that have aged out of the ring so far.
+        self.dropped = 0
+        # Each entry: [failing Counter, successful Counter, tf, ts].
+        self._ring: List[List[Any]] = [[Counter(), Counter(), 0, 0]]
+
+    def add(self, predictors: Iterable[Predictor], failed: bool,
+            weight: int = 1) -> None:
+        current = self._ring[-1]
+        seen = set(predictors)
+        if failed:
+            current[2] += weight
+            counter = current[0]
+        else:
+            current[3] += weight
+            counter = current[1]
+        for p in seen:
+            counter[p] += weight
+
+    def advance(self) -> None:
+        """Seal the current window and open a fresh one."""
+        self._ring.append([Counter(), Counter(), 0, 0])
+        if len(self._ring) > self.windows:
+            del self._ring[0]
+            self.dropped += 1
+
+    def recurrences(self) -> int:
+        """Failing-run total across the ring — the windowed recurrence
+        signal the budget scheduler weighs campaigns by."""
+        return sum(entry[2] for entry in self._ring)
+
+    def totals(self) -> Tuple[int, int]:
+        return (sum(entry[2] for entry in self._ring),
+                sum(entry[3] for entry in self._ring))
+
+    def ranker(self, ranker_cls=PredictorRanker) -> PredictorRanker:
+        """An exact ranker over the ring's summed counts — windowed
+        F-measures with the full scoring/tie-break machinery."""
+        failing: Counter = Counter()
+        successful: Counter = Counter()
+        for entry in self._ring:
+            failing.update(entry[0])
+            successful.update(entry[1])
+        tf, ts = self.totals()
+        return ranker_cls.from_state({
+            "beta": self.beta, "failure_pc": self.failure_pc,
+            "total_failing": tf, "total_successful": ts,
+            "failing": failing, "successful": successful,
+        })
+
+    def tracked_bytes(self) -> int:
+        approx = 0
+        for entry in self._ring:
+            approx += (len(entry[0]) + len(entry[1])) * 120 + 64
+        return approx
+
+
+class ReservoirSample:
+    """Seeded Algorithm R: a uniform bounded sample of a stream."""
+
+    __slots__ = ("capacity", "seen", "_rng", "_items")
+
+    def __init__(self, capacity: int = DEFAULT_RESERVOIR,
+                 seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        import random
+
+        self.capacity = capacity
+        self.seen = 0
+        self._rng = random.Random(seed)
+        self._items: List[Any] = []
+
+    def add(self, item: Any) -> None:
+        self.seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self._items[slot] = item
+
+    def items(self) -> List[Any]:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class RunningRefinement:
+    """Streaming aggregate of exactly what :func:`refine` reads per run.
+
+    ``refine`` folds each run into (a) the union of executed uids and
+    (b) the set of trap ``(pc, is_write)`` pairs — both bounded by program
+    size, never by run count — so a streaming campaign accumulates them
+    run-by-run and produces a :class:`RefinementResult` identical to the
+    exact mode's hold-every-run computation.
+    """
+
+    __slots__ = ("executed_uids", "_trap_pairs")
+
+    def __init__(self) -> None:
+        self.executed_uids: set = set()
+        self._trap_pairs: set = set()
+
+    def add(self, run: MonitoredRun) -> None:
+        self.executed_uids |= run.executed_uids()
+        for trap in run.traps:
+            self._trap_pairs.add((trap.pc, trap.is_write))
+
+    def result(self, window_uids: set,
+               slice_uids: Optional[set] = None) -> RefinementResult:
+        result = RefinementResult(window_uids=set(window_uids))
+        result.executed_uids = set(self.executed_uids)
+        for pc, is_write in self._trap_pairs:
+            if pc in window_uids:
+                continue
+            if is_write or slice_uids is None or pc in slice_uids:
+                result.discovered_uids.add(pc)
+        result.removed_uids = result.window_uids - result.executed_uids
+        return result
+
+    def tracked_bytes(self) -> int:
+        return (len(self.executed_uids) + len(self._trap_pairs)) * 32

@@ -275,7 +275,8 @@ class RecoveredState:
 
 def recover_server(path: os.PathLike, module, *,
                    context=None, extended_predicates: bool = False,
-                   stripes: int = 1) -> RecoveredState:
+                   stripes: int = 1, ranker: str = "fmeasure",
+                   stats: str = "exact") -> RecoveredState:
     """Rebuild a :class:`~repro.core.server.GistServer` from its journal.
 
     The replayed server journals nothing (its ``journal`` stays ``None``);
@@ -287,7 +288,8 @@ def recover_server(path: os.PathLike, module, *,
     from . import wire
 
     server = GistServer(module, extended_predicates=extended_predicates,
-                        context=context, stripes=stripes)
+                        context=context, stripes=stripes, ranker=ranker,
+                        stats=stats)
     state = RecoveredState(server=server)
     for rec_type, payload in iter_records(path):
         state.records_replayed += 1

@@ -307,11 +307,17 @@ def monitored_run_from_body(body: Dict[str, Any]) -> MonitoredRun:
 
 
 def patch_to_body(patch: Patch) -> Dict[str, Any]:
-    return {
+    body = {
         "program": patch.program,
         "hooks": [[h.uid, h.action, h.note] for h in patch.hooks],
         "watch": sorted(patch.watch_assignment),
     }
+    # Evidence-slicing uids (streaming statistics mode) travel as an
+    # optional section, absent when unset — exact-mode patch envelopes
+    # keep their legacy bytes and digests.
+    if patch.slice_uids:
+        body["slice"] = sorted(patch.slice_uids)
+    return body
 
 
 def patch_from_body(body: Dict[str, Any]) -> Patch:
@@ -325,8 +331,15 @@ def patch_from_body(body: Dict[str, Any]) -> Patch:
     watch = _require(body, "watch", list)
     if not all(isinstance(uid, int) for uid in watch):
         raise WireError("malformed watch assignment")
+    slice_uids: List[int] = []
+    if "slice" in body:
+        slice_uids = _require(body, "slice", list)
+        if not all(isinstance(uid, int) and not isinstance(uid, bool)
+                   for uid in slice_uids):
+            raise WireError("malformed slice uids")
     return Patch(program=_require(body, "program", str),
-                 hooks=tuple(hooks), watch_assignment=frozenset(watch))
+                 hooks=tuple(hooks), watch_assignment=frozenset(watch),
+                 slice_uids=frozenset(slice_uids))
 
 
 def patch_ack_to_body(endpoint_id: int, epoch: int,
@@ -343,10 +356,45 @@ def patch_ack_from_body(body: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _cms_state_to_body(cms_state: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "width": cms_state["width"],
+        "depth": cms_state["depth"],
+        "rows": [[list(cell) for cell in row]
+                 for row in cms_state["rows"]],
+    }
+
+
+def _cms_state_from_body(body: Dict[str, Any]) -> Dict[str, Any]:
+    if not isinstance(body, dict):
+        raise WireError("malformed sketch state")
+    rows = _require(body, "rows", list)
+    out_rows = []
+    for row in rows:
+        if not isinstance(row, list):
+            raise WireError("malformed sketch row")
+        cells = []
+        for cell in row:
+            if not (isinstance(cell, list) and len(cell) == 2
+                    and all(isinstance(v, int) and not isinstance(v, bool)
+                            for v in cell)):
+                raise WireError("malformed sketch cell")
+            cells.append([cell[0], cell[1]])
+        out_rows.append(cells)
+    return {
+        "width": _require(body, "width", int),
+        "depth": _require(body, "depth", int),
+        "rows": out_rows,
+    }
+
+
 def ranker_state_to_body(state: Dict[str, Any]) -> Dict[str, Any]:
     """Canonical body of one :meth:`PredictorRanker.state` snapshot —
-    the unit of cross-shard predictor-set merging."""
-    return {
+    the unit of cross-shard predictor-set merging.  Streaming-mode
+    snapshots (``"kind": "sketch"``) additionally carry the Space-Saving
+    table's error column and the two count-min sketches; exact snapshots
+    keep the pre-streaming body shape byte-for-byte."""
+    body = {
         "beta": state["beta"],
         "failure_pc": state["failure_pc"],
         "total_failing": state["total_failing"],
@@ -354,6 +402,13 @@ def ranker_state_to_body(state: Dict[str, Any]) -> Dict[str, Any]:
         "failing": predictor_counts_to_body(state["failing"]),
         "successful": predictor_counts_to_body(state["successful"]),
     }
+    if state.get("kind") == "sketch":
+        body["kind"] = "sketch"
+        body["capacity"] = state["capacity"]
+        body["error"] = predictor_counts_to_body(state["error"])
+        body["cms_failing"] = _cms_state_to_body(state["cms_failing"])
+        body["cms_successful"] = _cms_state_to_body(state["cms_successful"])
+    return body
 
 
 def ranker_state_from_body(body: Dict[str, Any]) -> Dict[str, Any]:
@@ -368,7 +423,7 @@ def ranker_state_from_body(body: Dict[str, Any]) -> Dict[str, Any]:
             _require(body, "successful", list))
     except ValueError as err:
         raise WireError(str(err))
-    return {
+    state = {
         "beta": float(_require(body, "beta", (int, float))),
         "failure_pc": failure_pc,
         "total_failing": _require(body, "total_failing", int),
@@ -376,6 +431,22 @@ def ranker_state_from_body(body: Dict[str, Any]) -> Dict[str, Any]:
         "failing": failing,
         "successful": successful,
     }
+    if "kind" in body:
+        if body["kind"] != "sketch":
+            raise WireError(f"unknown ranker-state kind {body['kind']!r}")
+        try:
+            error = predictor_counts_from_body(
+                _require(body, "error", list))
+        except ValueError as err:
+            raise WireError(str(err))
+        state["kind"] = "sketch"
+        state["capacity"] = _require(body, "capacity", int)
+        state["error"] = error
+        state["cms_failing"] = _cms_state_from_body(
+            _require(body, "cms_failing", dict))
+        state["cms_successful"] = _cms_state_from_body(
+            _require(body, "cms_successful", dict))
+    return state
 
 
 def shard_state_to_body(shard: int,

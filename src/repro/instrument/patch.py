@@ -46,6 +46,13 @@ class Patch:
     #: needs more than 4 watchpoints, the server splits candidates across
     #: clients cooperatively (§3.2.3); an empty set means "arm everything".
     watch_assignment: frozenset = frozenset()
+    #: Static-slice uids for client-side evidence slicing (streaming
+    #: statistics mode): when non-empty, the endpoint prunes its monitored
+    #: run's executed sequences and predictor set down to this slice (plus
+    #: hook uids and trapped pcs) before reporting.  Empty (the default)
+    #: means no slicing — and is encoded as *absence*, so exact-mode patch
+    #: bytes are unchanged from the pre-slicing format.
+    slice_uids: frozenset = frozenset()
 
     # -- serialization (the bsdiff stand-in) -----------------------------------
 
@@ -64,6 +71,14 @@ class Patch:
         out += struct.pack("<I", len(assignment))
         for uid in assignment:
             out += struct.pack("<i", uid)
+        if self.slice_uids:
+            # Optional trailing section: old encoders simply stopped here,
+            # so a sliceless patch is byte-identical to the legacy format
+            # and legacy blobs decode with an empty slice.
+            slice_sorted = sorted(self.slice_uids)
+            out += struct.pack("<I", len(slice_sorted))
+            for uid in slice_sorted:
+                out += struct.pack("<i", uid)
         return bytes(out)
 
     @classmethod
@@ -94,14 +109,25 @@ class Patch:
             (uid,) = struct.unpack_from("<i", blob, pos)
             pos += 4
             assignment.append(uid)
+        slice_uids: List[int] = []
+        if pos < len(blob):
+            (nslice,) = struct.unpack_from("<I", blob, pos)
+            pos += 4
+            for _ in range(nslice):
+                (uid,) = struct.unpack_from("<i", blob, pos)
+                pos += 4
+                slice_uids.append(uid)
         return cls(program=program, hooks=tuple(hooks),
-                   watch_assignment=frozenset(assignment))
+                   watch_assignment=frozenset(assignment),
+                   slice_uids=frozenset(slice_uids))
 
     @classmethod
     def from_plan(cls, program: str, plan: InstrumentationPlan,
-                  watch_assignment: Sequence[int] = ()) -> "Patch":
+                  watch_assignment: Sequence[int] = (),
+                  slice_uids: Sequence[int] = ()) -> "Patch":
         return cls(program=program, hooks=tuple(plan.hooks),
-                   watch_assignment=frozenset(watch_assignment))
+                   watch_assignment=frozenset(watch_assignment),
+                   slice_uids=frozenset(slice_uids))
 
 
 @dataclass

@@ -45,6 +45,43 @@ COMPARED = ("found", "iterations", "failure_recurrences", "total_runs",
             "monitored_runs", "bootstrap_runs")
 
 
+class TestZeroCopyFrames:
+    """The writer assembles DATA frames as memoryview segment lists; the
+    joined segments must be byte-identical to the contiguous reference
+    assembly (the on-wire format is pinned, only the copies moved)."""
+
+    def test_segments_join_to_reference_bytes(self):
+        from repro.fleet.socket_transport import _data_frame_segments, \
+            _pack_data_frame
+
+        for blobs in ([], [b""], [b"one"], [b"a" * 7, b"bb", b"c" * 4096]):
+            segments = _data_frame_segments(5, blobs)
+            assert b"".join(segments) == _pack_data_frame(5, blobs)
+            # Envelope payloads ride as zero-copy views over the original
+            # blobs, not fresh bytes.
+            views = [seg for seg in segments
+                     if isinstance(seg, memoryview)]
+            assert len(views) == len(blobs)
+            for view, blob in zip(views, blobs):
+                assert view.obj is blob
+
+    def test_builder_emits_segment_lists(self):
+        from repro.fleet.socket_transport import SocketPeer, \
+            _pack_data_frame
+
+        peer = SocketPeer.__new__(SocketPeer)
+        peer.batch_messages = 16
+        peer.batch_bytes = 1 << 20
+        peer.credit_frames_sent = 0
+        peer.messages_sent = 0
+        peer.max_frame_messages = 0
+        blobs = [b"envelope-a", b"envelope-b"]
+        frames = peer._build_frames([("data", 3, b) for b in blobs])
+        assert len(frames) == 1
+        assert b"".join(frames[0]) == _pack_data_frame(3, blobs)
+        assert peer.messages_sent == 2
+
+
 class TestSocketChannel:
     def test_fifo_counters_and_recv_many(self):
         t = SocketFleetTransport(2)
